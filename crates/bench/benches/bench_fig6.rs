@@ -1,0 +1,35 @@
+//! Criterion wrapper of the Figure 6 experiment: rendezvous progression
+//! under both engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pm2_mpi::workloads::{run_overlap, OverlapParams};
+use pm2_mpi::ClusterConfig;
+use pm2_newmad::EngineKind;
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_rendezvous_progression");
+    g.sample_size(10);
+    for size in [64 << 10, 256 << 10] {
+        let p = OverlapParams {
+            msg_len: size,
+            compute: pm2_bench::fig6_compute(),
+            iters: 8,
+            warmup: 2,
+        };
+        for (name, engine) in [
+            ("sequential", EngineKind::Sequential),
+            ("pioman", EngineKind::Pioman),
+        ] {
+            g.bench_with_input(BenchmarkId::new(name, size), &p, |b, p| {
+                b.iter(|| {
+                    black_box(run_overlap(ClusterConfig::paper_testbed(engine), p))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

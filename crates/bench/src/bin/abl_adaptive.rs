@@ -1,0 +1,69 @@
+//! Ablation: offload always / never / adaptively (§5 future work).
+//!
+//! Offloading a submission to an idle core costs a ≈2 µs cross-CPU
+//! tasklet invocation (§4.1). For a 256-byte message whose submission
+//! costs ≈0.7 µs, paying 2 µs to save 0.7 µs only makes sense if the
+//! application would otherwise wait — i.e. when it computes. The paper
+//! leaves "an adaptive strategy to choose whether to offload
+//! communication or not" as future work; [`OffloadPolicy::Adaptive`]
+//! implements it: offload only when an idle core exists and the
+//! submission cost exceeds the invocation overhead.
+//!
+//! Two workloads: pure latency (no computation — offloading can only
+//! hurt) and overlap (20 µs of computation — offloading pays off for
+//! expensive submissions).
+
+use pm2_bench::{fmt_size, header, row};
+use pm2_mpi::workloads::{run_overlap, OverlapParams};
+use pm2_mpi::ClusterConfig;
+use pm2_newmad::{EngineKind, OffloadPolicy};
+use pm2_sim::SimDuration;
+
+fn run(policy: OffloadPolicy, msg_len: usize, compute: SimDuration) -> f64 {
+    let cfg = ClusterConfig {
+        offload_policy: policy,
+        ..ClusterConfig::paper_testbed(EngineKind::Pioman)
+    };
+    run_overlap(
+        cfg,
+        &OverlapParams {
+            msg_len,
+            compute,
+            iters: 20,
+            warmup: 3,
+        },
+    )
+    .half_round_us
+    .mean()
+}
+
+fn main() {
+    println!("Ablation — adaptive offloading (half-round sending time, µs)\n");
+    for (wl, compute) in [
+        ("latency (no compute)", SimDuration::ZERO),
+        ("overlap (20µs compute)", SimDuration::from_micros(20)),
+    ] {
+        println!("{wl}:");
+        println!(
+            "{}",
+            header(
+                "size",
+                &["always".into(), "never".into(), "adaptive".into()],
+            )
+        );
+        for size in [256usize, 1 << 10, 8 << 10, 32 << 10] {
+            let always = run(OffloadPolicy::Always, size, compute);
+            let never = run(OffloadPolicy::Never, size, compute);
+            let adaptive = run(OffloadPolicy::Adaptive, size, compute);
+            println!("{}", row(&fmt_size(size), &[always, never, adaptive]));
+        }
+        println!();
+    }
+    println!("Observed: in the pure-latency loop the policies tie — `swait` runs");
+    println!("right after `isend` and reclaims the submission inline before the");
+    println!("offload tasklet's cross-CPU invocation (2µs) completes, so the");
+    println!("offload machinery never hurts latency. With computation to hide");
+    println!("behind, offloading (always) wins as soon as there is an idle core;");
+    println!("adaptive inlines only the submissions cheaper than the invocation");
+    println!("overhead and otherwise matches `always`.");
+}

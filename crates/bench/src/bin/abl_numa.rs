@@ -1,0 +1,87 @@
+//! Ablation: NUMA placement of the progress tasklet.
+//!
+//! PIOMAN asks Marcel to run the submission tasklet on the idle core
+//! *nearest* to the requesting thread (shared cache): the cross-CPU
+//! notification costs ≈2 µs within a socket and more across sockets.
+//! This benchmark pins the sender to core 0 and compares offload latency
+//! when socket-0 neighbours are available vs. when they are kept busy, so
+//! the tasklet must run on the remote socket.
+
+use pm2_bench::{header, row};
+use pm2_mpi::{Cluster, ClusterConfig};
+use pm2_newmad::{EngineKind, Tag};
+use pm2_sim::SimDuration;
+use pm2_topo::NodeId;
+use std::cell::Cell;
+use std::rc::Rc;
+
+const MSG: usize = 16 << 10;
+const COMPUTE_US: u64 = 20;
+const ITERS: usize = 20;
+
+fn run(busy_local_socket: bool) -> f64 {
+    let cluster = Cluster::build(ClusterConfig::paper_testbed(EngineKind::Pioman));
+    let total = Rc::new(Cell::new(0f64));
+    if busy_local_socket {
+        // Occupy cores 1-3 (socket 0 of node 0): only socket 1 stays idle.
+        for c in 1..4usize {
+            let core = cluster.topology().core_on(pm2_topo::NodeId(0), c);
+            cluster.marcel(0).spawn(
+                format!("busy{c}"),
+                pm2_marcel::Priority::Normal,
+                Some(core),
+                |ctx| async move {
+                    ctx.compute(SimDuration::from_millis(10)).await;
+                },
+            );
+        }
+    }
+    {
+        let s = cluster.session(0).clone();
+        let total = Rc::clone(&total);
+        let core0 = cluster.topology().core_on(pm2_topo::NodeId(0), 0);
+        cluster.marcel(0).spawn(
+            "sender",
+            pm2_marcel::Priority::Normal,
+            Some(core0),
+            move |ctx| async move {
+                for i in 0..ITERS {
+                    let t1 = ctx.marcel().sim().now();
+                    let h = s
+                        .isend(&ctx, NodeId(1), Tag(i as u64), vec![1; MSG])
+                        .await;
+                    ctx.compute(SimDuration::from_micros(COMPUTE_US)).await;
+                    s.swait_send(&h, &ctx).await;
+                    let t2 = ctx.marcel().sim().now();
+                    total.set(total.get() + t2.saturating_since(t1).as_micros_f64());
+                }
+            },
+        );
+    }
+    {
+        let s = cluster.session(1).clone();
+        cluster.spawn_on(1, "rx", move |ctx| async move {
+            for i in 0..ITERS {
+                let _ = s.recv(&ctx, Some(NodeId(0)), Tag(i as u64)).await;
+            }
+        });
+    }
+    cluster.run();
+    total.get() / ITERS as f64
+}
+
+fn main() {
+    println!("Ablation — NUMA placement of the offload tasklet");
+    println!("16K isend + 20µs compute + swait, sender pinned to core 0\n");
+    println!("{}", header("placement", &["sender time (µs)".into()]));
+    let near = run(false);
+    let far = run(true);
+    println!("{}", row("same-socket", &[near]));
+    println!("{}", row("cross-socket", &[far]));
+    println!(
+        "\nForcing the tasklet across the socket boundary adds {:.1}µs of\n\
+         invocation latency (2µs shared-cache vs 3.2µs interconnect) —\n\
+         why Marcel's kick-nearest-idle-core policy matters.",
+        far - near
+    );
+}

@@ -1,0 +1,62 @@
+//! Extension: the NetPIPE-style latency/bandwidth curve of the simulated
+//! fabric, for both engines and for the multirail configuration.
+//!
+//! Not a figure of the paper, but the standard sanity check that the
+//! eager→rendezvous transition behaves: latency stays flat in the PIO
+//! regime, the rendezvous handshake adds a step at the 32K threshold, and
+//! bandwidth converges to the wire rate (1250 MB/s per rail).
+
+use pm2_bench::{fmt_size, header, row};
+use pm2_mpi::workloads::run_pingpong;
+use pm2_mpi::ClusterConfig;
+use pm2_newmad::EngineKind;
+
+fn main() {
+    println!("Latency / bandwidth sweep (ping-pong, no computation)\n");
+    println!(
+        "{}",
+        header(
+            "size",
+            &[
+                "lat seq".into(),
+                "lat pio".into(),
+                "MB/s pio".into(),
+                "MB/s 2rail".into(),
+            ],
+        )
+    );
+    let mut size = 64usize;
+    while size <= 4 << 20 {
+        let seq = run_pingpong(
+            ClusterConfig::paper_testbed(EngineKind::Sequential),
+            size,
+            10,
+        );
+        let pio = run_pingpong(ClusterConfig::paper_testbed(EngineKind::Pioman), size, 10);
+        let dual = run_pingpong(
+            ClusterConfig {
+                rails: 2,
+                multirail: true,
+                ..ClusterConfig::paper_testbed(EngineKind::Pioman)
+            },
+            size,
+            10,
+        );
+        println!(
+            "{}",
+            row(
+                &fmt_size(size),
+                &[
+                    seq.latency_us.mean(),
+                    pio.latency_us.mean(),
+                    pio.bandwidth_mbs,
+                    dual.bandwidth_mbs,
+                ],
+            )
+        );
+        size *= 4;
+    }
+    println!("\nExpected: ~3-4µs small-message latency; a step at the 32K");
+    println!("rendezvous threshold; asymptotic bandwidth ≈ wire rate (1250 MB/s),");
+    println!("doubled by multirail.");
+}

@@ -1,0 +1,70 @@
+//! Figure 5 reproduction: small-message submission offloading.
+//!
+//! Benchmark of Figure 4, eager path: `nm_isend(len); compute(20µs);
+//! nm_swait()`, symmetric on both sides. Three series:
+//!
+//! * **no computation (reference)** — the raw half-round time;
+//! * **no copy offloading** — the sequential engine with 20 µs compute:
+//!   the submission happens inside `swait`, so the measured time is
+//!   ≈ sum(communication, computation);
+//! * **copy offloading** — the PIOMAN engine: the submission runs on an
+//!   idle core during the computation, so the time is
+//!   ≈ max(communication, computation) + ≈2 µs of tasklet overhead.
+
+use pm2_bench::{fig5_compute, fig5_sizes, fmt_size, header, row};
+use pm2_mpi::workloads::{run_overlap, OverlapParams};
+use pm2_mpi::ClusterConfig;
+use pm2_newmad::EngineKind;
+use pm2_sim::SimDuration;
+
+fn main() {
+    println!("Figure 5 — Small messages offloading (sending time, µs)");
+    println!("Testbed: 2 nodes x 8 cores, MYRI-10G model, eager protocol\n");
+    println!(
+        "{}",
+        header(
+            "size",
+            &[
+                "reference".into(),
+                "no-offload".into(),
+                "offload".into(),
+                "overhead".into(),
+            ],
+        )
+    );
+    for size in fig5_sizes() {
+        let reference = run_overlap(
+            ClusterConfig::paper_testbed(EngineKind::Pioman),
+            &OverlapParams {
+                msg_len: size,
+                compute: SimDuration::ZERO,
+                iters: 20,
+                warmup: 3,
+            },
+        )
+        .half_round_us
+        .mean();
+        let p = OverlapParams {
+            msg_len: size,
+            compute: fig5_compute(),
+            iters: 20,
+            warmup: 3,
+        };
+        let no_offload = run_overlap(ClusterConfig::paper_testbed(EngineKind::Sequential), &p)
+            .half_round_us
+            .mean();
+        let offload = run_overlap(ClusterConfig::paper_testbed(EngineKind::Pioman), &p)
+            .half_round_us
+            .mean();
+        // The overhead the paper measures where comm ≈ comp: offload time
+        // minus the ideal max(comm, comp).
+        let ideal = reference.max(fig5_compute().as_micros_f64());
+        let overhead = offload - ideal;
+        println!(
+            "{}",
+            row(&fmt_size(size), &[reference, no_offload, offload, overhead])
+        );
+    }
+    println!("\nExpected shape (paper): no-offload ≈ reference + 20µs;");
+    println!("offload ≈ max(reference, 20µs) + ~2µs tasklet overhead.");
+}

@@ -1,0 +1,62 @@
+//! Figure 6 reproduction: rendezvous handshake progression.
+//!
+//! Same Figure 4 program with 100 µs of computation and large messages
+//! (8K–512K; above 32K the MX-like driver switches to the zero-copy
+//! rendezvous protocol). Series:
+//!
+//! * **no RDV progression** — sequential engine: the RTS/CTS handshake
+//!   only advances when the application re-enters the library, so the
+//!   transfer starts after the computation: ≈ sum(comp, comm);
+//! * **RDV progression** — PIOMAN engine: idle cores poll and answer the
+//!   handshake in the background: ≈ max(comp, comm);
+//! * **no computation (reference)** — the raw transfer time.
+
+use pm2_bench::{fig6_compute, fig6_sizes, fmt_size, header, row};
+use pm2_mpi::workloads::{run_overlap, OverlapParams};
+use pm2_mpi::ClusterConfig;
+use pm2_newmad::EngineKind;
+use pm2_sim::SimDuration;
+
+fn main() {
+    println!("Figure 6 — Offloading of rendezvous progression (sending time, µs)");
+    println!("Testbed: 2 nodes x 8 cores, MYRI-10G model, rendezvous above 32K\n");
+    println!(
+        "{}",
+        header(
+            "size",
+            &[
+                "no-rdv-prog".into(),
+                "rdv-prog".into(),
+                "reference".into(),
+            ],
+        )
+    );
+    for size in fig6_sizes() {
+        let p = OverlapParams {
+            msg_len: size,
+            compute: fig6_compute(),
+            iters: 15,
+            warmup: 3,
+        };
+        let no_prog = run_overlap(ClusterConfig::paper_testbed(EngineKind::Sequential), &p)
+            .half_round_us
+            .mean();
+        let prog = run_overlap(ClusterConfig::paper_testbed(EngineKind::Pioman), &p)
+            .half_round_us
+            .mean();
+        let reference = run_overlap(
+            ClusterConfig::paper_testbed(EngineKind::Pioman),
+            &OverlapParams {
+                msg_len: size,
+                compute: SimDuration::ZERO,
+                iters: 15,
+                warmup: 3,
+            },
+        )
+        .half_round_us
+        .mean();
+        println!("{}", row(&fmt_size(size), &[no_prog, prog, reference]));
+    }
+    println!("\nExpected shape (paper): no-rdv-prog ≈ reference + 100µs;");
+    println!("rdv-prog ≈ max(reference, 100µs); crossover where comm ≈ 100µs (~128K).");
+}

@@ -1,0 +1,61 @@
+//! Table 1 reproduction: the convolution meta-application.
+//!
+//! One MPI process per node, threads computing matrix blocks (Figure 8
+//! layout: grid columns split across the two nodes), each thread running
+//! the Figure 7 loop: compute frontier → asynchronous halo sends →
+//! compute interior → wait sends → receive neighbours' halos.
+//!
+//! Halo messages stay below the rendezvous threshold, so the measured
+//! effect is the *copy offloading* (§4.3). The 16-thread configuration
+//! works on a 4× bigger matrix; with the halo size capped by the eager
+//! threshold, the extra data volume is modelled as additional exchange
+//! rounds.
+
+use pm2_bench::{header, row};
+use pm2_mpi::workloads::{run_stencil, StencilParams};
+use pm2_mpi::ClusterConfig;
+use pm2_newmad::EngineKind;
+
+fn params(threads: usize) -> StencilParams {
+    match threads {
+        4 => StencilParams::four_threads(),
+        16 => StencilParams::sixteen_threads(),
+        other => panic!("no calibration for {other} threads"),
+    }
+}
+
+fn main() {
+    println!("Table 1 — Impact of the number of threads on communication offloading");
+    println!("Meta-application: convolution-style stencil, 2 nodes x 8 cores\n");
+    println!(
+        "{}",
+        header(
+            "",
+            &["4 threads".into(), "16 threads".into()],
+        )
+    );
+    let mut seq_t = Vec::new();
+    let mut pio_t = Vec::new();
+    for threads in [4usize, 16] {
+        let p = params(threads);
+        let seq = run_stencil(ClusterConfig::paper_testbed(EngineKind::Sequential), &p);
+        let pio = run_stencil(ClusterConfig::paper_testbed(EngineKind::Pioman), &p);
+        seq_t.push(seq.total_us);
+        pio_t.push(pio.total_us);
+    }
+    println!("{}", row("no-offload", &[seq_t[0], seq_t[1]]));
+    println!("{}", row("offload", &[pio_t[0], pio_t[1]]));
+    println!(
+        "{}",
+        row(
+            "speedup %",
+            &[
+                (seq_t[0] - pio_t[0]) / seq_t[0] * 100.0,
+                (seq_t[1] - pio_t[1]) / seq_t[1] * 100.0,
+            ],
+        )
+    );
+    println!("\nPaper reports: no-offload 441µs / 1183µs, offload 382µs / 1031µs,");
+    println!("speedups 14% / 13% — idle cores absorb the halo submissions, and at");
+    println!("16 threads PIOMAN fills the gaps left by threads blocked on receives.");
+}

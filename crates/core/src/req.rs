@@ -1,0 +1,127 @@
+//! Communication requests tracked by PIOMAN.
+
+use pm2_sim::{Sim, SimTime, Trigger};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// A request whose completion PIOMAN detects and signals.
+///
+/// Created by the communication library when the application posts an
+/// operation (isend/irecv); completed by the library's progress callbacks
+/// when the corresponding hardware event is detected. Threads wait on the
+/// request through [`Pioman::wait`](crate::Pioman::wait), which either
+/// makes progress inline or blocks on the request's [`Trigger`] — in the
+/// latter case "PIOMAN … unblocks the corresponding thread and asks MARCEL
+/// to schedule it" (§3.2).
+#[derive(Clone)]
+pub struct PiomReq {
+    inner: Rc<ReqInner>,
+}
+
+struct ReqInner {
+    label: &'static str,
+    trigger: Trigger,
+    created_at: SimTime,
+    completed_at: Cell<Option<SimTime>>,
+}
+
+impl PiomReq {
+    /// Creates a pending request.
+    pub fn new(sim: &Sim, label: &'static str) -> Self {
+        PiomReq {
+            inner: Rc::new(ReqInner {
+                label,
+                trigger: Trigger::new(),
+                created_at: sim.now(),
+                completed_at: Cell::new(None),
+            }),
+        }
+    }
+
+    /// Marks the request complete, waking all waiters. Idempotent.
+    pub fn complete(&self, sim: &Sim) {
+        if self.inner.completed_at.get().is_none() {
+            self.inner.completed_at.set(Some(sim.now()));
+            self.inner.trigger.fire();
+        }
+    }
+
+    /// True once completed.
+    pub fn is_complete(&self) -> bool {
+        self.inner.completed_at.get().is_some()
+    }
+
+    /// The completion trigger (fires exactly once).
+    pub fn trigger(&self) -> &Trigger {
+        &self.inner.trigger
+    }
+
+    /// Diagnostic label ("isend", "rdv-rts", …).
+    pub fn label(&self) -> &'static str {
+        self.inner.label
+    }
+
+    /// When the request was posted.
+    pub fn created_at(&self) -> SimTime {
+        self.inner.created_at
+    }
+
+    /// When it completed, if it has.
+    pub fn completed_at(&self) -> Option<SimTime> {
+        self.inner.completed_at.get()
+    }
+
+    /// Post-to-completion latency, if completed.
+    pub fn latency(&self) -> Option<pm2_sim::SimDuration> {
+        self.completed_at()
+            .map(|t| t.saturating_since(self.inner.created_at))
+    }
+}
+
+impl std::fmt::Debug for PiomReq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PiomReq")
+            .field("label", &self.inner.label)
+            .field("complete", &self.is_complete())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm2_sim::SimDuration;
+
+    #[test]
+    fn lifecycle() {
+        let sim = Sim::new(0);
+        let req = PiomReq::new(&sim, "test");
+        assert!(!req.is_complete());
+        assert_eq!(req.latency(), None);
+        sim.run_for(SimDuration::from_micros(4));
+        req.complete(&sim);
+        assert!(req.is_complete());
+        assert!(req.trigger().is_fired());
+        assert_eq!(req.latency().unwrap().as_micros(), 4);
+    }
+
+    #[test]
+    fn complete_is_idempotent() {
+        let sim = Sim::new(0);
+        let req = PiomReq::new(&sim, "x");
+        req.complete(&sim);
+        let first = req.completed_at();
+        sim.run_for(SimDuration::from_micros(1));
+        req.complete(&sim);
+        assert_eq!(req.completed_at(), first);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let sim = Sim::new(0);
+        let req = PiomReq::new(&sim, "x");
+        let req2 = req.clone();
+        req.complete(&sim);
+        assert!(req2.is_complete());
+    }
+}

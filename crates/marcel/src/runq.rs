@@ -1,0 +1,223 @@
+//! Hierarchical run queues: core / socket / node levels.
+//!
+//! Marcel "was carefully designed to … efficiently exploit hierarchical
+//! architectures" (§3.1). Ready threads are queued at the level matching
+//! what is known about their cache footprint:
+//!
+//! * **core** — strict affinity only; no other core may pop these;
+//! * **socket** — preference: woken communicating threads return to the
+//!   socket they last ran on (warm shared cache), but cores of other
+//!   sockets may *steal* them rather than idle;
+//! * **node** — anywhere (fresh spawns, migrating threads).
+//!
+//! Priority dominates locality: a high-priority thread in a remote
+//! socket's queue is picked before a normal-priority thread in the local
+//! one, so urgent wakeups ("communicating threads are ensured to be
+//! scheduled as soon as the communication event is detected", §3.2) are
+//! never delayed for cache reasons.
+
+use crate::thread::ThreadId;
+use std::collections::VecDeque;
+
+const PRIOS: usize = 3;
+
+/// Where to enqueue a ready thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Placement {
+    /// Strict: only this local core may run the thread.
+    Core(usize),
+    /// Preferred socket; `front` jumps the queue (urgent wakeups).
+    Socket {
+        /// Local socket index.
+        socket: usize,
+        /// Queue-jump for urgent wakeups.
+        front: bool,
+    },
+    /// Anywhere on the node.
+    Node {
+        /// Queue-jump for urgent wakeups.
+        front: bool,
+    },
+}
+
+/// Where a popped thread came from (for locality statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PopSource {
+    /// Own core queue (strict affinity).
+    Core,
+    /// Own socket queue (cache-warm).
+    LocalSocket,
+    /// Node-wide queue.
+    Node,
+    /// Stolen from another socket's queue.
+    RemoteSocket,
+}
+
+pub(crate) struct RunQueues {
+    core: Vec<[VecDeque<ThreadId>; PRIOS]>,
+    socket: Vec<[VecDeque<ThreadId>; PRIOS]>,
+    node: [VecDeque<ThreadId>; PRIOS],
+    cores_per_socket: usize,
+}
+
+fn empty_prios() -> [VecDeque<ThreadId>; PRIOS] {
+    [VecDeque::new(), VecDeque::new(), VecDeque::new()]
+}
+
+impl RunQueues {
+    pub(crate) fn new(cores: usize, sockets: usize) -> Self {
+        assert!(sockets > 0 && cores % sockets == 0);
+        RunQueues {
+            core: (0..cores).map(|_| empty_prios()).collect(),
+            socket: (0..sockets).map(|_| empty_prios()).collect(),
+            node: empty_prios(),
+            cores_per_socket: cores / sockets,
+        }
+    }
+
+    /// Socket of a local core index.
+    pub(crate) fn socket_of(&self, local_core: usize) -> usize {
+        local_core / self.cores_per_socket
+    }
+
+    pub(crate) fn push(&mut self, tid: ThreadId, prio: usize, placement: Placement) {
+        match placement {
+            Placement::Core(c) => self.core[c][prio].push_back(tid),
+            Placement::Socket { socket, front } => {
+                if front {
+                    self.socket[socket][prio].push_front(tid);
+                } else {
+                    self.socket[socket][prio].push_back(tid);
+                }
+            }
+            Placement::Node { front } => {
+                if front {
+                    self.node[prio].push_front(tid);
+                } else {
+                    self.node[prio].push_back(tid);
+                }
+            }
+        }
+    }
+
+    /// Total queued threads.
+    pub(crate) fn len(&self) -> usize {
+        let per: usize = self
+            .core
+            .iter()
+            .chain(self.socket.iter())
+            .map(|qs| qs.iter().map(VecDeque::len).sum::<usize>())
+            .sum();
+        per + self.node.iter().map(VecDeque::len).sum::<usize>()
+    }
+
+    /// Pops the best thread for `local_core`: highest priority first, then
+    /// nearest level; remote-socket stealing beats idling.
+    pub(crate) fn pop_for(&mut self, local_core: usize) -> Option<(ThreadId, PopSource)> {
+        let my_socket = self.socket_of(local_core);
+        for prio in (0..PRIOS).rev() {
+            if let Some(t) = self.core[local_core][prio].pop_front() {
+                return Some((t, PopSource::Core));
+            }
+            if let Some(t) = self.socket[my_socket][prio].pop_front() {
+                return Some((t, PopSource::LocalSocket));
+            }
+            if let Some(t) = self.node[prio].pop_front() {
+                return Some((t, PopSource::Node));
+            }
+            for s in 0..self.socket.len() {
+                if s == my_socket {
+                    continue;
+                }
+                if let Some(t) = self.socket[s][prio].pop_front() {
+                    return Some((t, PopSource::RemoteSocket));
+                }
+            }
+        }
+        None
+    }
+
+    /// Removes a specific thread from wherever it is queued (used when a
+    /// queued thread is cancelled). Returns true if found.
+    #[allow(dead_code)]
+    pub(crate) fn remove(&mut self, tid: ThreadId) -> bool {
+        let scan = |q: &mut VecDeque<ThreadId>| {
+            q.iter().position(|&t| t == tid).map(|i| q.remove(i)).is_some()
+        };
+        for qs in self.core.iter_mut().chain(self.socket.iter_mut()) {
+            for q in qs.iter_mut() {
+                if scan(q) {
+                    return true;
+                }
+            }
+        }
+        for q in self.node.iter_mut() {
+            if scan(q) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: usize) -> ThreadId {
+        ThreadId(i)
+    }
+
+    #[test]
+    fn priority_dominates_locality() {
+        // 4 cores, 2 sockets.
+        let mut q = RunQueues::new(4, 2);
+        q.push(t(1), 1, Placement::Socket { socket: 0, front: false }); // normal, local
+        q.push(t(2), 2, Placement::Socket { socket: 1, front: false }); // high, remote
+        let (tid, src) = q.pop_for(0).unwrap();
+        assert_eq!(tid, t(2), "high priority wins even cross-socket");
+        assert_eq!(src, PopSource::RemoteSocket);
+        let (tid, src) = q.pop_for(0).unwrap();
+        assert_eq!((tid, src), (t(1), PopSource::LocalSocket));
+    }
+
+    #[test]
+    fn locality_order_within_priority() {
+        let mut q = RunQueues::new(4, 2);
+        q.push(t(1), 1, Placement::Node { front: false });
+        q.push(t(2), 1, Placement::Socket { socket: 0, front: false });
+        q.push(t(3), 1, Placement::Core(0));
+        assert_eq!(q.pop_for(0).unwrap(), (t(3), PopSource::Core));
+        assert_eq!(q.pop_for(0).unwrap(), (t(2), PopSource::LocalSocket));
+        assert_eq!(q.pop_for(0).unwrap(), (t(1), PopSource::Node));
+        assert!(q.pop_for(0).is_none());
+    }
+
+    #[test]
+    fn strict_core_queue_is_not_stolen() {
+        let mut q = RunQueues::new(4, 2);
+        q.push(t(1), 1, Placement::Core(3));
+        assert!(q.pop_for(0).is_none(), "core 0 must not steal core 3's thread");
+        assert_eq!(q.pop_for(3).unwrap(), (t(1), PopSource::Core));
+    }
+
+    #[test]
+    fn urgent_front_insertion() {
+        let mut q = RunQueues::new(2, 1);
+        q.push(t(1), 2, Placement::Socket { socket: 0, front: false });
+        q.push(t(2), 2, Placement::Socket { socket: 0, front: true });
+        assert_eq!(q.pop_for(0).unwrap().0, t(2));
+        assert_eq!(q.pop_for(0).unwrap().0, t(1));
+    }
+
+    #[test]
+    fn len_counts_all_levels() {
+        let mut q = RunQueues::new(4, 2);
+        q.push(t(1), 0, Placement::Core(1));
+        q.push(t(2), 1, Placement::Socket { socket: 1, front: false });
+        q.push(t(3), 2, Placement::Node { front: false });
+        assert_eq!(q.len(), 3);
+        q.remove(t(2));
+        assert_eq!(q.len(), 2);
+    }
+}

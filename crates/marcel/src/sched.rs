@@ -1,0 +1,1418 @@
+//! The scheduler state machine: cores, run queues, tasklets, idle hooks.
+
+use crate::config::MarcelConfig;
+use crate::runq::{Placement, PopSource, RunQueues};
+use crate::tasklet::{TaskletId, TaskletRec, TaskletRun};
+use crate::thread::{Priority, ThreadCtx, ThreadId, WaitDispatched};
+use pm2_sim::trace::Category;
+use pm2_sim::{Sim, SimDuration, SimTime, Slab, TimerHandle, Trigger};
+use pm2_topo::{CoreId, NodeId, Topology};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::rc::Rc;
+use std::task::Waker;
+
+/// Result of one idle-hook invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HookResult {
+    /// Nothing to do and nothing expected: the core may truly sleep.
+    Nothing,
+    /// Nothing to do right now, but events are being awaited: keep polling
+    /// (the "busy waiting" of §3.2).
+    Armed,
+    /// Work was performed, consuming the given CPU time; re-check
+    /// immediately afterwards.
+    Worked(SimDuration),
+}
+
+/// Identifier of a periodic timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(usize);
+
+/// Scheduler activity counters (cumulative).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Threads dispatched onto cores.
+    pub dispatches: u64,
+    /// Tasklet bodies executed.
+    pub tasklet_runs: u64,
+    /// Tasklet schedules that coalesced into a pending one.
+    pub tasklet_coalesced: u64,
+    /// Idle-hook sweep invocations.
+    pub hook_sweeps: u64,
+    /// Tasklet executions that stole cycles from a computing thread.
+    pub compute_steals: u64,
+    /// Timer callback firings.
+    pub timer_ticks: u64,
+    /// Dispatches served from the core's own or its socket's queue
+    /// (cache-warm).
+    pub local_dispatches: u64,
+    /// Dispatches that stole a thread queued for another socket.
+    pub cross_socket_steals: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    Ready,
+    Running(CoreId),
+    Blocked,
+    Finished,
+}
+
+struct ThreadRec {
+    state: TState,
+    priority: Priority,
+    affinity: Option<CoreId>,
+    /// Core the thread last ran on (for cache-affine wake placement).
+    last_core: Option<CoreId>,
+    dispatch_waker: Option<Waker>,
+    finished: Trigger,
+    park_trigger: Option<Trigger>,
+    unpark_permit: bool,
+    name: String,
+}
+
+struct Core {
+    id: CoreId,
+    current: Option<ThreadId>,
+    /// Occupancy from tasklet/hook work (threads occupy via `current`).
+    busy_until: SimTime,
+    /// Earliest pending `run_core` event, for deduplication.
+    scheduled_run: Option<(SimTime, TimerHandle)>,
+}
+
+struct TimerRec {
+    cancelled: Rc<std::cell::Cell<bool>>,
+}
+
+struct State {
+    cores: Vec<Core>,
+    threads: Slab<ThreadRec>,
+    tasklets: Slab<TaskletRec>,
+    tasklet_queue: VecDeque<TaskletId>,
+    runq: RunQueues,
+    hooks: Vec<Rc<dyn Fn(&Marcel, CoreId) -> HookResult>>,
+    timers: Slab<TimerRec>,
+    stats: SchedStats,
+}
+
+struct Inner {
+    sim: Sim,
+    topo: Rc<Topology>,
+    node: NodeId,
+    cfg: MarcelConfig,
+    state: RefCell<State>,
+}
+
+/// Handle to one node's scheduler; cheap to clone.
+///
+/// # Example
+/// ```
+/// use pm2_marcel::{Marcel, MarcelConfig, Priority};
+/// use pm2_sim::{Sim, SimDuration};
+/// use pm2_topo::{NodeId, Topology};
+/// use std::rc::Rc;
+///
+/// let sim = Sim::new(0);
+/// let topo = Rc::new(Topology::single_node(4));
+/// let marcel = Marcel::new(sim.clone(), topo, NodeId(0), MarcelConfig::default());
+/// marcel.spawn("worker", Priority::Normal, None, |ctx| async move {
+///     ctx.compute(SimDuration::from_micros(10)).await;
+/// });
+/// sim.run();
+/// assert_eq!(marcel.stats().dispatches, 1);
+/// ```
+#[derive(Clone)]
+pub struct Marcel {
+    inner: Rc<Inner>,
+}
+
+fn prio_idx(p: Priority) -> usize {
+    match p {
+        Priority::Low => 0,
+        Priority::Normal => 1,
+        Priority::High => 2,
+    }
+}
+
+impl Marcel {
+    /// Creates a scheduler owning the cores of `node` in `topo`.
+    pub fn new(sim: Sim, topo: Rc<Topology>, node: NodeId, cfg: MarcelConfig) -> Marcel {
+        let cores = topo
+            .cores_of(node)
+            .map(|id| Core {
+                id,
+                current: None,
+                busy_until: SimTime::ZERO,
+                scheduled_run: None,
+            })
+            .collect();
+        let runq = RunQueues::new(topo.cores_per_node(), topo.sockets_per_node());
+        Marcel {
+            inner: Rc::new(Inner {
+                sim,
+                topo,
+                node,
+                cfg,
+                state: RefCell::new(State {
+                    cores,
+                    threads: Slab::new(),
+                    tasklets: Slab::new(),
+                    tasklet_queue: VecDeque::new(),
+                    runq,
+                    hooks: Vec::new(),
+                    timers: Slab::new(),
+                    stats: SchedStats::default(),
+                }),
+            }),
+        }
+    }
+
+    /// The underlying simulation.
+    pub fn sim(&self) -> &Sim {
+        &self.inner.sim
+    }
+
+    /// The node this scheduler manages.
+    pub fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    /// The cluster topology.
+    pub fn topology(&self) -> &Rc<Topology> {
+        &self.inner.topo
+    }
+
+    /// The cost model in use.
+    pub fn config(&self) -> &MarcelConfig {
+        &self.inner.cfg
+    }
+
+    /// Snapshot of the activity counters.
+    pub fn stats(&self) -> SchedStats {
+        self.inner.state.borrow().stats
+    }
+
+    fn local(&self, core: CoreId) -> usize {
+        debug_assert_eq!(self.inner.topo.node_of(core), self.inner.node);
+        self.inner.topo.local_index(core)
+    }
+
+    // ----- threads ------------------------------------------------------
+
+    /// Spawns a Marcel thread running `body`.
+    ///
+    /// The thread starts in the ready queue and runs once a core dispatches
+    /// it. `affinity` restricts it to a single core if given.
+    pub fn spawn<F, Fut>(
+        &self,
+        name: impl Into<String>,
+        priority: Priority,
+        affinity: Option<CoreId>,
+        body: F,
+    ) -> ThreadId
+    where
+        F: FnOnce(ThreadCtx) -> Fut + 'static,
+        Fut: Future<Output = ()> + 'static,
+    {
+        let name = name.into();
+        let id = {
+            let mut st = self.inner.state.borrow_mut();
+            let id = ThreadId(st.threads.insert(ThreadRec {
+                state: TState::Ready,
+                priority,
+                affinity,
+                last_core: None,
+                dispatch_waker: None,
+                finished: Trigger::new(),
+                park_trigger: None,
+                unpark_permit: false,
+                name: name.clone(),
+            }));
+            let placement = match affinity {
+                Some(c) => Placement::Core(self.local(c)),
+                None => Placement::Node { front: false },
+            };
+            st.runq.push(id, prio_idx(priority), placement);
+            id
+        };
+        let kick_target = affinity;
+        let marcel = self.clone();
+        let ctx = ThreadCtx {
+            marcel: self.clone(),
+            id,
+        };
+        self.inner.sim.spawn_named(Some(name), async move {
+            WaitDispatched {
+                marcel: marcel.clone(),
+                id,
+            }
+            .await;
+            body(ctx).await;
+            marcel.finish_thread(id);
+        });
+        match kick_target {
+            Some(core) => self.schedule_run(core, SimDuration::ZERO),
+            None => self.kick_one_idle(),
+        }
+        id
+    }
+
+    /// Trigger fired when `thread` finishes.
+    pub fn finished(&self, thread: ThreadId) -> Trigger {
+        self.inner
+            .state
+            .borrow()
+            .threads
+            .get(thread.0)
+            .expect("unknown thread")
+            .finished
+            .clone()
+    }
+
+    /// Wakes a parked thread (or stores a permit if it is not parked).
+    pub fn unpark(&self, thread: ThreadId) {
+        let trig = {
+            let mut st = self.inner.state.borrow_mut();
+            let Some(rec) = st.threads.get_mut(thread.0) else {
+                return;
+            };
+            match rec.park_trigger.take() {
+                Some(t) => Some(t),
+                None => {
+                    rec.unpark_permit = true;
+                    None
+                }
+            }
+        };
+        if let Some(t) = trig {
+            t.fire();
+        }
+    }
+
+    /// Debug name of a thread.
+    pub fn thread_name(&self, thread: ThreadId) -> Option<String> {
+        self.inner
+            .state
+            .borrow()
+            .threads
+            .get(thread.0)
+            .map(|r| r.name.clone())
+    }
+
+    pub(crate) fn begin_park(&self, thread: ThreadId) -> Option<Trigger> {
+        let mut st = self.inner.state.borrow_mut();
+        let rec = st.threads.get_mut(thread.0).expect("unknown thread");
+        if rec.unpark_permit {
+            rec.unpark_permit = false;
+            None
+        } else {
+            let t = Trigger::new();
+            rec.park_trigger = Some(t.clone());
+            Some(t)
+        }
+    }
+
+    pub(crate) fn is_running(&self, thread: ThreadId) -> bool {
+        matches!(
+            self.inner
+                .state
+                .borrow()
+                .threads
+                .get(thread.0)
+                .map(|r| r.state),
+            Some(TState::Running(_))
+        )
+    }
+
+    pub(crate) fn core_of(&self, thread: ThreadId) -> Option<CoreId> {
+        match self.inner.state.borrow().threads.get(thread.0)?.state {
+            TState::Running(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn set_dispatch_waker(&self, thread: ThreadId, waker: Waker) {
+        if let Some(rec) = self.inner.state.borrow_mut().threads.get_mut(thread.0) {
+            rec.dispatch_waker = Some(waker);
+        }
+    }
+
+    /// Marks `thread` blocked and frees its core.
+    pub(crate) fn release_blocked(&self, thread: ThreadId) {
+        self.release_core_of(thread, TState::Blocked, false);
+    }
+
+    /// Marks `thread` ready (requeued at the back) and frees its core.
+    pub(crate) fn release_ready(&self, thread: ThreadId) {
+        self.release_core_of(thread, TState::Ready, true);
+    }
+
+    fn release_core_of(&self, thread: ThreadId, new_state: TState, requeue: bool) {
+        let freed = {
+            let mut st = self.inner.state.borrow_mut();
+            let rec = st.threads.get_mut(thread.0).expect("unknown thread");
+            let TState::Running(core) = rec.state else {
+                panic!("thread {thread:?} released while not running");
+            };
+            rec.state = new_state;
+            rec.last_core = Some(core);
+            if requeue {
+                let p = prio_idx(rec.priority);
+                let placement = match rec.affinity {
+                    Some(c) => Placement::Core(self.local(c)),
+                    // A yielding thread is cache-warm: prefer its socket.
+                    None => Placement::Socket {
+                        socket: st.runq.socket_of(self.local(core)),
+                        front: false,
+                    },
+                };
+                st.runq.push(thread, p, placement);
+            }
+            let local = self.local(core);
+            debug_assert_eq!(st.cores[local].current, Some(thread));
+            st.cores[local].current = None;
+            core
+        };
+        self.trace(Category::Sched, || {
+            format!("release {:?} -> {:?}", thread, new_state)
+        });
+        self.schedule_run(freed, SimDuration::ZERO);
+    }
+
+    /// Requeues a blocked thread; `urgent` raises it to high priority and
+    /// front-queues it on the socket it last ran on (warm cache) — "asks
+    /// MARCEL to schedule it" as soon as the event is detected (§3.2).
+    pub(crate) fn make_ready(&self, thread: ThreadId, urgent: bool) {
+        let (affinity, last_core) = {
+            let mut st = self.inner.state.borrow_mut();
+            let rec = st.threads.get_mut(thread.0).expect("unknown thread");
+            debug_assert_eq!(rec.state, TState::Blocked);
+            rec.state = TState::Ready;
+            let affinity = rec.affinity;
+            let last_core = rec.last_core;
+            let p = if urgent {
+                prio_idx(Priority::High)
+            } else {
+                prio_idx(rec.priority)
+            };
+            let placement = match (affinity, last_core) {
+                (Some(c), _) => Placement::Core(self.local(c)),
+                (None, Some(c)) => Placement::Socket {
+                    socket: st.runq.socket_of(self.local(c)),
+                    front: urgent,
+                },
+                (None, None) => Placement::Node { front: urgent },
+            };
+            st.runq.push(thread, p, placement);
+            (affinity, last_core)
+        };
+        match (affinity, last_core) {
+            (Some(core), _) => self.schedule_run(core, SimDuration::ZERO),
+            (None, Some(core)) => self.kick_idle_near(Some(core)),
+            (None, None) => self.kick_one_idle(),
+        }
+    }
+
+    fn finish_thread(&self, thread: ThreadId) {
+        let (core, finished) = {
+            let mut st = self.inner.state.borrow_mut();
+            let rec = st.threads.get_mut(thread.0).expect("unknown thread");
+            let core = match rec.state {
+                TState::Running(c) => Some(c),
+                _ => None,
+            };
+            rec.state = TState::Finished;
+            let finished = rec.finished.clone();
+            if let Some(c) = core {
+                let local = self.inner.topo.local_index(c);
+                st.cores[local].current = None;
+            }
+            (core, finished)
+        };
+        finished.fire();
+        if let Some(c) = core {
+            self.schedule_run(c, SimDuration::ZERO);
+        }
+    }
+
+    // ----- load information (consumed by PIOMAN) -------------------------
+
+    /// Number of cores with no thread and no tasklet work right now.
+    pub fn idle_core_count(&self) -> usize {
+        let now = self.inner.sim.now();
+        self.inner
+            .state
+            .borrow()
+            .cores
+            .iter()
+            .filter(|c| c.current.is_none() && c.busy_until <= now)
+            .count()
+    }
+
+    /// True if at least one core is idle.
+    pub fn has_idle_core(&self) -> bool {
+        self.idle_core_count() > 0
+    }
+
+    /// Number of threads currently running on a core.
+    pub fn running_thread_count(&self) -> usize {
+        self.inner
+            .state
+            .borrow()
+            .threads
+            .iter()
+            .filter(|(_, r)| matches!(r.state, TState::Running(_)))
+            .count()
+    }
+
+    /// Number of threads waiting in the run queues.
+    pub fn ready_thread_count(&self) -> usize {
+        self.inner.state.borrow().runq.len()
+    }
+
+    /// Number of threads not yet finished.
+    pub fn live_thread_count(&self) -> usize {
+        self.inner
+            .state
+            .borrow()
+            .threads
+            .iter()
+            .filter(|(_, r)| r.state != TState::Finished)
+            .count()
+    }
+
+    // ----- tasklets -------------------------------------------------------
+
+    /// Registers a tasklet; its body reports consumed CPU time through the
+    /// [`TaskletRun`] it receives.
+    pub fn create_tasklet(
+        &self,
+        name: impl Into<String>,
+        body: impl FnMut(&mut TaskletRun) + 'static,
+    ) -> TaskletId {
+        let mut st = self.inner.state.borrow_mut();
+        TaskletId(st.tasklets.insert(TaskletRec {
+            body: Some(Box::new(body)),
+            scheduled: false,
+            running: false,
+            disabled: 0,
+            origin: None,
+            runs: 0,
+            name: name.into(),
+        }))
+    }
+
+    /// Schedules a tasklet for execution; coalesces if already scheduled.
+    ///
+    /// `from` is the core requesting the work (used to price the cross-CPU
+    /// invocation); `None` means "no particular core" (e.g. scheduled from
+    /// a timer).
+    ///
+    /// Returns `true` if this call enqueued it.
+    pub fn tasklet_schedule(&self, tasklet: TaskletId, from: Option<CoreId>) -> bool {
+        let enqueued = {
+            let mut st = self.inner.state.borrow_mut();
+            let rec = st.tasklets.get_mut(tasklet.0).expect("unknown tasklet");
+            if rec.scheduled {
+                st.stats.tasklet_coalesced += 1;
+                false
+            } else {
+                rec.scheduled = true;
+                rec.origin = from;
+                st.tasklet_queue.push_back(tasklet);
+                true
+            }
+        };
+        if enqueued {
+            self.trace(Category::Tasklet, || format!("schedule {tasklet:?}"));
+            self.kick_idle_near(from);
+        }
+        enqueued
+    }
+
+    /// Forbids execution of a tasklet (nestable).
+    pub fn tasklet_disable(&self, tasklet: TaskletId) {
+        let mut st = self.inner.state.borrow_mut();
+        st.tasklets
+            .get_mut(tasklet.0)
+            .expect("unknown tasklet")
+            .disabled += 1;
+    }
+
+    /// Re-allows execution of a tasklet.
+    ///
+    /// # Panics
+    /// Panics on unbalanced enable.
+    pub fn tasklet_enable(&self, tasklet: TaskletId) {
+        {
+            let mut st = self.inner.state.borrow_mut();
+            let rec = st.tasklets.get_mut(tasklet.0).expect("unknown tasklet");
+            assert!(rec.disabled > 0, "tasklet_enable without disable");
+            rec.disabled -= 1;
+        }
+        self.kick_one_idle();
+    }
+
+    /// Number of executions of a tasklet so far.
+    pub fn tasklet_runs(&self, tasklet: TaskletId) -> u64 {
+        self.inner
+            .state
+            .borrow()
+            .tasklets
+            .get(tasklet.0)
+            .expect("unknown tasklet")
+            .runs
+    }
+
+    /// True if any enabled tasklet is waiting to run.
+    pub fn has_pending_tasklet(&self) -> bool {
+        let st = self.inner.state.borrow();
+        st.tasklet_queue.iter().any(|t| {
+            st.tasklets
+                .get(t.0)
+                .map(|r| r.disabled == 0 && !r.running)
+                .unwrap_or(false)
+        })
+    }
+
+    /// Pops the next runnable tasklet id, skipping disabled/running ones.
+    fn pop_ready_tasklet(st: &mut State) -> Option<TaskletId> {
+        let mut scanned = 0;
+        let len = st.tasklet_queue.len();
+        while scanned < len {
+            let id = st.tasklet_queue.pop_front()?;
+            let rec = st.tasklets.get(id.0).expect("queued tasklet missing");
+            if rec.disabled == 0 && !rec.running {
+                return Some(id);
+            }
+            st.tasklet_queue.push_back(id);
+            scanned += 1;
+        }
+        None
+    }
+
+    /// Claims a tasklet for execution on `on` (sets the RUN bit) and
+    /// returns the invocation cost: the cross-CPU notification penalty if
+    /// the scheduling core differs from the executing one (the ≈2 µs the
+    /// paper measures in §4.1).
+    fn claim_tasklet(&self, id: TaskletId, on: CoreId) -> SimDuration {
+        let mut st = self.inner.state.borrow_mut();
+        let cfg = &self.inner.cfg;
+        let rec = st.tasklets.get_mut(id.0).expect("unknown tasklet");
+        debug_assert!(!rec.running, "claiming a running tasklet");
+        rec.running = true;
+        match rec.origin {
+            None => cfg.tasklet_invoke_local,
+            Some(o) => match self.inner.topo.distance(o, on) {
+                pm2_topo::Distance::Same => cfg.tasklet_invoke_local,
+                pm2_topo::Distance::SameSocket => cfg.tasklet_invoke_same_socket,
+                _ => cfg.tasklet_invoke_remote,
+            },
+        }
+    }
+
+    /// Runs a claimed tasklet's body; returns the CPU cost it charged.
+    ///
+    /// The invocation delay has already elapsed by the time this runs, so
+    /// the body's side effects (NIC submissions…) happen at the right
+    /// virtual instant.
+    fn execute_tasklet_body(&self, id: TaskletId, on: CoreId, stolen: bool) -> SimDuration {
+        let (mut body, name) = {
+            let mut st = self.inner.state.borrow_mut();
+            let rec = st.tasklets.get_mut(id.0).expect("unknown tasklet");
+            rec.scheduled = false;
+            (rec.body.take().expect("tasklet body in use"), rec.name.clone())
+        };
+        let mut run = TaskletRun::new(on);
+        body(&mut run);
+        let (charged, resched) = run.take_outcome();
+        {
+            let mut st = self.inner.state.borrow_mut();
+            st.stats.tasklet_runs += 1;
+            if stolen {
+                st.stats.compute_steals += 1;
+            }
+            let rec = st.tasklets.get_mut(id.0).expect("unknown tasklet");
+            rec.body = Some(body);
+            rec.running = false;
+            rec.runs += 1;
+        }
+        if resched {
+            self.tasklet_schedule(id, Some(on));
+        }
+        self.trace(Category::Tasklet, || {
+            format!("ran {name} ({id:?}) on {on} cost={charged}")
+        });
+        charged
+    }
+
+    /// Lets a computing thread donate cycles to one pending tasklet.
+    /// Returns the CPU time consumed (zero if nothing was pending).
+    pub(crate) fn steal_one_tasklet(&self, thread: ThreadId) -> SimDuration {
+        let core = match self.core_of(thread) {
+            Some(c) => c,
+            None => return SimDuration::ZERO,
+        };
+        let next = {
+            let mut st = self.inner.state.borrow_mut();
+            Self::pop_ready_tasklet(&mut st)
+        };
+        match next {
+            Some(id) => {
+                // The steal happens inside the thread's compute window, so
+                // invocation and body run back-to-back.
+                let invoke = self.claim_tasklet(id, core);
+                invoke + self.execute_tasklet_body(id, core, true)
+            }
+            None => SimDuration::ZERO,
+        }
+    }
+
+    pub(crate) fn compute_steal_config(&self) -> Option<SimDuration> {
+        if self.inner.cfg.timer_steals_from_compute {
+            self.inner.cfg.timer_tick
+        } else {
+            None
+        }
+    }
+
+    // ----- idle hooks -----------------------------------------------------
+
+    /// Registers an idle hook, called whenever a core runs out of work.
+    pub fn register_idle_hook(&self, hook: impl Fn(&Marcel, CoreId) -> HookResult + 'static) {
+        self.inner.state.borrow_mut().hooks.push(Rc::new(hook));
+    }
+
+    // ----- timers ---------------------------------------------------------
+
+    /// Starts a periodic timer firing `callback` every `period`.
+    ///
+    /// The timer stops automatically when all threads have finished (so
+    /// that simulations terminate) or when cancelled.
+    pub fn start_timer(
+        &self,
+        period: SimDuration,
+        callback: impl Fn(&Marcel) + 'static,
+    ) -> TimerId {
+        assert!(!period.is_zero(), "timer period must be positive");
+        let cancelled = Rc::new(std::cell::Cell::new(false));
+        let id = TimerId(self.inner.state.borrow_mut().timers.insert(TimerRec {
+            cancelled: Rc::clone(&cancelled),
+        }));
+        let marcel = self.clone();
+        let cb = Rc::new(callback);
+        arm_timer(marcel, period, cb, cancelled);
+        id
+    }
+
+    /// Cancels a periodic timer.
+    pub fn cancel_timer(&self, id: TimerId) {
+        if let Some(rec) = self.inner.state.borrow_mut().timers.remove(id.0) {
+            rec.cancelled.set(true);
+        }
+    }
+
+    // ----- core engine ----------------------------------------------------
+
+    /// Nudges every idle core to look for work now (used by PIOMAN when new
+    /// requests arrive).
+    pub fn kick_all_idle(&self) {
+        let now = self.inner.sim.now();
+        let idle: Vec<CoreId> = self
+            .inner
+            .state
+            .borrow()
+            .cores
+            .iter()
+            .filter(|c| c.current.is_none() && c.busy_until <= now)
+            .map(|c| c.id)
+            .collect();
+        for c in idle {
+            self.schedule_run(c, SimDuration::ZERO);
+        }
+    }
+
+    fn kick_one_idle(&self) {
+        let now = self.inner.sim.now();
+        let idle = {
+            let st = self.inner.state.borrow();
+            let is_idle = |c: &Core| c.current.is_none() && c.busy_until <= now;
+            // Prefer an idle core with no run already pending so that two
+            // ready threads wake two distinct cores.
+            st.cores
+                .iter()
+                .find(|c| is_idle(c) && c.scheduled_run.is_none())
+                .or_else(|| st.cores.iter().find(|c| is_idle(c)))
+                .map(|c| c.id)
+        };
+        if let Some(c) = idle {
+            self.schedule_run(c, SimDuration::ZERO);
+        }
+    }
+
+    /// Kicks the idle core nearest to `origin` (or any idle core).
+    fn kick_idle_near(&self, origin: Option<CoreId>) {
+        let now = self.inner.sim.now();
+        let chosen = {
+            let st = self.inner.state.borrow();
+            let is_idle = |c: &Core| c.current.is_none() && c.busy_until <= now;
+            let fallback = || {
+                st.cores
+                    .iter()
+                    .find(|c| is_idle(c) && c.scheduled_run.is_none())
+                    .or_else(|| st.cores.iter().find(|c| is_idle(c)))
+                    .map(|c| c.id)
+            };
+            match origin {
+                Some(o) => self
+                    .inner
+                    .topo
+                    .neighbours_by_distance(o)
+                    .into_iter()
+                    .find(|&cand| {
+                        let local = self.inner.topo.local_index(cand);
+                        let c = &st.cores[local];
+                        is_idle(c) && c.scheduled_run.is_none()
+                    })
+                    .or_else(fallback),
+                None => fallback(),
+            }
+        };
+        if let Some(c) = chosen {
+            self.schedule_run(c, SimDuration::ZERO);
+        }
+    }
+
+    /// Schedules `run_core(core)` after `delay`, deduplicating against an
+    /// already-pending earlier or equal run.
+    fn schedule_run(&self, core: CoreId, delay: SimDuration) {
+        let at = self.inner.sim.now() + delay;
+        let local = self.local(core);
+        {
+            let mut st = self.inner.state.borrow_mut();
+            let slot = &mut st.cores[local].scheduled_run;
+            if let Some((t, _)) = slot {
+                if *t <= at {
+                    return; // an earlier (or same-time) run is already pending
+                }
+                if let Some((_, h)) = slot.take() {
+                    h.cancel();
+                }
+            }
+            let marcel = self.clone();
+            let handle = self.inner.sim.schedule_at(at, move |_| {
+                marcel.inner.state.borrow_mut().cores[local].scheduled_run = None;
+                marcel.run_core(core);
+            });
+            *slot = Some((at, handle));
+        }
+    }
+
+    /// The per-core work loop: tasklets first, then threads, then idle
+    /// hooks.
+    fn run_core(&self, core: CoreId) {
+        let local = self.local(core);
+        loop {
+            let now = self.inner.sim.now();
+            // Phase 0: occupied?
+            {
+                let st = self.inner.state.borrow();
+                let c = &st.cores[local];
+                if c.current.is_some() {
+                    return; // the running thread will release the core
+                }
+                if c.busy_until > now {
+                    // Tasklet/hook work in flight: come back when it ends.
+                    let until = c.busy_until;
+                    drop(st);
+                    self.schedule_run(core, until - now);
+                    return;
+                }
+            }
+            // Phase 1: tasklets. The invocation penalty (cross-CPU
+            // notification) elapses before the body runs, so offloaded
+            // submissions hit the wire 2 µs after being scheduled from a
+            // remote core — the overhead the paper measures in §4.1.
+            let tasklet = {
+                let mut st = self.inner.state.borrow_mut();
+                Self::pop_ready_tasklet(&mut st)
+            };
+            if let Some(id) = tasklet {
+                let invoke = self.claim_tasklet(id, core);
+                if invoke.is_zero() {
+                    let cost = self.execute_tasklet_body(id, core, false);
+                    if !cost.is_zero() {
+                        let mut st = self.inner.state.borrow_mut();
+                        st.cores[local].busy_until = now + cost;
+                        drop(st);
+                        self.schedule_run(core, cost);
+                        return;
+                    }
+                    continue;
+                }
+                {
+                    let mut st = self.inner.state.borrow_mut();
+                    st.cores[local].busy_until = now + invoke;
+                }
+                let marcel = self.clone();
+                self.inner.sim.schedule_in(invoke, move |sim| {
+                    let cost = marcel.execute_tasklet_body(id, core, false);
+                    let local = marcel.local(core);
+                    let t = sim.now();
+                    marcel.inner.state.borrow_mut().cores[local].busy_until = t + cost;
+                    marcel.schedule_run(core, cost);
+                });
+                return;
+            }
+            // Phase 2: threads.
+            let thread = self.pop_runqueue_for(core);
+            if let Some(tid) = thread {
+                let ctx_switch = self.inner.cfg.ctx_switch;
+                {
+                    let mut st = self.inner.state.borrow_mut();
+                    st.stats.dispatches += 1;
+                    let rec = st.threads.get_mut(tid.0).expect("queued thread missing");
+                    debug_assert_eq!(rec.state, TState::Ready);
+                    rec.state = TState::Running(core);
+                    rec.last_core = Some(core);
+                    st.cores[local].current = Some(tid);
+                }
+                self.trace(Category::Sched, || format!("dispatch {:?} on {}", tid, core));
+                if ctx_switch.is_zero() {
+                    self.wake_dispatch(tid);
+                } else {
+                    let marcel = self.clone();
+                    self.inner
+                        .sim
+                        .schedule_in(ctx_switch, move |_| marcel.wake_dispatch(tid));
+                }
+                // More ready threads? Wake another idle core for them.
+                if self.ready_thread_count() > 0 {
+                    self.kick_one_idle();
+                }
+                return;
+            }
+            // Phase 3: idle hooks.
+            let hooks: Vec<Rc<dyn Fn(&Marcel, CoreId) -> HookResult>> = {
+                let mut st = self.inner.state.borrow_mut();
+                st.stats.hook_sweeps += 1;
+                st.hooks.clone()
+            };
+            let mut cost = SimDuration::ZERO;
+            let mut armed = false;
+            for hook in hooks {
+                match hook(self, core) {
+                    HookResult::Nothing => {}
+                    HookResult::Armed => armed = true,
+                    HookResult::Worked(c) => {
+                        armed = true;
+                        cost += c;
+                    }
+                }
+            }
+            if !cost.is_zero() {
+                let mut st = self.inner.state.borrow_mut();
+                st.cores[local].busy_until = now + cost;
+                drop(st);
+                self.schedule_run(core, cost);
+                return;
+            }
+            if armed {
+                self.schedule_run(core, self.inner.cfg.idle_poll_period);
+                return;
+            }
+            // Truly idle: sleep until kicked.
+            return;
+        }
+    }
+
+    /// Pops the highest-priority ready thread eligible to run on `core`,
+    /// preferring cache-warm placements and stealing cross-socket rather
+    /// than idling.
+    fn pop_runqueue_for(&self, core: CoreId) -> Option<ThreadId> {
+        let local = self.local(core);
+        let mut st = self.inner.state.borrow_mut();
+        match st.runq.pop_for(local) {
+            Some((tid, src)) => {
+                match src {
+                    PopSource::RemoteSocket => st.stats.cross_socket_steals += 1,
+                    PopSource::Core | PopSource::LocalSocket => {
+                        st.stats.local_dispatches += 1
+                    }
+                    PopSource::Node => {}
+                }
+                Some(tid)
+            }
+            None => None,
+        }
+    }
+
+    fn wake_dispatch(&self, thread: ThreadId) {
+        let waker = {
+            let mut st = self.inner.state.borrow_mut();
+            st.threads
+                .get_mut(thread.0)
+                .and_then(|r| r.dispatch_waker.take())
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+
+    fn trace(&self, cat: Category, f: impl FnOnce() -> String) {
+        self.inner.sim.trace().emit_with(self.inner.sim.now(), cat, f);
+    }
+}
+
+fn arm_timer(
+    marcel: Marcel,
+    period: SimDuration,
+    cb: Rc<dyn Fn(&Marcel)>,
+    cancelled: Rc<std::cell::Cell<bool>>,
+) {
+    let sim = marcel.sim().clone();
+    sim.schedule_in(period, move |_| {
+        if cancelled.get() {
+            return;
+        }
+        // Auto-stop when the node has gone quiet, so simulations terminate.
+        if marcel.live_thread_count() == 0 && !marcel.has_pending_tasklet() {
+            return;
+        }
+        marcel.inner.state.borrow_mut().stats.timer_ticks += 1;
+        cb(&marcel);
+        arm_timer(marcel.clone(), period, Rc::clone(&cb), cancelled.clone());
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    fn setup(cores: usize) -> (Sim, Marcel) {
+        let sim = Sim::new(1);
+        let topo = Rc::new(Topology::single_node(cores));
+        let m = Marcel::new(sim.clone(), topo, NodeId(0), MarcelConfig::zero_cost());
+        (sim, m)
+    }
+
+    #[test]
+    fn thread_computes_and_finishes() {
+        let (sim, m) = setup(2);
+        let done = Rc::new(Cell::new(0u64));
+        let done2 = Rc::clone(&done);
+        m.spawn("t", Priority::Normal, None, move |ctx| async move {
+            ctx.compute(SimDuration::from_micros(20)).await;
+            done2.set(ctx.marcel().sim().now().as_micros());
+        });
+        sim.run();
+        assert_eq!(done.get(), 20);
+        assert_eq!(m.live_thread_count(), 0);
+        assert_eq!(m.stats().dispatches, 1);
+    }
+
+    #[test]
+    fn two_threads_on_two_cores_run_in_parallel() {
+        let (sim, m) = setup(2);
+        let t_end = Rc::new(Cell::new(0u64));
+        for _ in 0..2 {
+            let t_end = Rc::clone(&t_end);
+            m.spawn("t", Priority::Normal, None, move |ctx| async move {
+                ctx.compute(SimDuration::from_micros(50)).await;
+                t_end.set(t_end.get().max(ctx.marcel().sim().now().as_micros()));
+            });
+        }
+        sim.run();
+        assert_eq!(t_end.get(), 50, "both should finish at t=50 (parallel)");
+    }
+
+    #[test]
+    fn two_threads_on_one_core_serialize() {
+        let (sim, m) = setup(1);
+        let t_end = Rc::new(Cell::new(0u64));
+        for _ in 0..2 {
+            let t_end = Rc::clone(&t_end);
+            m.spawn("t", Priority::Normal, None, move |ctx| async move {
+                ctx.compute(SimDuration::from_micros(50)).await;
+                t_end.set(t_end.get().max(ctx.marcel().sim().now().as_micros()));
+            });
+        }
+        sim.run();
+        assert_eq!(t_end.get(), 100, "single core must serialize");
+    }
+
+    #[test]
+    fn affinity_pins_thread_to_core() {
+        let (sim, m) = setup(2);
+        let cores_seen = Rc::new(std::cell::RefCell::new(Vec::new()));
+        for _ in 0..2 {
+            let cores_seen = Rc::clone(&cores_seen);
+            m.spawn(
+                "pinned",
+                Priority::Normal,
+                Some(CoreId(1)),
+                move |ctx| async move {
+                    cores_seen.borrow_mut().push(ctx.current_core().unwrap());
+                    ctx.compute(SimDuration::from_micros(10)).await;
+                },
+            );
+        }
+        sim.run();
+        assert_eq!(*cores_seen.borrow(), vec![CoreId(1), CoreId(1)]);
+        // Serialized on core 1 even though core 0 was free.
+        assert_eq!(sim.now().as_micros(), 20);
+    }
+
+    #[test]
+    fn block_until_releases_core_for_other_work() {
+        let (sim, m) = setup(1);
+        let trig = Trigger::new();
+        let order = Rc::new(std::cell::RefCell::new(Vec::new()));
+        {
+            let trig = trig.clone();
+            let order = Rc::clone(&order);
+            m.spawn("waiter", Priority::Normal, None, move |ctx| async move {
+                order.borrow_mut().push("wait-start");
+                ctx.block_until(&trig, true).await;
+                order.borrow_mut().push("wait-done");
+            });
+        }
+        {
+            let trig = trig.clone();
+            let order = Rc::clone(&order);
+            m.spawn("worker", Priority::Normal, None, move |ctx| async move {
+                order.borrow_mut().push("work");
+                ctx.compute(SimDuration::from_micros(5)).await;
+                trig.fire();
+            });
+        }
+        sim.run();
+        assert_eq!(
+            *order.borrow(),
+            vec!["wait-start", "work", "wait-done"],
+            "waiter must free the single core for the worker"
+        );
+        assert_eq!(sim.now().as_micros(), 5);
+    }
+
+    #[test]
+    fn block_until_fired_trigger_does_not_release() {
+        let (sim, m) = setup(1);
+        let trig = Trigger::new();
+        trig.fire();
+        let t = trig.clone();
+        m.spawn("t", Priority::Normal, None, move |ctx| async move {
+            ctx.block_until(&t, false).await;
+            ctx.compute(SimDuration::from_micros(1)).await;
+        });
+        sim.run();
+        assert_eq!(m.stats().dispatches, 1, "no re-dispatch should occur");
+    }
+
+    #[test]
+    fn park_unpark_with_permit() {
+        let (sim, m) = setup(1);
+        let hits = Rc::new(Cell::new(0));
+        let hits2 = Rc::clone(&hits);
+        let tid = m.spawn("p", Priority::Normal, None, move |ctx| async move {
+            ctx.compute(SimDuration::from_micros(5)).await;
+            // unpark arrived during compute: permit makes this immediate.
+            ctx.park().await;
+            hits2.set(1);
+        });
+        let m2 = m.clone();
+        sim.schedule_in(SimDuration::from_micros(1), move |_| m2.unpark(tid));
+        sim.run();
+        assert_eq!(hits.get(), 1);
+        assert_eq!(sim.now().as_micros(), 5);
+    }
+
+    #[test]
+    fn park_blocks_until_unpark() {
+        let (sim, m) = setup(1);
+        let woke_at = Rc::new(Cell::new(0u64));
+        let woke_at2 = Rc::clone(&woke_at);
+        let tid = m.spawn("p", Priority::Normal, None, move |ctx| async move {
+            ctx.park().await;
+            woke_at2.set(ctx.marcel().sim().now().as_micros());
+        });
+        let m2 = m.clone();
+        sim.schedule_in(SimDuration::from_micros(42), move |_| m2.unpark(tid));
+        sim.run();
+        assert_eq!(woke_at.get(), 42);
+    }
+
+    #[test]
+    fn tasklet_runs_on_idle_core_and_charges_cost() {
+        let (sim, m) = setup(2);
+        let ran_at = Rc::new(Cell::new(0u64));
+        let ran_at2 = Rc::clone(&ran_at);
+        let sim2 = sim.clone();
+        let tk = m.create_tasklet("t", move |run| {
+            ran_at2.set(sim2.now().as_micros());
+            run.charge(SimDuration::from_micros(7));
+        });
+        m.tasklet_schedule(tk, None);
+        sim.run();
+        assert_eq!(ran_at.get(), 0, "runs immediately on an idle core");
+        assert_eq!(m.tasklet_runs(tk), 1);
+    }
+
+    #[test]
+    fn tasklet_coalesces() {
+        let (sim, m) = setup(1);
+        let tk = m.create_tasklet("t", |_| {});
+        assert!(m.tasklet_schedule(tk, None));
+        assert!(!m.tasklet_schedule(tk, None));
+        sim.run();
+        assert_eq!(m.tasklet_runs(tk), 1);
+        assert_eq!(m.stats().tasklet_coalesced, 1);
+    }
+
+    #[test]
+    fn tasklet_waits_for_busy_cores() {
+        // One core, one long-running thread: the tasklet only runs when the
+        // thread finishes.
+        let (sim, m) = setup(1);
+        let ran_at = Rc::new(Cell::new(0u64));
+        let ran_at2 = Rc::clone(&ran_at);
+        let sim2 = sim.clone();
+        let tk = m.create_tasklet("t", move |_| {
+            ran_at2.set(sim2.now().as_micros());
+        });
+        let m2 = m.clone();
+        m.spawn("busy", Priority::Normal, None, move |ctx| async move {
+            m2.tasklet_schedule(tk, ctx.current_core());
+            ctx.compute(SimDuration::from_micros(30)).await;
+        });
+        sim.run();
+        assert_eq!(ran_at.get(), 30);
+    }
+
+    #[test]
+    fn disabled_tasklet_defers() {
+        let (sim, m) = setup(1);
+        let tk = m.create_tasklet("t", |_| {});
+        m.tasklet_disable(tk);
+        m.tasklet_schedule(tk, None);
+        sim.run();
+        assert_eq!(m.tasklet_runs(tk), 0);
+        m.tasklet_enable(tk);
+        sim.run();
+        assert_eq!(m.tasklet_runs(tk), 1);
+    }
+
+    #[test]
+    fn tasklet_reschedule_from_body_runs_again() {
+        let (sim, m) = setup(1);
+        let count = Rc::new(Cell::new(0u32));
+        let count2 = Rc::clone(&count);
+        let tk = m.create_tasklet("t", move |run| {
+            let c = count2.get() + 1;
+            count2.set(c);
+            run.charge(SimDuration::from_micros(1));
+            if c < 3 {
+                run.reschedule();
+            }
+        });
+        m.tasklet_schedule(tk, None);
+        sim.run();
+        assert_eq!(count.get(), 3);
+        assert_eq!(sim.now().as_micros(), 3);
+    }
+
+    #[test]
+    fn idle_hook_runs_when_core_idle() {
+        let (sim, m) = setup(1);
+        let polls = Rc::new(Cell::new(0u32));
+        let polls2 = Rc::clone(&polls);
+        m.register_idle_hook(move |_, _| {
+            let c = polls2.get();
+            if c < 5 {
+                polls2.set(c + 1);
+                HookResult::Worked(SimDuration::from_micros(1))
+            } else {
+                HookResult::Nothing
+            }
+        });
+        m.spawn("t", Priority::Normal, None, |ctx| async move {
+            ctx.compute(SimDuration::from_micros(2)).await;
+        });
+        sim.run();
+        assert_eq!(polls.get(), 5, "hook should poll after the thread ends");
+    }
+
+    #[test]
+    fn armed_hook_keeps_polling_until_disarmed() {
+        let (sim, m) = setup(1);
+        let armed = Rc::new(Cell::new(true));
+        let polls = Rc::new(Cell::new(0u32));
+        {
+            let armed = Rc::clone(&armed);
+            let polls = Rc::clone(&polls);
+            m.register_idle_hook(move |_, _| {
+                if armed.get() {
+                    polls.set(polls.get() + 1);
+                    HookResult::Armed
+                } else {
+                    HookResult::Nothing
+                }
+            });
+        }
+        // A thread must exist once so the core wakes up at least once.
+        m.spawn("t", Priority::Normal, None, |_ctx| async move {});
+        let armed2 = Rc::clone(&armed);
+        sim.schedule_in(SimDuration::from_micros(10), move |_| armed2.set(false));
+        sim.run();
+        assert!(polls.get() >= 10, "polled every 0.1µs for 10µs: {}", polls.get());
+        assert!(sim.now().as_micros() >= 10);
+    }
+
+    #[test]
+    fn priorities_dispatch_high_first() {
+        let (sim, m) = setup(1);
+        let order = Rc::new(std::cell::RefCell::new(Vec::new()));
+        // Occupy the core so the next two spawns queue up.
+        m.spawn("first", Priority::Normal, None, |ctx| async move {
+            ctx.compute(SimDuration::from_micros(1)).await;
+        });
+        for (name, prio) in [("low", Priority::Low), ("high", Priority::High)] {
+            let order = Rc::clone(&order);
+            m.spawn(name, prio, None, move |ctx| async move {
+                order.borrow_mut().push(name);
+                ctx.compute(SimDuration::from_micros(1)).await;
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["high", "low"]);
+    }
+
+    #[test]
+    fn timer_fires_periodically_and_stops_when_quiet() {
+        let sim = Sim::new(1);
+        let topo = Rc::new(Topology::single_node(1));
+        let cfg = MarcelConfig {
+            timer_tick: Some(SimDuration::from_micros(10)),
+            ..MarcelConfig::zero_cost()
+        };
+        let m = Marcel::new(sim.clone(), topo, NodeId(0), cfg);
+        let ticks = Rc::new(Cell::new(0u32));
+        let ticks2 = Rc::clone(&ticks);
+        m.start_timer(SimDuration::from_micros(10), move |_| {
+            ticks2.set(ticks2.get() + 1);
+        });
+        m.spawn("t", Priority::Normal, None, |ctx| async move {
+            ctx.compute(SimDuration::from_micros(35)).await;
+        });
+        sim.run();
+        assert_eq!(ticks.get(), 3, "ticks at 10,20,30; stops once quiet");
+    }
+
+    #[test]
+    fn compute_steal_lets_tasklet_interrupt() {
+        let sim = Sim::new(1);
+        let topo = Rc::new(Topology::single_node(1));
+        let cfg = MarcelConfig {
+            timer_tick: Some(SimDuration::from_micros(10)),
+            timer_steals_from_compute: true,
+            ..MarcelConfig::zero_cost()
+        };
+        let m = Marcel::new(sim.clone(), topo, NodeId(0), cfg);
+        let ran_at = Rc::new(Cell::new(u64::MAX));
+        let ran_at2 = Rc::clone(&ran_at);
+        let sim2 = sim.clone();
+        let tk = m.create_tasklet("t", move |run| {
+            ran_at2.set(sim2.now().as_micros());
+            run.charge(SimDuration::from_micros(2));
+        });
+        let m2 = m.clone();
+        sim.schedule_in(SimDuration::from_micros(5), move |_| {
+            m2.tasklet_schedule(tk, None);
+        });
+        let end = Rc::new(Cell::new(0u64));
+        let end2 = Rc::clone(&end);
+        m.spawn("busy", Priority::Normal, None, move |ctx| async move {
+            ctx.compute(SimDuration::from_micros(40)).await;
+            end2.set(ctx.marcel().sim().now().as_micros());
+        });
+        sim.run();
+        assert_eq!(ran_at.get(), 10, "steals at the first tick boundary");
+        assert_eq!(end.get(), 42, "compute extended by the stolen 2µs");
+        assert_eq!(m.stats().compute_steals, 1);
+    }
+
+    #[test]
+    fn sleep_releases_the_core() {
+        let (sim, m) = setup(1);
+        let order = Rc::new(std::cell::RefCell::new(Vec::new()));
+        {
+            let order = Rc::clone(&order);
+            m.spawn("sleeper", Priority::Normal, None, move |ctx| async move {
+                ctx.sleep(SimDuration::from_micros(10)).await;
+                order.borrow_mut().push(("sleeper", ctx.marcel().sim().now().as_micros()));
+            });
+        }
+        {
+            let order = Rc::clone(&order);
+            m.spawn("worker", Priority::Normal, None, move |ctx| async move {
+                ctx.compute(SimDuration::from_micros(6)).await;
+                order.borrow_mut().push(("worker", ctx.marcel().sim().now().as_micros()));
+            });
+        }
+        sim.run();
+        // The worker ran during the sleeper's sleep on the single core.
+        assert_eq!(
+            *order.borrow(),
+            vec![("worker", 6), ("sleeper", 10)],
+            "sleep must release the core; compute would have serialized"
+        );
+    }
+
+    #[test]
+    fn join_helper_waits_for_child() {
+        let (sim, m) = setup(2);
+        let order = Rc::new(std::cell::RefCell::new(Vec::new()));
+        let child = {
+            let order = Rc::clone(&order);
+            m.spawn("child", Priority::Normal, None, move |ctx| async move {
+                ctx.compute(SimDuration::from_micros(4)).await;
+                order.borrow_mut().push("child");
+            })
+        };
+        {
+            let order = Rc::clone(&order);
+            m.spawn("parent", Priority::Normal, None, move |ctx| async move {
+                ctx.join(child).await;
+                order.borrow_mut().push("parent");
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["child", "parent"]);
+    }
+
+    #[test]
+    fn join_via_finished_trigger() {
+        let (sim, m) = setup(2);
+        let order = Rc::new(std::cell::RefCell::new(Vec::new()));
+        let child = {
+            let order = Rc::clone(&order);
+            m.spawn("child", Priority::Normal, None, move |ctx| async move {
+                ctx.compute(SimDuration::from_micros(9)).await;
+                order.borrow_mut().push("child");
+            })
+        };
+        let fin = m.finished(child);
+        {
+            let order = Rc::clone(&order);
+            m.spawn("parent", Priority::Normal, None, move |ctx| async move {
+                ctx.block_until(&fin, false).await;
+                order.borrow_mut().push("parent");
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["child", "parent"]);
+    }
+}

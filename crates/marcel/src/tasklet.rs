@@ -1,0 +1,72 @@
+//! Simulated tasklets: the Linux `tasklet_struct` state machine under
+//! virtual time.
+
+use pm2_sim::SimDuration;
+use pm2_topo::CoreId;
+
+/// Identifier of a tasklet registered with a [`crate::Marcel`] instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskletId(pub(crate) usize);
+
+/// Execution context handed to a tasklet body.
+///
+/// The body reports the CPU time its work consumed by calling
+/// [`TaskletRun::charge`]; Marcel keeps the executing core busy for that
+/// long before looking for more work. This is how "the transfer (data
+/// copy, PIO, etc.) is performed on this idle CPU" (§3.2) is priced.
+pub struct TaskletRun {
+    core: CoreId,
+    charged: SimDuration,
+    reschedule: bool,
+}
+
+impl TaskletRun {
+    pub(crate) fn new(core: CoreId) -> Self {
+        TaskletRun {
+            core,
+            charged: SimDuration::ZERO,
+            reschedule: false,
+        }
+    }
+
+    /// The core executing the tasklet.
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// Adds `cost` of CPU time to this execution.
+    pub fn charge(&mut self, cost: SimDuration) {
+        self.charged += cost;
+    }
+
+    /// Requests that the tasklet run again after this execution (same as
+    /// scheduling it from within its own body).
+    pub fn reschedule(&mut self) {
+        self.reschedule = true;
+    }
+
+    pub(crate) fn take_outcome(self) -> (SimDuration, bool) {
+        (self.charged, self.reschedule)
+    }
+}
+
+/// Internal record of a registered tasklet.
+pub(crate) struct TaskletRec {
+    /// Body taken out while running (prevents re-entrant execution and
+    /// RefCell aliasing).
+    pub(crate) body: Option<Box<dyn FnMut(&mut TaskletRun)>>,
+    /// SCHED bit: queued for execution.
+    pub(crate) scheduled: bool,
+    /// RUN bit: body currently executing (single-threaded sim still models
+    /// it for re-schedule-while-running semantics).
+    pub(crate) running: bool,
+    /// Disable nesting depth.
+    pub(crate) disabled: u32,
+    /// Preferred core (the core that scheduled it last); used to price the
+    /// cross-CPU invocation penalty.
+    pub(crate) origin: Option<CoreId>,
+    /// Executions so far.
+    pub(crate) runs: u64,
+    /// Debug label.
+    pub(crate) name: String,
+}

@@ -1,0 +1,294 @@
+//! Building the whole simulated stack from one configuration.
+
+use pioman::{Pioman, PiomanConfig};
+use pm2_fabric::{Fabric, FabricParams, ShmChannel};
+use pm2_marcel::{Marcel, MarcelConfig, Priority, ThreadCtx, ThreadId};
+use pm2_newmad::{
+    AggregStrategy, EngineKind, FifoStrategy, OffloadPolicy, Session, SessionConfig, ShmMsg,
+    ShortestFirstStrategy, Strategy, WireMsg,
+};
+use pm2_sim::{Sim, SimTime};
+use pm2_topo::{NodeId, Topology};
+use std::future::Future;
+use std::rc::Rc;
+
+/// Which packet-scheduling strategy the sessions use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StrategyKind {
+    /// Strict FIFO (one frame per pack).
+    #[default]
+    Fifo,
+    /// Aggregation of small messages ([2]'s optimization).
+    Aggreg,
+    /// Smallest-payload-first reordering.
+    ShortestFirst,
+}
+
+impl StrategyKind {
+    fn build(self) -> Rc<dyn Strategy> {
+        match self {
+            StrategyKind::Fifo => Rc::new(FifoStrategy),
+            StrategyKind::Aggreg => Rc::new(AggregStrategy::default()),
+            StrategyKind::ShortestFirst => Rc::new(ShortestFirstStrategy),
+        }
+    }
+}
+
+/// Everything needed to build a [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of nodes (= MPI ranks).
+    pub nodes: usize,
+    /// Sockets per node.
+    pub sockets_per_node: usize,
+    /// Cores per socket.
+    pub cores_per_socket: usize,
+    /// Progression engine (the paper's comparison axis).
+    pub engine: EngineKind,
+    /// Independent network rails (NICs per node).
+    pub rails: usize,
+    /// Distribute traffic over all rails.
+    pub multirail: bool,
+    /// Packet-scheduling strategy.
+    pub strategy: StrategyKind,
+    /// RNG seed (runs are deterministic per seed).
+    pub seed: u64,
+    /// Interconnect cost model.
+    pub fabric: FabricParams,
+    /// Scheduler cost model.
+    pub marcel: MarcelConfig,
+    /// PIOMAN behaviour (ignored by the sequential engine).
+    pub pioman: PiomanConfig,
+    /// Rendezvous threshold (bytes).
+    pub rdv_threshold: usize,
+    /// Offload-or-inline policy for eager submissions (PIOMAN engine).
+    pub offload_policy: OffloadPolicy,
+    /// Per-peer unexpected-pool credits (flow control).
+    pub credit_bytes_per_peer: usize,
+}
+
+impl ClusterConfig {
+    /// The paper's testbed: 2 nodes × dual quad-core, MYRI-10G, with the
+    /// given engine.
+    pub fn paper_testbed(engine: EngineKind) -> Self {
+        ClusterConfig {
+            nodes: 2,
+            sockets_per_node: 2,
+            cores_per_socket: 4,
+            engine,
+            rails: 1,
+            multirail: false,
+            strategy: StrategyKind::Fifo,
+            seed: 42,
+            fabric: FabricParams::myri10g(),
+            marcel: MarcelConfig::default(),
+            pioman: PiomanConfig::default(),
+            rdv_threshold: 32 << 10,
+            offload_policy: OffloadPolicy::Always,
+            credit_bytes_per_peer: 16 << 20,
+        }
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig::paper_testbed(EngineKind::Pioman)
+    }
+}
+
+/// A fully wired simulated cluster.
+///
+/// # Example
+/// ```
+/// use pm2_mpi::{Cluster, ClusterConfig};
+/// use pm2_newmad::{EngineKind, Tag};
+/// use pm2_topo::NodeId;
+///
+/// let cluster = Cluster::build(ClusterConfig::paper_testbed(EngineKind::Pioman));
+/// let tx = cluster.session(0).clone();
+/// cluster.spawn_on(0, "tx", move |ctx| async move {
+///     tx.send(&ctx, NodeId(1), Tag(1), vec![7; 1024]).await;
+/// });
+/// let rx = cluster.session(1).clone();
+/// cluster.spawn_on(1, "rx", move |ctx| async move {
+///     assert_eq!(rx.recv(&ctx, Some(NodeId(0)), Tag(1)).await, vec![7; 1024]);
+/// });
+/// cluster.run();
+/// ```
+pub struct Cluster {
+    sim: Sim,
+    topo: Rc<Topology>,
+    engine: EngineKind,
+    /// Kept alive so the links persist (NICs hold weak fabric handles).
+    #[allow(dead_code)]
+    fabrics: Vec<Rc<Fabric<WireMsg>>>,
+    marcels: Vec<Marcel>,
+    piomans: Vec<Option<Pioman>>,
+    sessions: Vec<Session>,
+}
+
+impl Cluster {
+    /// Builds the stack described by `cfg`.
+    pub fn build(cfg: ClusterConfig) -> Cluster {
+        assert!(cfg.rails >= 1, "need at least one rail");
+        let sim = Sim::new(cfg.seed);
+        let topo = Rc::new(Topology::new(
+            cfg.nodes,
+            cfg.sockets_per_node,
+            cfg.cores_per_socket,
+        ));
+        let fabrics: Vec<Rc<Fabric<WireMsg>>> = (0..cfg.rails)
+            .map(|_| Fabric::new(sim.clone(), Rc::clone(&topo), cfg.fabric.clone()))
+            .collect();
+        let mut marcels = Vec::new();
+        let mut piomans = Vec::new();
+        let mut sessions = Vec::new();
+        for n in 0..cfg.nodes {
+            let marcel = Marcel::new(
+                sim.clone(),
+                Rc::clone(&topo),
+                NodeId(n),
+                cfg.marcel.clone(),
+            );
+            let pioman = match cfg.engine {
+                EngineKind::Pioman => Some(Pioman::new(&marcel, cfg.pioman.clone())),
+                EngineKind::Sequential => None,
+            };
+            let rails = fabrics.iter().map(|f| f.nic(NodeId(n))).collect();
+            let shm: Rc<ShmChannel<ShmMsg>> =
+                ShmChannel::new(sim.clone(), NodeId(n), cfg.fabric.clone());
+            let session = Session::new(
+                &marcel,
+                rails,
+                shm,
+                cfg.strategy.build(),
+                pioman.clone(),
+                SessionConfig {
+                    engine: cfg.engine,
+                    rdv_threshold: cfg.rdv_threshold,
+                    multirail: cfg.multirail,
+                    offload_policy: cfg.offload_policy,
+                    credit_bytes_per_peer: cfg.credit_bytes_per_peer,
+                    ..SessionConfig::default()
+                },
+            );
+            marcels.push(marcel);
+            piomans.push(pioman);
+            sessions.push(session);
+        }
+        Cluster {
+            sim,
+            topo,
+            engine: cfg.engine,
+            fabrics,
+            marcels,
+            piomans,
+            sessions,
+        }
+    }
+
+    /// The simulation handle.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Rc<Topology> {
+        &self.topo
+    }
+
+    /// Engine the cluster was built with.
+    pub fn engine(&self) -> EngineKind {
+        self.engine
+    }
+
+    /// Number of ranks (= nodes).
+    pub fn ranks(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// The scheduler of `node`.
+    pub fn marcel(&self, node: usize) -> &Marcel {
+        &self.marcels[node]
+    }
+
+    /// The PIOMAN server of `node` (None under the sequential engine).
+    pub fn pioman(&self, node: usize) -> Option<&Pioman> {
+        self.piomans[node].as_ref()
+    }
+
+    /// The session of `node`.
+    pub fn session(&self, node: usize) -> &Session {
+        &self.sessions[node]
+    }
+
+    /// Spawns a thread on `node` running `body`.
+    pub fn spawn_on<F, Fut>(&self, node: usize, name: impl Into<String>, body: F) -> ThreadId
+    where
+        F: FnOnce(ThreadCtx) -> Fut + 'static,
+        Fut: Future<Output = ()> + 'static,
+    {
+        self.marcels[node].spawn(name, Priority::Normal, None, body)
+    }
+
+    /// Runs the simulation to quiescence; returns the final virtual time.
+    pub fn run(&self) -> SimTime {
+        self.sim.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm2_newmad::Tag;
+    use std::cell::RefCell;
+
+    #[test]
+    fn paper_testbed_builds_and_communicates() {
+        let cluster = Cluster::build(ClusterConfig::default());
+        assert_eq!(cluster.ranks(), 2);
+        assert_eq!(cluster.topology().cores_per_node(), 8);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        {
+            let s = cluster.session(0).clone();
+            cluster.spawn_on(0, "tx", move |ctx| async move {
+                let h = s.isend(&ctx, NodeId(1), Tag(1), vec![1, 2, 3]).await;
+                s.swait_send(&h, &ctx).await;
+            });
+        }
+        {
+            let s = cluster.session(1).clone();
+            let got = Rc::clone(&got);
+            cluster.spawn_on(1, "rx", move |ctx| async move {
+                *got.borrow_mut() = s.recv(&ctx, Some(NodeId(0)), Tag(1)).await;
+            });
+        }
+        cluster.run();
+        assert_eq!(*got.borrow(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sequential_engine_has_no_pioman() {
+        let cluster = Cluster::build(ClusterConfig::paper_testbed(EngineKind::Sequential));
+        assert!(cluster.pioman(0).is_none());
+        assert_eq!(cluster.engine(), EngineKind::Sequential);
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        fn run_once() -> u64 {
+            let cluster = Cluster::build(ClusterConfig::default());
+            let s = cluster.session(0).clone();
+            cluster.spawn_on(0, "tx", move |ctx| async move {
+                let h = s.isend(&ctx, NodeId(1), Tag(1), vec![7; 4096]).await;
+                s.swait_send(&h, &ctx).await;
+            });
+            let s = cluster.session(1).clone();
+            cluster.spawn_on(1, "rx", move |ctx| async move {
+                let _ = s.recv(&ctx, Some(NodeId(0)), Tag(1)).await;
+            });
+            cluster.run().as_nanos()
+        }
+        assert_eq!(run_once(), run_once());
+    }
+}

@@ -1,0 +1,433 @@
+//! Rank-oriented communication: the mini-MPI facade.
+
+use crate::cluster::Cluster;
+use pm2_marcel::ThreadCtx;
+use pm2_newmad::{RecvHandle, SendHandle, Session, Tag};
+use pm2_topo::NodeId;
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Reserved tag space for collectives; application tags must stay below.
+pub const RESERVED_TAG_BASE: u64 = 1 << 60;
+const BARRIER_TAG: u64 = RESERVED_TAG_BASE;
+const REDUCE_TAG: u64 = RESERVED_TAG_BASE + (1 << 58);
+const BCAST_TAG: u64 = RESERVED_TAG_BASE + (2 << 58);
+const GATHER_TAG: u64 = RESERVED_TAG_BASE + (3 << 58);
+const ALLTOALL_TAG: u64 = RESERVED_TAG_BASE + (1 << 57);
+
+/// A per-rank communicator (one MPI process per node).
+///
+/// Clone one `Comm` per rank from [`Comm::world`]; collectives must be
+/// called by exactly one thread per rank, in the same order on every rank
+/// (the usual MPI contract).
+#[derive(Clone)]
+pub struct Comm {
+    rank: usize,
+    ranks: usize,
+    session: Session,
+    /// Collective generation counter (disambiguates successive barriers).
+    generation: Rc<Cell<u64>>,
+}
+
+impl Comm {
+    /// Builds one communicator per rank of `cluster`.
+    pub fn world(cluster: &Cluster) -> Vec<Comm> {
+        (0..cluster.ranks())
+            .map(|rank| Comm {
+                rank,
+                ranks: cluster.ranks(),
+                session: cluster.session(rank).clone(),
+                generation: Rc::new(Cell::new(0)),
+            })
+            .collect()
+    }
+
+    /// This communicator's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.ranks
+    }
+
+    /// The underlying session.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Non-blocking send to `dest` rank.
+    ///
+    /// # Panics
+    /// Panics if `tag` intrudes into the reserved collective space.
+    pub async fn isend(
+        &self,
+        ctx: &ThreadCtx,
+        dest: usize,
+        tag: Tag,
+        data: Vec<u8>,
+    ) -> SendHandle {
+        assert!(tag.0 < RESERVED_TAG_BASE, "tag {tag} is reserved");
+        self.session.isend(ctx, NodeId(dest), tag, data).await
+    }
+
+    /// Non-blocking receive from `src` rank (`None`: any source).
+    pub async fn irecv(&self, ctx: &ThreadCtx, src: Option<usize>, tag: Tag) -> RecvHandle {
+        assert!(tag.0 < RESERVED_TAG_BASE, "tag {tag} is reserved");
+        self.session.irecv(ctx, src.map(NodeId), tag).await
+    }
+
+    /// Blocking receive.
+    pub async fn recv(&self, ctx: &ThreadCtx, src: Option<usize>, tag: Tag) -> Vec<u8> {
+        let h = self.irecv(ctx, src, tag).await;
+        self.session.swait_recv(&h, ctx).await
+    }
+
+    /// Waits on a send handle.
+    pub async fn wait_send(&self, h: &SendHandle, ctx: &ThreadCtx) {
+        self.session.swait_send(h, ctx).await;
+    }
+
+    /// Waits on a receive handle and returns the payload.
+    pub async fn wait_recv(&self, h: &RecvHandle, ctx: &ThreadCtx) -> Vec<u8> {
+        self.session.swait_recv(h, ctx).await
+    }
+
+    fn next_generation(&self) -> u64 {
+        let g = self.generation.get();
+        self.generation.set(g + 1);
+        g
+    }
+
+    /// Flat barrier: gather-to-0 then release.
+    pub async fn barrier(&self, ctx: &ThreadCtx) {
+        let gen = self.next_generation();
+        let tag = Tag(BARRIER_TAG + gen % (1 << 20));
+        if self.rank == 0 {
+            for _ in 1..self.ranks {
+                let h = self.session.irecv(ctx, None, tag).await;
+                self.session.swait_recv(&h, ctx).await;
+            }
+            for r in 1..self.ranks {
+                let h = self.session.isend(ctx, NodeId(r), tag, vec![0]).await;
+                self.session.swait_send(&h, ctx).await;
+            }
+        } else {
+            let h = self.session.isend(ctx, NodeId(0), tag, vec![0]).await;
+            self.session.swait_send(&h, ctx).await;
+            let h = self.session.irecv(ctx, Some(NodeId(0)), tag).await;
+            self.session.swait_recv(&h, ctx).await;
+        }
+    }
+
+    /// Broadcast from `root`: the root's `data` reaches every rank.
+    ///
+    /// Binomial-tree distribution (log₂ rounds).
+    pub async fn bcast(&self, ctx: &ThreadCtx, root: usize, mut data: Vec<u8>) -> Vec<u8> {
+        let gen = self.next_generation();
+        let tag = Tag(BCAST_TAG + gen % (1 << 20));
+        // Re-number ranks so the root is virtual rank 0.
+        let vrank = (self.rank + self.ranks - root) % self.ranks;
+        let mut mask = 1usize;
+        // Receive phase: wait for our parent in the binomial tree.
+        while mask < self.ranks {
+            if vrank & mask != 0 {
+                let parent = (vrank - mask + root) % self.ranks;
+                let h = self.session.irecv(ctx, Some(NodeId(parent)), tag).await;
+                data = self.session.swait_recv(&h, ctx).await;
+                break;
+            }
+            mask <<= 1;
+        }
+        // Send phase: fan out to our children.
+        mask >>= 1;
+        while mask > 0 {
+            if vrank + mask < self.ranks {
+                let child = (vrank + mask + root) % self.ranks;
+                let h = self
+                    .session
+                    .isend(ctx, NodeId(child), tag, data.clone())
+                    .await;
+                self.session.swait_send(&h, ctx).await;
+            }
+            mask >>= 1;
+        }
+        data
+    }
+
+    /// Gather to `root`: returns `Some(vec-of-per-rank-buffers)` on the
+    /// root, `None` elsewhere.
+    pub async fn gather(
+        &self,
+        ctx: &ThreadCtx,
+        root: usize,
+        data: Vec<u8>,
+    ) -> Option<Vec<Vec<u8>>> {
+        let gen = self.next_generation();
+        if self.rank == root {
+            let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.ranks];
+            out[root] = data;
+            for r in 0..self.ranks {
+                if r == root {
+                    continue;
+                }
+                let tag = Tag(GATHER_TAG + (gen % (1 << 16)) * 64 + r as u64);
+                let h = self.session.irecv(ctx, Some(NodeId(r)), tag).await;
+                out[r] = self.session.swait_recv(&h, ctx).await;
+            }
+            Some(out)
+        } else {
+            let tag = Tag(GATHER_TAG + (gen % (1 << 16)) * 64 + self.rank as u64);
+            let h = self.session.isend(ctx, NodeId(root), tag, data).await;
+            self.session.swait_send(&h, ctx).await;
+            None
+        }
+    }
+
+    /// All-to-all personalized exchange: `data[r]` goes to rank `r`;
+    /// returns the buffers received from each rank (own slot passed
+    /// through).
+    ///
+    /// # Panics
+    /// Panics if `data.len() != self.size()`.
+    pub async fn alltoall(&self, ctx: &ThreadCtx, mut data: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        assert_eq!(data.len(), self.ranks, "alltoall needs one buffer per rank");
+        let gen = self.next_generation();
+        let tag_for = |from: usize, to: usize| {
+            Tag(ALLTOALL_TAG + ((gen % (1 << 12)) * 4096 + (from * 64 + to) as u64))
+        };
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.ranks];
+        out[self.rank] = std::mem::take(&mut data[self.rank]);
+        // Post all receives first, then all sends, then drain.
+        let mut recvs = Vec::new();
+        for r in 0..self.ranks {
+            if r == self.rank {
+                continue;
+            }
+            recvs.push((
+                r,
+                self.session
+                    .irecv(ctx, Some(NodeId(r)), tag_for(r, self.rank))
+                    .await,
+            ));
+        }
+        let mut sends = Vec::new();
+        for (r, buf) in data.into_iter().enumerate() {
+            if r == self.rank {
+                continue;
+            }
+            sends.push(
+                self.session
+                    .isend(ctx, NodeId(r), tag_for(self.rank, r), buf)
+                    .await,
+            );
+        }
+        for h in &sends {
+            self.session.swait_send(h, ctx).await;
+        }
+        for (r, h) in recvs {
+            out[r] = self.session.swait_recv(&h, ctx).await;
+        }
+        out
+    }
+
+    /// Sum-allreduce of a u64 (gather to rank 0, broadcast the total).
+    pub async fn allreduce_sum(&self, ctx: &ThreadCtx, value: u64) -> u64 {
+        let gen = self.next_generation();
+        let tag = Tag(REDUCE_TAG + gen % (1 << 20));
+        let btag = Tag(BCAST_TAG + gen % (1 << 20));
+        if self.rank == 0 {
+            let mut total = value;
+            for _ in 1..self.ranks {
+                let h = self.session.irecv(ctx, None, tag).await;
+                let v = self.session.swait_recv(&h, ctx).await;
+                total += u64::from_le_bytes(v.try_into().expect("8-byte payload"));
+            }
+            for r in 1..self.ranks {
+                let h = self
+                    .session
+                    .isend(ctx, NodeId(r), btag, total.to_le_bytes().to_vec())
+                    .await;
+                self.session.swait_send(&h, ctx).await;
+            }
+            total
+        } else {
+            let h = self
+                .session
+                .isend(ctx, NodeId(0), tag, value.to_le_bytes().to_vec())
+                .await;
+            self.session.swait_send(&h, ctx).await;
+            let h = self.session.irecv(ctx, Some(NodeId(0)), btag).await;
+            let v = self.session.swait_recv(&h, ctx).await;
+            u64::from_le_bytes(v.try_into().expect("8-byte payload"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use std::cell::RefCell;
+
+    #[test]
+    fn barrier_synchronizes_ranks() {
+        let cluster = Cluster::build(ClusterConfig::default());
+        let comms = Comm::world(&cluster);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for (rank, comm) in comms.into_iter().enumerate() {
+            let log = Rc::clone(&log);
+            cluster.spawn_on(rank, format!("rank{rank}"), move |ctx| async move {
+                // Rank 1 works 50µs before the barrier; both must leave
+                // the barrier only after that.
+                if comm.rank() == 1 {
+                    ctx.compute(pm2_sim::SimDuration::from_micros(50)).await;
+                }
+                log.borrow_mut().push(format!("enter{}", comm.rank()));
+                comm.barrier(&ctx).await;
+                let t = ctx.marcel().sim().now().as_micros();
+                assert!(t >= 50, "left barrier at {t}µs");
+                log.borrow_mut().push(format!("exit{}", comm.rank()));
+            });
+        }
+        cluster.run();
+        assert_eq!(log.borrow().len(), 4);
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let cluster = Cluster::build(ClusterConfig {
+            nodes: 3,
+            ..ClusterConfig::default()
+        });
+        let comms = Comm::world(&cluster);
+        let results = Rc::new(RefCell::new(Vec::new()));
+        for (rank, comm) in comms.into_iter().enumerate() {
+            let results = Rc::clone(&results);
+            cluster.spawn_on(rank, format!("rank{rank}"), move |ctx| async move {
+                let total = comm.allreduce_sum(&ctx, (comm.rank() as u64 + 1) * 10).await;
+                results.borrow_mut().push(total);
+            });
+        }
+        cluster.run();
+        assert_eq!(*results.borrow(), vec![60, 60, 60]);
+    }
+
+    #[test]
+    fn repeated_barriers_do_not_cross_talk() {
+        let cluster = Cluster::build(ClusterConfig::default());
+        let comms = Comm::world(&cluster);
+        let counter = Rc::new(Cell::new(0u32));
+        for (rank, comm) in comms.into_iter().enumerate() {
+            let counter = Rc::clone(&counter);
+            cluster.spawn_on(rank, format!("rank{rank}"), move |ctx| async move {
+                for i in 0..5 {
+                    if comm.rank() == 0 {
+                        ctx.compute(pm2_sim::SimDuration::from_micros(i * 3 + 1)).await;
+                    }
+                    comm.barrier(&ctx).await;
+                    counter.set(counter.get() + 1);
+                }
+            });
+        }
+        cluster.run();
+        assert_eq!(counter.get(), 10);
+    }
+
+    #[test]
+    fn bcast_reaches_all_ranks_from_any_root() {
+        for root in 0..3 {
+            let cluster = Cluster::build(ClusterConfig {
+                nodes: 3,
+                ..ClusterConfig::default()
+            });
+            let comms = Comm::world(&cluster);
+            let got = Rc::new(RefCell::new(vec![Vec::new(); 3]));
+            for (rank, comm) in comms.into_iter().enumerate() {
+                let got = Rc::clone(&got);
+                cluster.spawn_on(rank, format!("r{rank}"), move |ctx| async move {
+                    let data = if comm.rank() == root {
+                        vec![root as u8; 1000]
+                    } else {
+                        Vec::new()
+                    };
+                    let out = comm.bcast(&ctx, root, data).await;
+                    got.borrow_mut()[comm.rank()] = out;
+                });
+            }
+            cluster.run();
+            for r in 0..3 {
+                assert_eq!(got.borrow()[r], vec![root as u8; 1000], "root {root} rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_collects_per_rank_buffers() {
+        let cluster = Cluster::build(ClusterConfig {
+            nodes: 4,
+            ..ClusterConfig::default()
+        });
+        let comms = Comm::world(&cluster);
+        let result = Rc::new(RefCell::new(None));
+        for (rank, comm) in comms.into_iter().enumerate() {
+            let result = Rc::clone(&result);
+            cluster.spawn_on(rank, format!("r{rank}"), move |ctx| async move {
+                let out = comm.gather(&ctx, 1, vec![comm.rank() as u8; 10 + comm.rank()]).await;
+                if comm.rank() == 1 {
+                    *result.borrow_mut() = out;
+                } else {
+                    assert!(out.is_none());
+                }
+            });
+        }
+        cluster.run();
+        let r = result.borrow();
+        let bufs = r.as_ref().expect("root collected");
+        for (rank, buf) in bufs.iter().enumerate() {
+            assert_eq!(buf, &vec![rank as u8; 10 + rank]);
+        }
+    }
+
+    #[test]
+    fn alltoall_exchanges_everything() {
+        let cluster = Cluster::build(ClusterConfig {
+            nodes: 3,
+            ..ClusterConfig::default()
+        });
+        let comms = Comm::world(&cluster);
+        let got = Rc::new(RefCell::new(vec![Vec::new(); 3]));
+        for (rank, comm) in comms.into_iter().enumerate() {
+            let got = Rc::clone(&got);
+            cluster.spawn_on(rank, format!("r{rank}"), move |ctx| async move {
+                let me = comm.rank();
+                let outbound: Vec<Vec<u8>> = (0..comm.size())
+                    .map(|to| vec![(me * 10 + to) as u8; 64])
+                    .collect();
+                let inbound = comm.alltoall(&ctx, outbound).await;
+                got.borrow_mut()[me] = inbound
+                    .iter()
+                    .map(|b| b.first().copied().unwrap_or(255))
+                    .collect();
+            });
+        }
+        cluster.run();
+        for me in 0..3 {
+            let expected: Vec<u8> = (0..3).map(|from| (from * 10 + me) as u8).collect();
+            assert_eq!(got.borrow()[me], expected, "rank {me}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn reserved_tags_rejected() {
+        let cluster = Cluster::build(ClusterConfig::default());
+        let comms = Comm::world(&cluster);
+        let comm = comms[0].clone();
+        cluster.spawn_on(0, "bad", move |ctx| async move {
+            let _ = comm.isend(&ctx, 1, Tag(RESERVED_TAG_BASE), vec![]).await;
+        });
+        cluster.run();
+    }
+}

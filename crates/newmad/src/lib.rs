@@ -1,0 +1,45 @@
+//! NewMadeleine: the communication library of the PM2 suite.
+//!
+//! NewMadeleine has the 3-layer architecture of Figure 3: the application
+//! enqueues *packs* into a list and returns immediately; an
+//! optimizer/scheduler (the [`Strategy`] layer: FIFO, aggregation,
+//! shortest-first) decides what actually goes on the wire when a NIC is
+//! ready; per-network drivers (the MX-like NIC of `pm2-fabric`, the
+//! intra-node shared-memory channel) move the bytes.
+//!
+//! Two protocols are implemented, mirroring MX:
+//!
+//! * **eager** for messages up to the rendezvous threshold (32 kB): the
+//!   submission (PIO or copy-into-registered-memory + DMA post) costs host
+//!   CPU — this is the cost §2.2 offloads; unexpected messages land in a
+//!   library pool and are copied out when the receive is posted, expected
+//!   messages are delivered zero-copy;
+//! * **rendezvous** above the threshold (§2.3): RTS → (match + register
+//!   buffer) → CTS → zero-copy data transfer. Every arrow requires host
+//!   *reactivity* — the handshake only advances when somebody polls — which
+//!   is exactly what PIOMAN guarantees in the background.
+//!
+//! The crate contains **both engines** compared in the paper's evaluation:
+//!
+//! * [`EngineKind::Sequential`] — the original NewMadeleine: progress
+//!   happens only inside library calls, on the calling thread
+//!   (registration in `isend`, everything else in `swait`);
+//! * [`EngineKind::Pioman`] — the multithreaded engine: `isend` only
+//!   registers the request and notifies PIOMAN; submission, polling and
+//!   rendezvous progression run on idle cores, at timer ticks, or from the
+//!   blocking-call watcher.
+
+#![warn(missing_docs)]
+
+mod msg;
+mod session;
+mod strategy;
+
+#[cfg(test)]
+mod tests;
+
+pub use msg::{EagerPart, ShmMsg, Tag, WireMsg, EAGER_HEADER_BYTES, RDV_HEADER_BYTES};
+pub use session::{
+    EngineKind, NmCounters, OffloadPolicy, RecvHandle, SendHandle, Session, SessionConfig,
+};
+pub use strategy::{AggregStrategy, FifoStrategy, Pack, ShortestFirstStrategy, Strategy, Submission};

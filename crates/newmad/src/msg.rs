@@ -1,0 +1,151 @@
+//! Wire messages and tags.
+
+use std::fmt;
+
+/// Per-message framing overhead on the wire for eager messages.
+pub const EAGER_HEADER_BYTES: usize = 32;
+/// Framing overhead for rendezvous data frames.
+pub const RDV_HEADER_BYTES: usize = 48;
+
+/// Application-level message tag used for matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tag(pub u64);
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tag{}", self.0)
+    }
+}
+
+/// One eager message inside an aggregated frame.
+#[derive(Debug, Clone)]
+pub struct EagerPart {
+    /// Matching tag.
+    pub tag: Tag,
+    /// Per-(destination, tag) sequence number.
+    pub seq: u32,
+    /// Payload.
+    pub data: Vec<u8>,
+}
+
+/// Frames exchanged between NICs (the fabric payload type).
+#[derive(Debug, Clone)]
+pub enum WireMsg {
+    /// A single eager message.
+    Eager(EagerPart),
+    /// Several eager messages aggregated into one frame (the
+    /// [`crate::AggregStrategy`] optimization).
+    Packed(Vec<EagerPart>),
+    /// Rendezvous request-to-send: "I have `len` bytes for `tag`".
+    Rts {
+        /// Matching tag.
+        tag: Tag,
+        /// Sequence number in the (dest, tag) flow.
+        seq: u32,
+        /// Payload length of the upcoming transfer.
+        len: usize,
+        /// Sender-local rendezvous id, echoed back in the CTS.
+        rdv: u64,
+    },
+    /// Clear-to-send: the receiver matched the RTS and registered its
+    /// buffer.
+    Cts {
+        /// The sender's rendezvous id.
+        rdv: u64,
+    },
+    /// Flow-control credit return: the receiver freed unexpected-pool
+    /// space (credit-based flow control protects the bounded pool of
+    /// §2.2's unexpected-message path).
+    Credit {
+        /// Pool bytes returned to the sender.
+        bytes: usize,
+    },
+    /// A chunk of zero-copy rendezvous data.
+    RdvData {
+        /// The sender's rendezvous id.
+        rdv: u64,
+        /// Chunk index (multirail distribution splits the payload).
+        chunk: u32,
+        /// Total chunks of this transfer.
+        chunks: u32,
+        /// Chunk payload.
+        data: Vec<u8>,
+    },
+}
+
+impl WireMsg {
+    /// Bytes this message occupies on the wire (payload + headers).
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            WireMsg::Eager(p) => EAGER_HEADER_BYTES + p.data.len(),
+            WireMsg::Packed(parts) => parts
+                .iter()
+                .map(|p| EAGER_HEADER_BYTES + p.data.len())
+                .sum::<usize>(),
+            WireMsg::Rts { .. } | WireMsg::Cts { .. } | WireMsg::Credit { .. } => 64,
+            WireMsg::RdvData { data, .. } => RDV_HEADER_BYTES + data.len(),
+        }
+    }
+
+    /// Application payload bytes carried.
+    pub fn app_bytes(&self) -> usize {
+        match self {
+            WireMsg::Eager(p) => p.data.len(),
+            WireMsg::Packed(parts) => parts.iter().map(|p| p.data.len()).sum(),
+            WireMsg::Rts { .. } | WireMsg::Cts { .. } | WireMsg::Credit { .. } => 0,
+            WireMsg::RdvData { data, .. } => data.len(),
+        }
+    }
+}
+
+/// Intra-node message carried by the shared-memory channel.
+#[derive(Debug, Clone)]
+pub struct ShmMsg {
+    /// Matching tag.
+    pub tag: Tag,
+    /// Sequence number in the (node-local, tag) flow.
+    pub seq: u32,
+    /// Payload.
+    pub data: Vec<u8>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_include_headers() {
+        let m = WireMsg::Eager(EagerPart {
+            tag: Tag(1),
+            seq: 0,
+            data: vec![0; 100],
+        });
+        assert_eq!(m.wire_bytes(), 132);
+        assert_eq!(m.app_bytes(), 100);
+    }
+
+    #[test]
+    fn packed_sums_parts() {
+        let part = |n| EagerPart {
+            tag: Tag(n),
+            seq: 0,
+            data: vec![0; 10],
+        };
+        let m = WireMsg::Packed(vec![part(1), part(2), part(3)]);
+        assert_eq!(m.wire_bytes(), 3 * (EAGER_HEADER_BYTES + 10));
+        assert_eq!(m.app_bytes(), 30);
+    }
+
+    #[test]
+    fn control_frames_are_small_fixed_size() {
+        let rts = WireMsg::Rts {
+            tag: Tag(0),
+            seq: 0,
+            len: 1 << 20,
+            rdv: 1,
+        };
+        assert_eq!(rts.wire_bytes(), 64);
+        assert_eq!(rts.app_bytes(), 0);
+        assert_eq!(WireMsg::Cts { rdv: 1 }.wire_bytes(), 64);
+    }
+}

@@ -1,0 +1,741 @@
+//! End-to-end session tests over a small simulated cluster.
+
+use crate::{
+    AggregStrategy, EngineKind, FifoStrategy, Session, SessionConfig, ShmMsg, Strategy, Tag,
+    WireMsg,
+};
+use pioman::{Pioman, PiomanConfig};
+use pm2_fabric::{Fabric, FabricParams, ShmChannel};
+use pm2_marcel::{Marcel, MarcelConfig, Priority};
+use pm2_sim::{Sim, SimDuration};
+use pm2_topo::{NodeId, Topology};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// A freshly wired simulated cluster for tests.
+pub(crate) struct World {
+    pub sim: Sim,
+    pub marcels: Vec<Marcel>,
+    pub sessions: Vec<Session>,
+    /// Keeps the fabrics (and thus the links) alive for the sim's lifetime.
+    #[allow(dead_code)]
+    pub fabrics: Vec<Rc<Fabric<WireMsg>>>,
+}
+
+pub(crate) struct WorldCfg {
+    pub nodes: usize,
+    pub cores: usize,
+    pub engine: EngineKind,
+    pub rails: usize,
+    pub multirail: bool,
+    pub strategy: Rc<dyn Strategy>,
+}
+
+impl Default for WorldCfg {
+    fn default() -> Self {
+        WorldCfg {
+            nodes: 2,
+            cores: 8,
+            engine: EngineKind::Pioman,
+            rails: 1,
+            multirail: false,
+            strategy: Rc::new(FifoStrategy),
+        }
+    }
+}
+
+pub(crate) fn build_world(cfg: WorldCfg) -> World {
+    build_world_with(cfg, |_| {})
+}
+
+pub(crate) fn build_world_with(
+    cfg: WorldCfg,
+    tweak: impl Fn(&mut SessionConfig),
+) -> World {
+    let sim = Sim::new(42);
+    let topo = Rc::new(Topology::new(cfg.nodes, 1, cfg.cores));
+    let fabrics: Vec<Rc<Fabric<WireMsg>>> = (0..cfg.rails)
+        .map(|_| Fabric::new(sim.clone(), Rc::clone(&topo), FabricParams::myri10g()))
+        .collect();
+    let mut marcels = Vec::new();
+    let mut sessions = Vec::new();
+    for n in 0..cfg.nodes {
+        let marcel = Marcel::new(
+            sim.clone(),
+            Rc::clone(&topo),
+            NodeId(n),
+            MarcelConfig::default(),
+        );
+        let pioman = match cfg.engine {
+            EngineKind::Pioman => Some(Pioman::new(&marcel, PiomanConfig::default())),
+            EngineKind::Sequential => None,
+        };
+        let rails = fabrics.iter().map(|f| f.nic(NodeId(n))).collect();
+        let shm: Rc<ShmChannel<ShmMsg>> =
+            ShmChannel::new(sim.clone(), NodeId(n), FabricParams::myri10g());
+        let session = Session::new(
+            &marcel,
+            rails,
+            shm,
+            Rc::clone(&cfg.strategy),
+            pioman,
+            {
+                let mut sc = SessionConfig {
+                    engine: cfg.engine,
+                    multirail: cfg.multirail,
+                    ..SessionConfig::default()
+                };
+                tweak(&mut sc);
+                sc
+            },
+        );
+        marcels.push(marcel);
+        sessions.push(session);
+    }
+    World {
+        sim,
+        marcels,
+        sessions,
+        fabrics,
+    }
+}
+
+fn payload(len: usize, seed: u8) -> Vec<u8> {
+    (0..len).map(|i| (i as u8).wrapping_mul(31) ^ seed).collect()
+}
+
+/// Runs sender/receiver bodies on two nodes and returns the final time.
+fn run_pair<FS, FR>(world: &World, send_body: FS, recv_body: FR) -> u64
+where
+    FS: FnOnce(Session, pm2_marcel::ThreadCtx) -> std::pin::Pin<Box<dyn std::future::Future<Output = ()>>> + 'static,
+    FR: FnOnce(Session, pm2_marcel::ThreadCtx) -> std::pin::Pin<Box<dyn std::future::Future<Output = ()>>> + 'static,
+{
+    let s0 = world.sessions[0].clone();
+    let s1 = world.sessions[1].clone();
+    world.marcels[0].spawn("sender", Priority::Normal, None, move |ctx| {
+        send_body(s0, ctx)
+    });
+    world.marcels[1].spawn("receiver", Priority::Normal, None, move |ctx| {
+        recv_body(s1, ctx)
+    });
+    world.sim.run().as_micros()
+}
+
+#[test]
+fn eager_roundtrip_pioman() {
+    let world = build_world(WorldCfg::default());
+    let data = payload(4096, 7);
+    let data2 = data.clone();
+    let got = Rc::new(RefCell::new(Vec::new()));
+    let got2 = Rc::clone(&got);
+    run_pair(
+        &world,
+        move |s, ctx| {
+            Box::pin(async move {
+                let h = s.isend(&ctx, NodeId(1), Tag(1), data2).await;
+                s.swait_send(&h, &ctx).await;
+            })
+        },
+        move |s, ctx| {
+            Box::pin(async move {
+                let v = s.recv(&ctx, Some(NodeId(0)), Tag(1)).await;
+                *got2.borrow_mut() = v;
+            })
+        },
+    );
+    assert_eq!(*got.borrow(), data);
+    assert_eq!(world.sessions[0].counters().sends, 1);
+    assert_eq!(world.sessions[1].counters().recvs, 1);
+    assert_eq!(world.sessions[1].counters().rdv_completed, 0);
+}
+
+#[test]
+fn eager_roundtrip_sequential() {
+    let world = build_world(WorldCfg {
+        engine: EngineKind::Sequential,
+        ..WorldCfg::default()
+    });
+    let data = payload(1024, 3);
+    let data2 = data.clone();
+    let got = Rc::new(RefCell::new(Vec::new()));
+    let got2 = Rc::clone(&got);
+    run_pair(
+        &world,
+        move |s, ctx| {
+            Box::pin(async move {
+                let h = s.isend(&ctx, NodeId(1), Tag(5), data2).await;
+                s.swait_send(&h, &ctx).await;
+            })
+        },
+        move |s, ctx| {
+            Box::pin(async move {
+                let v = s.recv(&ctx, Some(NodeId(0)), Tag(5)).await;
+                *got2.borrow_mut() = v;
+            })
+        },
+    );
+    assert_eq!(*got.borrow(), data);
+}
+
+#[test]
+fn unexpected_message_is_copied_out_at_post_time() {
+    let world = build_world(WorldCfg::default());
+    let data = payload(2048, 9);
+    let data2 = data.clone();
+    let got = Rc::new(RefCell::new(Vec::new()));
+    let got2 = Rc::clone(&got);
+    run_pair(
+        &world,
+        move |s, ctx| {
+            Box::pin(async move {
+                let h = s.isend(&ctx, NodeId(1), Tag(2), data2).await;
+                s.swait_send(&h, &ctx).await;
+            })
+        },
+        move |s, ctx| {
+            Box::pin(async move {
+                // Deliberately post late: the message arrives unexpected.
+                ctx.compute(SimDuration::from_micros(50)).await;
+                let v = s.recv(&ctx, Some(NodeId(0)), Tag(2)).await;
+                *got2.borrow_mut() = v;
+            })
+        },
+    );
+    assert_eq!(*got.borrow(), data);
+    assert_eq!(world.sessions[1].counters().unexpected, 1);
+}
+
+#[test]
+fn rendezvous_roundtrip_with_data_integrity() {
+    let world = build_world(WorldCfg::default());
+    let data = payload(256 << 10, 5); // 256 kB: above the 32 kB threshold
+    let data2 = data.clone();
+    let got = Rc::new(RefCell::new(Vec::new()));
+    let got2 = Rc::clone(&got);
+    let done_at = Rc::new(Cell::new(0u64));
+    let done2 = Rc::clone(&done_at);
+    run_pair(
+        &world,
+        move |s, ctx| {
+            Box::pin(async move {
+                let h = s.isend(&ctx, NodeId(1), Tag(3), data2).await;
+                s.swait_send(&h, &ctx).await;
+            })
+        },
+        move |s, ctx| {
+            Box::pin(async move {
+                let v = s.recv(&ctx, Some(NodeId(0)), Tag(3)).await;
+                done2.set(ctx.marcel().sim().now().as_micros());
+                *got2.borrow_mut() = v;
+            })
+        },
+    );
+    let end = done_at.get();
+    assert_eq!(got.borrow().len(), data.len());
+    assert_eq!(*got.borrow(), data);
+    assert_eq!(world.sessions[0].counters().rdv_started, 1);
+    assert_eq!(world.sessions[1].counters().rdv_completed, 1);
+    // 256 kB at 1.25 GB/s ≈ 210µs of wire time + handshake.
+    assert!(end > 200 && end < 300, "t={end}µs");
+}
+
+#[test]
+fn rendezvous_waits_for_late_receiver() {
+    let world = build_world(WorldCfg::default());
+    let data = payload(64 << 10, 1);
+    let data2 = data.clone();
+    let got = Rc::new(RefCell::new(Vec::new()));
+    let got2 = Rc::clone(&got);
+    run_pair(
+        &world,
+        move |s, ctx| {
+            Box::pin(async move {
+                let h = s.isend(&ctx, NodeId(1), Tag(4), data2).await;
+                s.swait_send(&h, &ctx).await;
+            })
+        },
+        move |s, ctx| {
+            Box::pin(async move {
+                ctx.compute(SimDuration::from_micros(100)).await;
+                let v = s.recv(&ctx, Some(NodeId(0)), Tag(4)).await;
+                *got2.borrow_mut() = v;
+            })
+        },
+    );
+    assert_eq!(*got.borrow(), data);
+    // The RTS arrived before the irecv: counted as unexpected.
+    assert_eq!(world.sessions[1].counters().unexpected, 1);
+    assert_eq!(world.sessions[1].counters().rdv_completed, 1);
+}
+
+#[test]
+fn intra_node_shared_memory_channel() {
+    let world = build_world(WorldCfg {
+        nodes: 1,
+        ..WorldCfg::default()
+    });
+    let data = payload(4096, 2);
+    let data2 = data.clone();
+    let got = Rc::new(RefCell::new(Vec::new()));
+    let got2 = Rc::clone(&got);
+    let s0 = world.sessions[0].clone();
+    let s1 = world.sessions[0].clone();
+    world.marcels[0].spawn("sender", Priority::Normal, None, move |ctx| async move {
+        let h = s0.isend(&ctx, NodeId(0), Tag(6), data2).await;
+        s0.swait_send(&h, &ctx).await;
+    });
+    {
+        let got2 = Rc::clone(&got2);
+        world.marcels[0].spawn("receiver", Priority::Normal, None, move |ctx| async move {
+            let v = s1.recv(&ctx, Some(NodeId(0)), Tag(6)).await;
+            *got2.borrow_mut() = v;
+        });
+    }
+    world.sim.run();
+    assert_eq!(*got.borrow(), data);
+    assert_eq!(world.sessions[0].counters().shm_msgs, 1);
+    // No NIC traffic at all.
+    assert_eq!(world.sessions[0].counters().eager_frames_tx, 0);
+}
+
+#[test]
+fn any_source_receive() {
+    let world = build_world(WorldCfg {
+        nodes: 3,
+        ..WorldCfg::default()
+    });
+    let got = Rc::new(RefCell::new(Vec::new()));
+    for sender in [1usize, 2] {
+        let s = world.sessions[sender].clone();
+        world.marcels[sender].spawn("sender", Priority::Normal, None, move |ctx| async move {
+            let h = s
+                .isend(&ctx, NodeId(0), Tag(7), vec![sender as u8; 64])
+                .await;
+            s.swait_send(&h, &ctx).await;
+        });
+    }
+    let s0 = world.sessions[0].clone();
+    let got2 = Rc::clone(&got);
+    world.marcels[0].spawn("receiver", Priority::Normal, None, move |ctx| async move {
+        for _ in 0..2 {
+            let v = s0.recv(&ctx, None, Tag(7)).await;
+            got2.borrow_mut().push(v[0]);
+        }
+    });
+    world.sim.run();
+    let mut senders = got.borrow().clone();
+    senders.sort_unstable();
+    assert_eq!(senders, vec![1, 2]);
+}
+
+#[test]
+fn many_messages_preserve_per_tag_fifo() {
+    let world = build_world(WorldCfg::default());
+    const N: usize = 50;
+    let got = Rc::new(RefCell::new(Vec::new()));
+    let got2 = Rc::clone(&got);
+    run_pair(
+        &world,
+        move |s, ctx| {
+            Box::pin(async move {
+                let mut handles = Vec::new();
+                for i in 0..N {
+                    handles.push(s.isend(&ctx, NodeId(1), Tag(1), vec![i as u8; 128]).await);
+                }
+                for h in &handles {
+                    s.swait_send(h, &ctx).await;
+                }
+            })
+        },
+        move |s, ctx| {
+            Box::pin(async move {
+                for _ in 0..N {
+                    let v = s.recv(&ctx, Some(NodeId(0)), Tag(1)).await;
+                    got2.borrow_mut().push(v[0]);
+                }
+            })
+        },
+    );
+    assert_eq!(*got.borrow(), (0..N as u8).collect::<Vec<_>>());
+    assert_eq!(world.sessions[1].counters().ooo_deliveries, 0);
+}
+
+#[test]
+fn aggregation_reduces_frames() {
+    let world = build_world(WorldCfg {
+        strategy: Rc::new(AggregStrategy::default()),
+        cores: 2,
+        ..WorldCfg::default()
+    });
+    const N: u64 = 10;
+    let got = Rc::new(Cell::new(0u64));
+    let got2 = Rc::clone(&got);
+    run_pair(
+        &world,
+        move |s, ctx| {
+            Box::pin(async move {
+                // Burst of small sends: all registered before any submission
+                // (the single idle core is slower than registration).
+                let mut hs = Vec::new();
+                for i in 0..N {
+                    hs.push(s.isend(&ctx, NodeId(1), Tag(i), vec![i as u8; 64]).await);
+                }
+                for h in &hs {
+                    s.swait_send(h, &ctx).await;
+                }
+            })
+        },
+        move |s, ctx| {
+            Box::pin(async move {
+                for i in 0..N {
+                    let v = s.recv(&ctx, Some(NodeId(0)), Tag(i)).await;
+                    assert_eq!(v, vec![i as u8; 64]);
+                    got2.set(got2.get() + 1);
+                }
+            })
+        },
+    );
+    assert_eq!(got.get(), N);
+    let c = world.sessions[0].counters();
+    assert_eq!(c.eager_msgs_tx, N);
+    assert!(
+        c.eager_frames_tx < N,
+        "aggregation should emit fewer frames: {} frames for {} msgs",
+        c.eager_frames_tx,
+        c.eager_msgs_tx
+    );
+}
+
+#[test]
+fn multirail_splits_rendezvous_data() {
+    let world = build_world(WorldCfg {
+        rails: 2,
+        multirail: true,
+        ..WorldCfg::default()
+    });
+    let data = payload(512 << 10, 8);
+    let data2 = data.clone();
+    let got = Rc::new(RefCell::new(Vec::new()));
+    let got2 = Rc::clone(&got);
+    let end_multirail = run_pair(
+        &world,
+        move |s, ctx| {
+            Box::pin(async move {
+                let h = s.isend(&ctx, NodeId(1), Tag(1), data2).await;
+                s.swait_send(&h, &ctx).await;
+            })
+        },
+        move |s, ctx| {
+            Box::pin(async move {
+                let v = s.recv(&ctx, Some(NodeId(0)), Tag(1)).await;
+                *got2.borrow_mut() = v;
+            })
+        },
+    );
+    assert_eq!(*got.borrow(), data);
+
+    // Same transfer over a single rail takes notably longer.
+    let world1 = build_world(WorldCfg::default());
+    let data2 = data.clone();
+    let got = Rc::new(RefCell::new(Vec::new()));
+    let got2 = Rc::clone(&got);
+    let end_single = run_pair(
+        &world1,
+        move |s, ctx| {
+            Box::pin(async move {
+                let h = s.isend(&ctx, NodeId(1), Tag(1), data2).await;
+                s.swait_send(&h, &ctx).await;
+            })
+        },
+        move |s, ctx| {
+            Box::pin(async move {
+                let v = s.recv(&ctx, Some(NodeId(0)), Tag(1)).await;
+                *got2.borrow_mut() = v;
+            })
+        },
+    );
+    assert!(
+        (end_multirail as f64) < end_single as f64 * 0.7,
+        "multirail {end_multirail}µs vs single {end_single}µs"
+    );
+}
+
+#[test]
+fn iprobe_sees_unexpected_and_rts() {
+    let world = build_world(WorldCfg::default());
+    let probed = Rc::new(RefCell::new(Vec::new()));
+    {
+        let s = world.sessions[0].clone();
+        world.marcels[0].spawn("tx", Priority::Normal, None, move |ctx| async move {
+            let h1 = s.isend(&ctx, NodeId(1), Tag(1), vec![1; 2048]).await;
+            let h2 = s.isend(&ctx, NodeId(1), Tag(2), vec![2; 64 << 10]).await;
+            s.swait_send(&h1, &ctx).await;
+            // h2 (rendezvous) cannot complete before the receiver posts.
+            let _ = h2;
+        });
+    }
+    {
+        let s = world.sessions[1].clone();
+        let probed = Rc::clone(&probed);
+        world.marcels[1].spawn("rx", Priority::Normal, None, move |ctx| async move {
+            ctx.compute(SimDuration::from_micros(50)).await;
+            probed.borrow_mut().push(s.iprobe(Some(NodeId(0)), Tag(1)));
+            probed.borrow_mut().push(s.iprobe(Some(NodeId(0)), Tag(2)));
+            probed.borrow_mut().push(s.iprobe(Some(NodeId(0)), Tag(3)));
+            // Consume the eager one; probe must then miss.
+            let _ = s.recv(&ctx, Some(NodeId(0)), Tag(1)).await;
+            probed.borrow_mut().push(s.iprobe(Some(NodeId(0)), Tag(1)));
+            // Answer the rendezvous too so the simulation can quiesce.
+            let _ = s.recv(&ctx, Some(NodeId(0)), Tag(2)).await;
+        });
+    }
+    world.sim.run();
+    assert_eq!(
+        *probed.borrow(),
+        vec![Some(2048), Some(64 << 10), None, None]
+    );
+}
+
+#[test]
+fn swait_any_returns_first() {
+    let world = build_world(WorldCfg::default());
+    {
+        let s = world.sessions[0].clone();
+        world.marcels[0].spawn("tx", Priority::Normal, None, move |ctx| async move {
+            ctx.compute(SimDuration::from_micros(30)).await;
+            s.send(&ctx, NodeId(1), Tag(2), vec![9; 128]).await;
+            ctx.compute(SimDuration::from_micros(30)).await;
+            s.send(&ctx, NodeId(1), Tag(1), vec![8; 128]).await;
+        });
+    }
+    let winner = Rc::new(Cell::new(usize::MAX));
+    {
+        let s = world.sessions[1].clone();
+        let winner = Rc::clone(&winner);
+        world.marcels[1].spawn("rx", Priority::Normal, None, move |ctx| async move {
+            let h1 = s.irecv(&ctx, Some(NodeId(0)), Tag(1)).await;
+            let h2 = s.irecv(&ctx, Some(NodeId(0)), Tag(2)).await;
+            let reqs = vec![h1.req().clone(), h2.req().clone()];
+            winner.set(s.swait_any(&reqs, &ctx).await);
+            // Drain both to let the sim finish cleanly.
+            let _ = s.swait_recv(&h2, &ctx).await;
+            let _ = s.swait_recv(&h1, &ctx).await;
+        });
+    }
+    world.sim.run();
+    assert_eq!(winner.get(), 1, "tag 2 is sent first and must win");
+}
+
+#[test]
+fn flush_drains_submissions() {
+    let world = build_world(WorldCfg {
+        cores: 1, // nothing idle: packs stay queued until flushed
+        ..WorldCfg::default()
+    });
+    {
+        let s = world.sessions[0].clone();
+        world.marcels[0].spawn("tx", Priority::Normal, None, move |ctx| async move {
+            let mut hs = Vec::new();
+            for i in 0..8 {
+                hs.push(s.isend(&ctx, NodeId(1), Tag(i), vec![i as u8; 1024]).await);
+            }
+            s.flush_sends(&ctx).await;
+            // After a flush, every eager send has reached the NIC: the
+            // handles complete at egress without further library calls.
+            for h in &hs {
+                s.swait_send(h, &ctx).await;
+            }
+        });
+    }
+    let got = Rc::new(Cell::new(0u32));
+    {
+        let s = world.sessions[1].clone();
+        let got = Rc::clone(&got);
+        world.marcels[1].spawn("rx", Priority::Normal, None, move |ctx| async move {
+            for i in 0..8 {
+                let _ = s.recv(&ctx, Some(NodeId(0)), Tag(i)).await;
+                got.set(got.get() + 1);
+            }
+        });
+    }
+    world.sim.run();
+    assert_eq!(got.get(), 8);
+}
+
+#[test]
+fn multirail_round_robins_eager_messages() {
+    let world = build_world(WorldCfg {
+        rails: 2,
+        multirail: true,
+        ..WorldCfg::default()
+    });
+    const N: u64 = 8;
+    {
+        let s = world.sessions[0].clone();
+        world.marcels[0].spawn("tx", Priority::Normal, None, move |ctx| async move {
+            for i in 0..N {
+                s.send(&ctx, NodeId(1), Tag(i), vec![i as u8; 4096]).await;
+            }
+        });
+    }
+    let got = Rc::new(Cell::new(0u64));
+    {
+        let s = world.sessions[1].clone();
+        let got = Rc::clone(&got);
+        world.marcels[1].spawn("rx", Priority::Normal, None, move |ctx| async move {
+            for i in 0..N {
+                let v = s.recv(&ctx, Some(NodeId(0)), Tag(i)).await;
+                assert_eq!(v, vec![i as u8; 4096]);
+                got.set(got.get() + 1);
+            }
+        });
+    }
+    world.sim.run();
+    assert_eq!(got.get(), N);
+    // Both rails carried traffic.
+    let c0 = world.fabrics[0].nic(NodeId(0)).counters();
+    let c1 = world.fabrics[1].nic(NodeId(0)).counters();
+    assert!(c0.tx_frames > 0 && c1.tx_frames > 0, "{c0:?} {c1:?}");
+}
+
+#[test]
+fn registry_hits_on_repeated_rendezvous() {
+    let world = build_world(WorldCfg::default());
+    const N: u64 = 4;
+    {
+        let s = world.sessions[0].clone();
+        world.marcels[0].spawn("tx", Priority::Normal, None, move |ctx| async move {
+            for i in 0..N {
+                // Same tag every iteration models a reused buffer.
+                s.send(&ctx, NodeId(1), Tag(1), vec![i as u8; 64 << 10]).await;
+            }
+        });
+    }
+    {
+        let s = world.sessions[1].clone();
+        world.marcels[1].spawn("rx", Priority::Normal, None, move |ctx| async move {
+            for i in 0..N {
+                let v = s.recv(&ctx, Some(NodeId(0)), Tag(1)).await;
+                assert_eq!(v[0], i as u8);
+            }
+        });
+    }
+    world.sim.run();
+    let tx_stats = world.sessions[0].registry().stats();
+    assert_eq!(tx_stats.misses, 1, "first registration pins");
+    assert_eq!(tx_stats.hits, (N - 1), "reuse hits the cache");
+    let rx_stats = world.sessions[1].registry().stats();
+    assert_eq!(rx_stats.misses + rx_stats.hits, N);
+}
+
+#[test]
+fn flow_control_demotes_to_rendezvous_and_recovers() {
+    // A 10 kB credit pool: the first couple of 2 kB eager sends fit, the
+    // rest must fall back to rendezvous until the receiver posts and
+    // credits flow back.
+    let world = {
+        let mut w = WorldCfg::default();
+        w.cores = 4;
+        build_world_with(w, |sc| sc.credit_bytes_per_peer = 10 << 10)
+    };
+    const N: u64 = 12;
+    let got = Rc::new(Cell::new(0u64));
+    {
+        let s = world.sessions[0].clone();
+        world.marcels[0].spawn("tx", Priority::Normal, None, move |ctx| async move {
+            let mut hs = Vec::new();
+            for i in 0..N {
+                hs.push(s.isend(&ctx, NodeId(1), Tag(i), vec![i as u8; 2048]).await);
+            }
+            for h in &hs {
+                s.swait_send(h, &ctx).await;
+            }
+        });
+    }
+    {
+        let s = world.sessions[1].clone();
+        let got = Rc::clone(&got);
+        world.marcels[1].spawn("rx", Priority::Normal, None, move |ctx| async move {
+            // Delay so the early eager sends land unexpected (consuming
+            // pool) before any credits can be returned.
+            ctx.compute(SimDuration::from_micros(60)).await;
+            for i in 0..N {
+                let v = s.recv(&ctx, Some(NodeId(0)), Tag(i)).await;
+                assert_eq!(v, vec![i as u8; 2048]);
+                got.set(got.get() + 1);
+            }
+        });
+    }
+    world.sim.run();
+    assert_eq!(got.get(), N);
+    let c0 = world.sessions[0].counters();
+    assert!(
+        c0.credit_fallbacks > 0,
+        "pool exhaustion should demote some sends: {c0:?}"
+    );
+    assert!(
+        c0.rdv_started >= c0.credit_fallbacks,
+        "fallbacks go through the rendezvous path"
+    );
+    let c1 = world.sessions[1].counters();
+    assert!(c1.credits_returned > 0, "receiver must return credits");
+}
+
+#[test]
+fn generous_credits_never_fall_back() {
+    let world = build_world(WorldCfg::default());
+    {
+        let s = world.sessions[0].clone();
+        world.marcels[0].spawn("tx", Priority::Normal, None, move |ctx| async move {
+            for i in 0..20 {
+                s.send(&ctx, NodeId(1), Tag(i), vec![1; 4096]).await;
+            }
+        });
+    }
+    {
+        let s = world.sessions[1].clone();
+        world.marcels[1].spawn("rx", Priority::Normal, None, move |ctx| async move {
+            for i in 0..20 {
+                let _ = s.recv(&ctx, Some(NodeId(0)), Tag(i)).await;
+            }
+        });
+    }
+    world.sim.run();
+    assert_eq!(world.sessions[0].counters().credit_fallbacks, 0);
+}
+
+#[test]
+fn pioman_overlaps_sequential_does_not() {
+    // The paper's core claim in miniature (Fig. 5 at one size):
+    // isend(8K); compute(20µs); swait — Pioman ≈ max, Sequential ≈ sum.
+    fn run_once(engine: EngineKind) -> u64 {
+        let world = build_world(WorldCfg {
+            engine,
+            ..WorldCfg::default()
+        });
+        let done_at = Rc::new(Cell::new(0u64));
+        let done2 = Rc::clone(&done_at);
+        let s0 = world.sessions[0].clone();
+        let s1 = world.sessions[1].clone();
+        world.marcels[0].spawn("sender", Priority::Normal, None, move |ctx| async move {
+            let h = s0.isend(&ctx, NodeId(1), Tag(1), vec![0xab; 8 << 10]).await;
+            ctx.compute(SimDuration::from_micros(20)).await;
+            s0.swait_send(&h, &ctx).await;
+            done2.set(ctx.marcel().sim().now().as_micros());
+        });
+        world.marcels[1].spawn("receiver", Priority::Normal, None, move |ctx| async move {
+            let _ = s1.recv(&ctx, Some(NodeId(0)), Tag(1)).await;
+        });
+        world.sim.run();
+        done_at.get()
+    }
+    let pioman = run_once(EngineKind::Pioman);
+    let sequential = run_once(EngineKind::Sequential);
+    // Submission of 8K ≈ 3.4µs. Pioman: overlapped → ≈ 20-22µs.
+    // Sequential: submission happens inside swait → ≥ 23µs.
+    assert!(pioman <= 22, "pioman sender total {pioman}µs");
+    assert!(
+        sequential > pioman,
+        "sequential {sequential}µs should exceed pioman {pioman}µs"
+    );
+}

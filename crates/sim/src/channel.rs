@@ -1,0 +1,233 @@
+//! An unbounded FIFO channel between simulated activities.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+/// An unbounded multi-producer multi-consumer channel for sim tasks.
+///
+/// Cloneable; `send` never blocks, `recv` suspends the awaiting activity
+/// until a value arrives. Used by workload generators to hand work items
+/// between simulated threads without inventing ad-hoc trigger protocols.
+///
+/// # Example
+/// ```
+/// use pm2_sim::{Sim, SimChannel};
+/// let sim = Sim::new(0);
+/// let ch = SimChannel::new();
+/// let rx = ch.clone();
+/// sim.spawn(async move {
+///     assert_eq!(rx.recv().await, Some(42));
+/// });
+/// ch.send(42);
+/// sim.run();
+/// ```
+pub struct SimChannel<T> {
+    state: Rc<RefCell<ChanState<T>>>,
+}
+
+impl<T> Clone for SimChannel<T> {
+    fn clone(&self) -> Self {
+        SimChannel {
+            state: Rc::clone(&self.state),
+        }
+    }
+}
+
+struct ChanState<T> {
+    queue: VecDeque<T>,
+    waiters: VecDeque<Waker>,
+    closed: bool,
+}
+
+impl<T> SimChannel<T> {
+    /// Creates an empty channel.
+    pub fn new() -> Self {
+        SimChannel {
+            state: Rc::new(RefCell::new(ChanState {
+                queue: VecDeque::new(),
+                waiters: VecDeque::new(),
+                closed: false,
+            })),
+        }
+    }
+
+    /// Enqueues a value, waking one waiting receiver.
+    ///
+    /// # Panics
+    /// Panics if the channel is closed.
+    pub fn send(&self, value: T) {
+        let waker = {
+            let mut st = self.state.borrow_mut();
+            assert!(!st.closed, "send on closed SimChannel");
+            st.queue.push_back(value);
+            st.waiters.pop_front()
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+
+    /// Closes the channel: pending `recv`s drain the queue, then resolve
+    /// to `None`.
+    pub fn close(&self) {
+        let waiters = {
+            let mut st = self.state.borrow_mut();
+            st.closed = true;
+            std::mem::take(&mut st.waiters)
+        };
+        for w in waiters {
+            w.wake();
+        }
+    }
+
+    /// Number of queued values.
+    pub fn len(&self) -> usize {
+        self.state.borrow().queue.len()
+    }
+
+    /// True if no values are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        self.state.borrow_mut().queue.pop_front()
+    }
+
+    /// Awaits the next value; `None` once the channel is closed and
+    /// drained.
+    pub fn recv(&self) -> RecvFut<T> {
+        RecvFut {
+            state: Rc::clone(&self.state),
+        }
+    }
+}
+
+impl<T> Default for SimChannel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Future returned by [`SimChannel::recv`].
+pub struct RecvFut<T> {
+    state: Rc<RefCell<ChanState<T>>>,
+}
+
+impl<T> Future for RecvFut<T> {
+    type Output = Option<T>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        let mut st = self.state.borrow_mut();
+        if let Some(v) = st.queue.pop_front() {
+            return Poll::Ready(Some(v));
+        }
+        if st.closed {
+            return Poll::Ready(None);
+        }
+        if !st.waiters.iter().any(|w| w.will_wake(cx.waker())) {
+            st.waiters.push_back(cx.waker().clone());
+        }
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sim, SimDuration};
+    use std::cell::Cell;
+
+    #[test]
+    fn values_flow_in_order() {
+        let sim = Sim::new(0);
+        let ch = SimChannel::new();
+        let got = Rc::new(RefCell::new(Vec::new()));
+        {
+            let ch = ch.clone();
+            let got = Rc::clone(&got);
+            sim.spawn(async move {
+                while let Some(v) = ch.recv().await {
+                    got.borrow_mut().push(v);
+                }
+            });
+        }
+        {
+            let ch = ch.clone();
+            let sim2 = sim.clone();
+            sim.spawn(async move {
+                for i in 0..5 {
+                    ch.send(i);
+                    sim2.sleep(SimDuration::from_micros(1)).await;
+                }
+                ch.close();
+            });
+        }
+        sim.run();
+        assert_eq!(*got.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn recv_waits_for_send() {
+        let sim = Sim::new(0);
+        let ch = SimChannel::new();
+        let at = Rc::new(Cell::new(0u64));
+        {
+            let ch = ch.clone();
+            let at = Rc::clone(&at);
+            let sim2 = sim.clone();
+            sim.spawn(async move {
+                let v = ch.recv().await;
+                assert_eq!(v, Some(9));
+                at.set(sim2.now().as_micros());
+            });
+        }
+        let ch2 = ch.clone();
+        sim.schedule_in(SimDuration::from_micros(13), move |_| ch2.send(9));
+        sim.run();
+        assert_eq!(at.get(), 13);
+    }
+
+    #[test]
+    fn close_releases_all_waiters() {
+        let sim = Sim::new(0);
+        let ch: SimChannel<u32> = SimChannel::new();
+        let done = Rc::new(Cell::new(0u32));
+        for _ in 0..3 {
+            let ch = ch.clone();
+            let done = Rc::clone(&done);
+            sim.spawn(async move {
+                assert_eq!(ch.recv().await, None);
+                done.set(done.get() + 1);
+            });
+        }
+        let ch2 = ch.clone();
+        sim.schedule_in(SimDuration::from_micros(1), move |_| ch2.close());
+        sim.run();
+        assert_eq!(done.get(), 3);
+    }
+
+    #[test]
+    fn try_recv_and_len() {
+        let ch = SimChannel::new();
+        assert!(ch.is_empty());
+        ch.send(1);
+        ch.send(2);
+        assert_eq!(ch.len(), 2);
+        assert_eq!(ch.try_recv(), Some(1));
+        assert_eq!(ch.try_recv(), Some(2));
+        assert_eq!(ch.try_recv(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "closed")]
+    fn send_after_close_panics() {
+        let ch = SimChannel::new();
+        ch.close();
+        ch.send(1);
+    }
+}

@@ -1,0 +1,505 @@
+//! The simulation facade: clock, event heap and run loop.
+
+use crate::executor::{waker_for, TaskId, TaskSlot, WakeList};
+use crate::rng::Xoshiro256;
+use crate::slab::Slab;
+use crate::trace::Trace;
+use crate::{SimDuration, SimTime};
+use std::cell::{Cell, RefCell};
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::task::{Context, Poll};
+
+/// Handle to the simulation; cheap to clone (reference-counted).
+///
+/// All state is interior-mutable and single-threaded; futures spawned on
+/// the sim capture clones of this handle.
+#[derive(Clone)]
+pub struct Sim {
+    inner: Rc<Inner>,
+}
+
+struct Inner {
+    clock: Cell<SimTime>,
+    seq: Cell<u64>,
+    events: RefCell<BinaryHeap<EventEntry>>,
+    tasks: RefCell<Slab<TaskSlot>>,
+    wakes: Arc<WakeList>,
+    spawned: RefCell<Vec<usize>>,
+    rng: RefCell<Xoshiro256>,
+    trace: Trace,
+    executed_events: Cell<u64>,
+    polls: Cell<u64>,
+}
+
+struct EventEntry {
+    at: SimTime,
+    seq: u64,
+    cancelled: Rc<Cell<bool>>,
+    action: Box<dyn FnOnce(&Sim)>,
+}
+
+impl PartialEq for EventEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for EventEntry {}
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventEntry {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. seq breaks ties deterministically in insertion order.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Cancellation handle for a scheduled event (see [`Sim::schedule_in`]).
+#[derive(Clone, Debug)]
+pub struct TimerHandle {
+    cancelled: Rc<Cell<bool>>,
+}
+
+impl TimerHandle {
+    /// Cancels the event; a no-op if it already fired.
+    pub fn cancel(&self) {
+        self.cancelled.set(true);
+    }
+
+    /// True if [`TimerHandle::cancel`] was called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.get()
+    }
+}
+
+impl Sim {
+    /// Creates a simulation at t = 0 with a seeded RNG.
+    pub fn new(seed: u64) -> Sim {
+        Sim {
+            inner: Rc::new(Inner {
+                clock: Cell::new(SimTime::ZERO),
+                seq: Cell::new(0),
+                events: RefCell::new(BinaryHeap::new()),
+                tasks: RefCell::new(Slab::new()),
+                wakes: Arc::new(WakeList::default()),
+                spawned: RefCell::new(Vec::new()),
+                rng: RefCell::new(Xoshiro256::new(seed)),
+                trace: Trace::new(),
+                executed_events: Cell::new(0),
+                polls: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.clock.get()
+    }
+
+    /// The simulation-wide trace ring.
+    pub fn trace(&self) -> &Trace {
+        &self.inner.trace
+    }
+
+    /// Draws from the simulation RNG.
+    pub fn with_rng<R>(&self, f: impl FnOnce(&mut Xoshiro256) -> R) -> R {
+        f(&mut self.inner.rng.borrow_mut())
+    }
+
+    /// Number of events executed so far (diagnostics).
+    pub fn executed_events(&self) -> u64 {
+        self.inner.executed_events.get()
+    }
+
+    /// Number of task polls performed so far (diagnostics).
+    pub fn polls(&self) -> u64 {
+        self.inner.polls.get()
+    }
+
+    /// Number of live (not yet completed) tasks.
+    pub fn live_tasks(&self) -> usize {
+        self.inner.tasks.borrow().len()
+    }
+
+    // ----- events -------------------------------------------------------
+
+    /// Schedules `action` to run `delay` from now. Returns a cancel handle.
+    pub fn schedule_in<F>(&self, delay: SimDuration, action: F) -> TimerHandle
+    where
+        F: FnOnce(&Sim) + 'static,
+    {
+        self.schedule_at(self.now() + delay, action)
+    }
+
+    /// Schedules `action` at absolute time `at` (clamped to now if past).
+    pub fn schedule_at<F>(&self, at: SimTime, action: F) -> TimerHandle
+    where
+        F: FnOnce(&Sim) + 'static,
+    {
+        let at = at.max(self.now());
+        let seq = self.inner.seq.get();
+        self.inner.seq.set(seq + 1);
+        let cancelled = Rc::new(Cell::new(false));
+        self.inner.events.borrow_mut().push(EventEntry {
+            at,
+            seq,
+            cancelled: Rc::clone(&cancelled),
+            action: Box::new(action),
+        });
+        TimerHandle { cancelled }
+    }
+
+    // ----- tasks --------------------------------------------------------
+
+    /// Spawns a simulated activity; it is first polled when the run loop
+    /// next reaches a scheduling point (at the current virtual time).
+    pub fn spawn<F>(&self, fut: F) -> TaskId
+    where
+        F: Future<Output = ()> + 'static,
+    {
+        self.spawn_named(None, fut)
+    }
+
+    /// Spawns with a debug label.
+    pub fn spawn_named<F>(&self, name: Option<String>, fut: F) -> TaskId
+    where
+        F: Future<Output = ()> + 'static,
+    {
+        let id = self.inner.tasks.borrow_mut().insert(TaskSlot {
+            future: Some(Box::pin(fut)),
+            name,
+        });
+        self.inner.spawned.borrow_mut().push(id);
+        TaskId(id)
+    }
+
+    /// Requests that `task` be polled at the current time (idempotent-ish;
+    /// extra polls are harmless for well-formed futures).
+    pub fn wake_task(&self, task: TaskId) {
+        self.inner.wakes.post(task.0);
+    }
+
+    fn poll_task(&self, id: usize) {
+        let fut = match self.inner.tasks.borrow_mut().get_mut(id) {
+            Some(slot) => slot.future.take(),
+            None => return, // already completed
+        };
+        let Some(mut fut) = fut else {
+            return; // re-entrant wake while polling; the outer poll handles it
+        };
+        self.inner.polls.set(self.inner.polls.get() + 1);
+        let waker = waker_for(id, &self.inner.wakes);
+        let mut cx = Context::from_waker(&waker);
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                self.inner.tasks.borrow_mut().remove(id);
+            }
+            Poll::Pending => {
+                if let Some(slot) = self.inner.tasks.borrow_mut().get_mut(id) {
+                    slot.future = Some(fut);
+                }
+            }
+        }
+    }
+
+    /// Polls newly spawned tasks and drains posted wake-ups until quiescent.
+    fn drain_microtasks(&self) {
+        loop {
+            let spawned: Vec<usize> = std::mem::take(&mut *self.inner.spawned.borrow_mut());
+            let woken = self.inner.wakes.drain();
+            if spawned.is_empty() && woken.is_empty() {
+                return;
+            }
+            for id in spawned.into_iter().chain(woken) {
+                self.poll_task(id);
+            }
+        }
+    }
+
+    // ----- run loop -----------------------------------------------------
+
+    /// Runs until the event heap is exhausted; returns the final time.
+    pub fn run(&self) -> SimTime {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs until virtual time would exceed `limit`; events at exactly
+    /// `limit` are executed. Returns the time reached.
+    pub fn run_until(&self, limit: SimTime) -> SimTime {
+        loop {
+            self.drain_microtasks();
+            let entry = {
+                let mut events = self.inner.events.borrow_mut();
+                match events.peek() {
+                    Some(e) if e.at <= limit => events.pop(),
+                    _ => {
+                        // Nothing left inside the horizon; advance the
+                        // clock to a finite horizon before stopping.
+                        if limit != SimTime::MAX {
+                            self.inner.clock.set(limit);
+                        }
+                        return self.now();
+                    }
+                }
+            };
+            let Some(entry) = entry else { return self.now() };
+            debug_assert!(entry.at >= self.now(), "time went backwards");
+            self.inner.clock.set(entry.at);
+            if !entry.cancelled.get() {
+                self.inner
+                    .executed_events
+                    .set(self.inner.executed_events.get() + 1);
+                (entry.action)(self);
+            }
+        }
+    }
+
+    /// Advances virtual time by `d`, executing everything in between.
+    pub fn run_for(&self, d: SimDuration) -> SimTime {
+        self.run_until(self.now() + d)
+    }
+
+    // ----- futures ------------------------------------------------------
+
+    /// A future that completes `d` of virtual time from now.
+    pub fn sleep(&self, d: SimDuration) -> Sleep {
+        Sleep {
+            sim: self.clone(),
+            deadline: self.now() + d,
+            scheduled: false,
+        }
+    }
+
+    /// A future that yields once: re-polled at the current virtual time
+    /// after other due activities have run.
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow { yielded: false }
+    }
+
+    /// Debug label of a task, if it is alive and was named.
+    pub fn task_name(&self, task: TaskId) -> Option<String> {
+        self.inner
+            .tasks
+            .borrow()
+            .get(task.0)
+            .and_then(|s| s.name.clone())
+    }
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now())
+            .field("live_tasks", &self.live_tasks())
+            .field("pending_events", &self.inner.events.borrow().len())
+            .finish()
+    }
+}
+
+/// Future returned by [`Sim::sleep`].
+pub struct Sleep {
+    sim: Sim,
+    deadline: SimTime,
+    scheduled: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.sim.now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        if !self.scheduled {
+            self.scheduled = true;
+            let waker = cx.waker().clone();
+            self.sim.schedule_at(self.deadline, move |_| waker.wake());
+        }
+        Poll::Pending
+    }
+}
+
+/// Future returned by [`Sim::yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell as StdRefCell;
+
+    #[test]
+    fn clock_starts_at_zero_and_advances() {
+        let sim = Sim::new(0);
+        assert_eq!(sim.now(), SimTime::ZERO);
+        sim.schedule_in(SimDuration::from_micros(10), |_| {});
+        assert_eq!(sim.run().as_micros(), 10);
+    }
+
+    #[test]
+    fn events_fire_in_time_then_insertion_order() {
+        let sim = Sim::new(0);
+        let log = Rc::new(StdRefCell::new(Vec::new()));
+        for (delay, tag) in [(5u64, 'b'), (1, 'a'), (5, 'c')] {
+            let log = Rc::clone(&log);
+            sim.schedule_in(SimDuration::from_micros(delay), move |_| {
+                log.borrow_mut().push(tag);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let sim = Sim::new(0);
+        let hit = Rc::new(Cell::new(false));
+        let h = {
+            let hit = Rc::clone(&hit);
+            sim.schedule_in(SimDuration::from_micros(1), move |_| hit.set(true))
+        };
+        h.cancel();
+        assert!(h.is_cancelled());
+        sim.run();
+        assert!(!hit.get());
+        assert_eq!(sim.executed_events(), 0);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let sim = Sim::new(0);
+        let hit = Rc::new(Cell::new(0u32));
+        for us in [5u64, 15] {
+            let hit = Rc::clone(&hit);
+            sim.schedule_in(SimDuration::from_micros(us), move |_| {
+                hit.set(hit.get() + 1)
+            });
+        }
+        sim.run_until(SimTime::from_micros(10));
+        assert_eq!(hit.get(), 1);
+        assert_eq!(sim.now().as_micros(), 10);
+        sim.run();
+        assert_eq!(hit.get(), 2);
+    }
+
+    #[test]
+    fn sleep_advances_task_time() {
+        let sim = Sim::new(0);
+        let sim2 = sim.clone();
+        let done = Rc::new(Cell::new(0u64));
+        let done2 = Rc::clone(&done);
+        sim.spawn(async move {
+            sim2.sleep(SimDuration::from_micros(3)).await;
+            sim2.sleep(SimDuration::from_micros(4)).await;
+            done2.set(sim2.now().as_micros());
+        });
+        sim.run();
+        assert_eq!(done.get(), 7);
+        assert_eq!(sim.live_tasks(), 0);
+    }
+
+    #[test]
+    fn zero_sleep_completes_immediately() {
+        let sim = Sim::new(0);
+        let sim2 = sim.clone();
+        let done = Rc::new(Cell::new(false));
+        let done2 = Rc::clone(&done);
+        sim.spawn(async move {
+            sim2.sleep(SimDuration::ZERO).await;
+            done2.set(true);
+        });
+        sim.run();
+        assert!(done.get());
+    }
+
+    #[test]
+    fn yield_now_interleaves_tasks() {
+        let sim = Sim::new(0);
+        let log = Rc::new(StdRefCell::new(Vec::new()));
+        for name in ["a", "b"] {
+            let sim2 = sim.clone();
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                for i in 0..2 {
+                    log.borrow_mut().push(format!("{name}{i}"));
+                    sim2.yield_now().await;
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec!["a0", "b0", "a1", "b1"]);
+    }
+
+    #[test]
+    fn tasks_spawning_tasks() {
+        let sim = Sim::new(0);
+        let sim2 = sim.clone();
+        let count = Rc::new(Cell::new(0u32));
+        let count2 = Rc::clone(&count);
+        sim.spawn(async move {
+            for _ in 0..3 {
+                let sim3 = sim2.clone();
+                let count3 = Rc::clone(&count2);
+                sim2.spawn(async move {
+                    sim3.sleep(SimDuration::from_micros(1)).await;
+                    count3.set(count3.get() + 1);
+                });
+            }
+        });
+        sim.run();
+        assert_eq!(count.get(), 3);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run_once() -> Vec<u64> {
+            let sim = Sim::new(7);
+            let out = Rc::new(StdRefCell::new(Vec::new()));
+            for _ in 0..10 {
+                let sim2 = sim.clone();
+                let out2 = Rc::clone(&out);
+                let delay = sim.with_rng(|r| r.gen_range(1, 100));
+                sim.spawn(async move {
+                    sim2.sleep(SimDuration::from_micros(delay)).await;
+                    out2.borrow_mut().push(sim2.now().as_nanos());
+                });
+            }
+            sim.run();
+            Rc::try_unwrap(out).unwrap().into_inner()
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn named_tasks_expose_names() {
+        let sim = Sim::new(0);
+        let sim2 = sim.clone();
+        let id = sim.spawn_named(Some("worker".into()), async move {
+            sim2.sleep(SimDuration::from_micros(1)).await;
+        });
+        assert_eq!(sim.task_name(id).as_deref(), Some("worker"));
+        sim.run();
+        assert_eq!(sim.task_name(id), None);
+    }
+}

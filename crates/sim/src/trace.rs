@@ -1,0 +1,188 @@
+//! Lightweight event tracing for debugging simulations.
+
+use crate::SimTime;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+
+/// Category of a trace record; used for filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Thread scheduler decisions (dispatch, block, wake).
+    Sched,
+    /// Tasklet lifecycle.
+    Tasklet,
+    /// PIOMAN event manager.
+    Pioman,
+    /// NewMadeleine protocol steps.
+    Proto,
+    /// NIC / link / DMA activity.
+    Hw,
+    /// Application-level markers.
+    App,
+}
+
+/// One trace record.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Virtual time of the record.
+    pub at: SimTime,
+    /// Subsystem that emitted it.
+    pub category: Category,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// A bounded ring of trace records, disabled by default (zero cost beyond a
+/// branch).
+pub struct Trace {
+    inner: RefCell<TraceInner>,
+}
+
+struct TraceInner {
+    enabled: bool,
+    capacity: usize,
+    records: VecDeque<Record>,
+}
+
+impl Trace {
+    /// Creates a disabled trace with the default capacity (64 Ki records).
+    pub fn new() -> Self {
+        Trace {
+            inner: RefCell::new(TraceInner {
+                enabled: false,
+                capacity: 65_536,
+                records: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.borrow_mut().enabled = enabled;
+    }
+
+    /// True if recording.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.borrow().enabled
+    }
+
+    /// Caps the ring at `capacity` records (oldest evicted first).
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut inner = self.inner.borrow_mut();
+        inner.capacity = capacity;
+        while inner.records.len() > capacity {
+            inner.records.pop_front();
+        }
+    }
+
+    /// Appends a record if enabled. `message` is only evaluated lazily by
+    /// callers using [`Trace::emit_with`].
+    pub fn emit(&self, at: SimTime, category: Category, message: impl Into<String>) {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.enabled {
+            return;
+        }
+        if inner.records.len() == inner.capacity {
+            inner.records.pop_front();
+        }
+        inner.records.push_back(Record {
+            at,
+            category,
+            message: message.into(),
+        });
+    }
+
+    /// Appends a record built lazily (skips the closure when disabled).
+    pub fn emit_with(&self, at: SimTime, category: Category, f: impl FnOnce() -> String) {
+        if self.is_enabled() {
+            self.emit(at, category, f());
+        }
+    }
+
+    /// Snapshot of all records.
+    pub fn records(&self) -> Vec<Record> {
+        self.inner.borrow().records.iter().cloned().collect()
+    }
+
+    /// Snapshot filtered to one category.
+    pub fn records_in(&self, category: Category) -> Vec<Record> {
+        self.inner
+            .borrow()
+            .records
+            .iter()
+            .filter(|r| r.category == category)
+            .cloned()
+            .collect()
+    }
+
+    /// Clears all records.
+    pub fn clear(&self) {
+        self.inner.borrow_mut().records.clear();
+    }
+
+    /// Renders the trace as text, one record per line.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for r in self.inner.borrow().records.iter() {
+            let _ = writeln!(out, "[{:>12}] {:?}: {}", r.at.to_string(), r.category, r.message);
+        }
+        out
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let t = Trace::new();
+        t.emit(SimTime::ZERO, Category::App, "x");
+        assert!(t.records().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_and_filters() {
+        let t = Trace::new();
+        t.set_enabled(true);
+        t.emit(SimTime::from_micros(1), Category::App, "a");
+        t.emit(SimTime::from_micros(2), Category::Hw, "b");
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.records_in(Category::Hw).len(), 1);
+        assert!(t.render().contains("Hw: b"));
+        t.clear();
+        assert!(t.records().is_empty());
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let t = Trace::new();
+        t.set_enabled(true);
+        t.set_capacity(2);
+        for i in 0..5 {
+            t.emit(SimTime::from_micros(i), Category::App, format!("m{i}"));
+        }
+        let rs = t.records();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].message, "m3");
+        assert_eq!(rs[1].message, "m4");
+    }
+
+    #[test]
+    fn emit_with_is_lazy() {
+        let t = Trace::new();
+        let mut called = false;
+        t.emit_with(SimTime::ZERO, Category::App, || {
+            called = true;
+            String::new()
+        });
+        assert!(!called);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests of the DES kernel: temporal ordering,
+//! determinism, slab/model equivalence, RNG bounds.
+
+use pm2_sim::{Sim, SimDuration, Slab};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    /// Events always fire in non-decreasing time order, with ties broken
+    /// by insertion order.
+    #[test]
+    fn events_fire_in_time_order(delays in prop::collection::vec(0u64..10_000, 1..200)) {
+        let sim = Sim::new(0);
+        let log: Rc<RefCell<Vec<(u64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+        for (i, &d) in delays.iter().enumerate() {
+            let log = Rc::clone(&log);
+            sim.schedule_in(SimDuration::from_nanos(d), move |s| {
+                log.borrow_mut().push((s.now().as_nanos(), i));
+            });
+        }
+        sim.run();
+        let log = log.borrow();
+        prop_assert_eq!(log.len(), delays.len());
+        for w in log.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "tie not broken by insertion order");
+            }
+        }
+        for (at, i) in log.iter() {
+            prop_assert_eq!(*at, delays[*i]);
+        }
+    }
+
+    /// The same seed and the same program produce the identical event
+    /// trace, including through RNG-dependent decisions.
+    #[test]
+    fn runs_are_deterministic(seed in any::<u64>(), n in 1usize..50) {
+        fn run(seed: u64, n: usize) -> Vec<u64> {
+            let sim = Sim::new(seed);
+            let out = Rc::new(RefCell::new(Vec::new()));
+            for _ in 0..n {
+                let d = sim.with_rng(|r| r.gen_range(1, 1_000));
+                let out = Rc::clone(&out);
+                let sim2 = sim.clone();
+                sim.spawn(async move {
+                    sim2.sleep(SimDuration::from_nanos(d)).await;
+                    out.borrow_mut().push(sim2.now().as_nanos());
+                });
+            }
+            sim.run();
+            Rc::try_unwrap(out).unwrap().into_inner()
+        }
+        prop_assert_eq!(run(seed, n), run(seed, n));
+    }
+
+    /// Sleeping tasks accumulate exactly the requested virtual time.
+    #[test]
+    fn sleep_durations_accumulate(durs in prop::collection::vec(0u64..5_000, 1..40)) {
+        let sim = Sim::new(0);
+        let total: u64 = durs.iter().sum();
+        let sim2 = sim.clone();
+        let end = Rc::new(RefCell::new(0u64));
+        let end2 = Rc::clone(&end);
+        sim.spawn(async move {
+            for d in durs {
+                sim2.sleep(SimDuration::from_nanos(d)).await;
+            }
+            *end2.borrow_mut() = sim2.now().as_nanos();
+        });
+        sim.run();
+        prop_assert_eq!(*end.borrow(), total);
+    }
+
+    /// The slab agrees with a HashMap model under arbitrary operations.
+    #[test]
+    fn slab_matches_model(ops in prop::collection::vec((any::<bool>(), 0usize..64), 0..300)) {
+        let mut slab = Slab::new();
+        let mut model = std::collections::HashMap::new();
+        let mut keys: Vec<usize> = Vec::new();
+        for (insert, x) in ops {
+            if insert || keys.is_empty() {
+                let k = slab.insert(x);
+                prop_assert!(model.insert(k, x).is_none(), "key reused while occupied");
+                keys.push(k);
+            } else {
+                let k = keys.remove(x % keys.len());
+                prop_assert_eq!(slab.remove(k), model.remove(&k));
+            }
+            prop_assert_eq!(slab.len(), model.len());
+        }
+        for (k, v) in &model {
+            prop_assert_eq!(slab.get(*k), Some(v));
+        }
+    }
+
+    /// RNG ranges are respected for arbitrary bounds.
+    #[test]
+    fn rng_ranges_hold(seed in any::<u64>(), lo in 0u64..1000, width in 1u64..1000) {
+        let mut rng = pm2_sim::rng::Xoshiro256::new(seed);
+        for _ in 0..100 {
+            let v = rng.gen_range(lo, lo + width);
+            prop_assert!(v >= lo && v < lo + width);
+        }
+    }
+
+    /// Histogram percentiles are monotone in p.
+    #[test]
+    fn histogram_percentiles_monotone(samples in prop::collection::vec(0.0f64..100.0, 1..200)) {
+        let mut h = pm2_sim::stats::Histogram::new(1.0, 128);
+        for s in &samples {
+            h.record(*s);
+        }
+        let mut last = 0.0;
+        for p in [1.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = h.percentile(p);
+            prop_assert!(v >= last, "percentile({p}) = {v} < {last}");
+            last = v;
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Event count: spin-then-park completion waiting.
+
+use crate::Backoff;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event counter with efficient waiting.
+///
+/// The paper's `swait` needs to block a communicating thread until "the
+/// request completed" while letting the completion be signalled from *any*
+/// core (whichever ran the detection tasklet). `EventCount` implements the
+/// standard two-phase wait:
+///
+/// 1. spin briefly with [`Backoff`] — completions in the engine are
+///    typically microseconds away, so most waits never touch the OS;
+/// 2. park on a condition variable, with the waiter count published
+///    *before* re-checking the counter so a concurrent [`EventCount::signal`]
+///    cannot be lost (the classic flag-then-recheck protocol).
+///
+/// The counter is a u64 "generation": waiting is always expressed as "wake
+/// me when the count exceeds the value I observed", which makes the
+/// primitive immune to missed wakeups and spurious ones alike.
+///
+/// # Example
+/// ```
+/// use pm2_sync::EventCount;
+/// let ec = EventCount::new();
+/// let seen = ec.current();
+/// ec.signal();              // e.g. from a completion tasklet
+/// ec.wait_past(seen);       // returns immediately: already signalled
+/// ```
+#[derive(Debug)]
+pub struct EventCount {
+    count: AtomicU64,
+    waiters: Mutex<usize>,
+    condvar: Condvar,
+}
+
+impl EventCount {
+    /// Creates an event count at generation 0.
+    pub fn new() -> Self {
+        EventCount {
+            count: AtomicU64::new(0),
+            waiters: Mutex::new(0),
+            condvar: Condvar::new(),
+        }
+    }
+
+    /// Current generation.
+    pub fn current(&self) -> u64 {
+        self.count.load(Ordering::Acquire)
+    }
+
+    /// Increments the generation and wakes all parked waiters.
+    pub fn signal(&self) {
+        self.count.fetch_add(1, Ordering::Release);
+        // Only take the lock if somebody might be parked; the load pairs
+        // with the increment in `wait_past` (performed under the lock).
+        let waiters = self.waiters.lock();
+        if *waiters > 0 {
+            self.condvar.notify_all();
+        }
+    }
+
+    /// Blocks until the generation exceeds `seen`.
+    ///
+    /// `seen` is the value a prior call to [`EventCount::current`] returned;
+    /// if the event already happened, this returns immediately.
+    pub fn wait_past(&self, seen: u64) {
+        // Phase 1: optimistic spinning.
+        let backoff = Backoff::new();
+        while !backoff.is_completed() {
+            if self.count.load(Ordering::Acquire) > seen {
+                return;
+            }
+            backoff.snooze();
+        }
+        // Phase 2: park.
+        let mut waiters = self.waiters.lock();
+        *waiters += 1;
+        // Re-check under the lock: a signal between phase 1 and here took
+        // the same lock, so it either saw our registration or bumped the
+        // counter before we re-check.
+        while self.count.load(Ordering::Acquire) <= seen {
+            self.condvar.wait(&mut waiters);
+        }
+        *waiters -= 1;
+    }
+
+    /// Convenience: waits for the *next* signal after now.
+    pub fn wait_next(&self) {
+        self.wait_past(self.current());
+    }
+}
+
+impl Default for EventCount {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn immediate_return_if_already_signalled() {
+        let ec = EventCount::new();
+        let seen = ec.current();
+        ec.signal();
+        ec.wait_past(seen); // must not block
+        assert_eq!(ec.current(), 1);
+    }
+
+    #[test]
+    fn cross_thread_wakeup() {
+        let ec = Arc::new(EventCount::new());
+        let seen = ec.current();
+        let waiter = {
+            let ec = Arc::clone(&ec);
+            std::thread::spawn(move || {
+                ec.wait_past(seen);
+                ec.current()
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        ec.signal();
+        assert!(waiter.join().unwrap() >= 1);
+    }
+
+    #[test]
+    fn many_waiters_all_released() {
+        let ec = Arc::new(EventCount::new());
+        let seen = ec.current();
+        let waiters: Vec<_> = (0..8)
+            .map(|_| {
+                let ec = Arc::clone(&ec);
+                std::thread::spawn(move || ec.wait_past(seen))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(10));
+        ec.signal();
+        for w in waiters {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn generations_are_monotonic() {
+        let ec = EventCount::new();
+        for i in 1..=100 {
+            ec.signal();
+            assert_eq!(ec.current(), i);
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Bounded lock-free multi-producer multi-consumer ring buffer.
+
+use crate::CachePadded;
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Dmitry Vyukov's bounded MPMC queue.
+///
+/// Used for fixed-depth hardware-style queues in the engine: NIC doorbell
+/// rings and per-core tasklet vectors, where the capacity is a hardware
+/// parameter and "full" is meaningful back-pressure.
+///
+/// Each slot carries a sequence number; producers and consumers claim slots
+/// with a CAS on a cache-padded cursor, then synchronize hand-off through
+/// the slot's sequence number — so a slow producer never blocks consumers of
+/// *other* slots.
+///
+/// # Example
+/// ```
+/// use pm2_sync::MpmcQueue;
+/// let ring = MpmcQueue::with_capacity(2);
+/// ring.push(1).unwrap();
+/// ring.push(2).unwrap();
+/// assert_eq!(ring.push(3), Err(3)); // full: back-pressure
+/// assert_eq!(ring.pop(), Some(1));
+/// ```
+pub struct MpmcQueue<T> {
+    buffer: Box<[Slot<T>]>,
+    mask: usize,
+    enqueue_pos: CachePadded<AtomicUsize>,
+    dequeue_pos: CachePadded<AtomicUsize>,
+}
+
+struct Slot<T> {
+    sequence: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+// SAFETY: slot hand-off is synchronized by per-slot sequence numbers.
+unsafe impl<T: Send> Send for MpmcQueue<T> {}
+unsafe impl<T: Send> Sync for MpmcQueue<T> {}
+
+impl<T> MpmcQueue<T> {
+    /// Creates a queue able to hold `capacity` elements.
+    ///
+    /// `capacity` is rounded up to the next power of two and must be ≥ 2.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is 0 or 1.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 2, "MpmcQueue capacity must be at least 2");
+        let cap = capacity.next_power_of_two();
+        let buffer: Box<[Slot<T>]> = (0..cap)
+            .map(|i| Slot {
+                sequence: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        MpmcQueue {
+            buffer,
+            mask: cap - 1,
+            enqueue_pos: CachePadded::new(AtomicUsize::new(0)),
+            dequeue_pos: CachePadded::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Capacity of the ring (a power of two).
+    pub fn capacity(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Attempts to enqueue `value`; returns it back if the queue is full.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.buffer[pos & self.mask];
+            let seq = slot.sequence.load(Ordering::Acquire);
+            let diff = seq as isize - pos as isize;
+            if diff == 0 {
+                // Slot free for this lap; try to claim it.
+                match self.enqueue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: we claimed the slot; nobody else touches
+                        // it until we bump its sequence.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.sequence.store(pos.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(cur) => pos = cur,
+                }
+            } else if diff < 0 {
+                return Err(value); // full
+            } else {
+                pos = self.enqueue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Attempts to dequeue a value; returns `None` if the queue is empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.buffer[pos & self.mask];
+            let seq = slot.sequence.load(Ordering::Acquire);
+            let diff = seq as isize - (pos.wrapping_add(1)) as isize;
+            if diff == 0 {
+                match self.dequeue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: we claimed a filled slot; read the value
+                        // and release the slot for the next lap.
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.sequence
+                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(cur) => pos = cur,
+                }
+            } else if diff < 0 {
+                return None; // empty
+            } else {
+                pos = self.dequeue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Approximate number of queued elements (racy; diagnostic only).
+    pub fn len(&self) -> usize {
+        let enq = self.enqueue_pos.load(Ordering::Relaxed);
+        let deq = self.dequeue_pos.load(Ordering::Relaxed);
+        enq.wrapping_sub(deq).min(self.capacity())
+    }
+
+    /// Whether the queue appears empty (racy; diagnostic only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for MpmcQueue<T> {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+impl<T> fmt::Debug for MpmcQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MpmcQueue")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fills_and_drains() {
+        let q = MpmcQueue::with_capacity(4);
+        assert_eq!(q.capacity(), 4);
+        for i in 0..4 {
+            assert!(q.push(i).is_ok());
+        }
+        assert_eq!(q.push(99), Err(99));
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_up() {
+        let q: MpmcQueue<u8> = MpmcQueue::with_capacity(5);
+        assert_eq!(q.capacity(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_tiny_capacity() {
+        let _ = MpmcQueue::<u8>::with_capacity(1);
+    }
+
+    #[test]
+    fn wraps_many_laps() {
+        let q = MpmcQueue::with_capacity(2);
+        for i in 0..1000 {
+            q.push(i).unwrap();
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_conserve_items() {
+        const PRODUCERS: usize = 2;
+        const CONSUMERS: usize = 2;
+        const PER: usize = 20_000;
+        let q = Arc::new(MpmcQueue::with_capacity(64));
+        let produced_sum: u64 = (0..(PRODUCERS * PER) as u64).sum();
+
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..PER {
+                        let v = (p * PER + i) as u64;
+                        let mut item = v;
+                        loop {
+                            match q.push(item) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    item = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let consumers: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut sum = 0u64;
+                    let mut got = 0usize;
+                    while got < PRODUCERS * PER / CONSUMERS {
+                        if let Some(v) = q.pop() {
+                            sum += v;
+                            got += 1;
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                    sum
+                })
+            })
+            .collect();
+
+        for p in producers {
+            p.join().unwrap();
+        }
+        let consumed_sum: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(consumed_sum, produced_sum);
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,220 @@
+//! Unbounded lock-free multi-producer single-consumer queue.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+/// Dmitry Vyukov's non-intrusive MPSC queue.
+///
+/// This is the submission path of the engine: any application thread
+/// (producer) registers a communication request by pushing a node; a single
+/// consumer — whichever core runs the progression tasklet, one at a time by
+/// tasklet serialization — drains it. Push is a single atomic `swap`
+/// (wait-free for producers); pop is lock-free for the unique consumer.
+///
+/// # Single-consumer contract
+/// [`MpscQueue::pop`] must not be called concurrently from two threads.
+/// The queue enforces this dynamically in debug builds only; the engine
+/// guarantees it structurally (tasklets are serialized).
+///
+/// # Example
+/// ```
+/// use pm2_sync::MpscQueue;
+/// let q = MpscQueue::new();
+/// q.push("request");
+/// assert_eq!(q.pop(), Some("request"));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct MpscQueue<T> {
+    head: AtomicPtr<Node<T>>, // producers swap here
+    tail: UnsafeCell<*mut Node<T>>, // consumer-only
+}
+
+struct Node<T> {
+    next: AtomicPtr<Node<T>>,
+    value: Option<T>,
+}
+
+// SAFETY: producers touch only `head` (atomic); the consumer side is a
+// single thread by contract. Values of T move across threads, hence T: Send.
+unsafe impl<T: Send> Send for MpscQueue<T> {}
+unsafe impl<T: Send> Sync for MpscQueue<T> {}
+
+impl<T> MpscQueue<T> {
+    /// Creates an empty queue (allocates one stub node).
+    pub fn new() -> Self {
+        let stub = Box::into_raw(Box::new(Node {
+            next: AtomicPtr::new(ptr::null_mut()),
+            value: None,
+        }));
+        MpscQueue {
+            head: AtomicPtr::new(stub),
+            tail: UnsafeCell::new(stub),
+        }
+    }
+
+    /// Pushes `value`; wait-free for each producer (one `swap`).
+    pub fn push(&self, value: T) {
+        let node = Box::into_raw(Box::new(Node {
+            next: AtomicPtr::new(ptr::null_mut()),
+            value: Some(value),
+        }));
+        // Publish the node: swap ourselves in as the newest node, then link
+        // the previous newest to us. Between the swap and the store the
+        // queue is transiently "broken" at prev — pop observes this as a
+        // temporarily empty queue, never as corruption.
+        let prev = self.head.swap(node, Ordering::AcqRel);
+        // SAFETY: `prev` was obtained from the swap, so we are the only
+        // thread that will ever write its `next` field.
+        unsafe { (*prev).next.store(node, Ordering::Release) };
+    }
+
+    /// Pops the oldest value. Single-consumer only.
+    ///
+    /// Returns `None` when the queue is empty *or* momentarily broken by an
+    /// in-flight push (the producer has swapped but not yet linked); callers
+    /// treat both as "nothing available right now".
+    pub fn pop(&self) -> Option<T> {
+        // SAFETY: single consumer by contract.
+        let tail = unsafe { *self.tail.get() };
+        // SAFETY: tail is always a valid node owned by the queue.
+        let next = unsafe { (*tail).next.load(Ordering::Acquire) };
+        if next.is_null() {
+            return None;
+        }
+        // SAFETY: `next` is fully linked (we loaded it with Acquire after
+        // the producer's Release store), and becomes the new stub; the old
+        // stub is freed.
+        unsafe {
+            *self.tail.get() = next;
+            let value = (*next).value.take();
+            drop(Box::from_raw(tail));
+            debug_assert!(value.is_some(), "non-stub node must carry a value");
+            value
+        }
+    }
+
+    /// Returns `true` if the queue appears empty.
+    ///
+    /// Producers may race with this check; use it only as a fast-path hint
+    /// (e.g. "skip scheduling the progression tasklet").
+    pub fn is_empty(&self) -> bool {
+        // SAFETY: reading tail is safe from the consumer; from other
+        // threads it is a racy hint, which is the documented contract.
+        let tail = unsafe { *self.tail.get() };
+        unsafe { (*tail).next.load(Ordering::Acquire).is_null() }
+    }
+
+    /// Drains the queue into a vector. Single-consumer only.
+    pub fn drain(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(v) = self.pop() {
+            out.push(v);
+        }
+        out
+    }
+}
+
+impl<T> Default for MpscQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Drop for MpscQueue<T> {
+    fn drop(&mut self) {
+        // Drain remaining values, then free the stub.
+        while self.pop().is_some() {}
+        // SAFETY: after draining, tail == head == stub; we own everything.
+        unsafe {
+            let stub = *self.tail.get();
+            drop(Box::from_raw(stub));
+        }
+    }
+}
+
+impl<T> fmt::Debug for MpscQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MpscQueue")
+            .field("empty", &self.is_empty())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = MpscQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        for i in 0..10 {
+            q.push(i);
+        }
+        assert!(!q.is_empty());
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn drain_collects_all() {
+        let q = MpscQueue::new();
+        for i in 0..5 {
+            q.push(i);
+        }
+        assert_eq!(q.drain(), vec![0, 1, 2, 3, 4]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drop_releases_pending_values() {
+        let q = MpscQueue::new();
+        for i in 0..100 {
+            q.push(Box::new(i)); // heap values: leak would be caught by miri/asan
+        }
+        drop(q);
+    }
+
+    #[test]
+    fn multi_producer_preserves_per_producer_order() {
+        const PRODUCERS: usize = 4;
+        const PER: u64 = 5_000;
+        let q = Arc::new(MpscQueue::new());
+        let handles: Vec<_> = (0..PRODUCERS as u64)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..PER {
+                        q.push(p * PER + i);
+                    }
+                })
+            })
+            .collect();
+
+        let mut last_seen = vec![None::<u64>; PRODUCERS];
+        let mut count = 0;
+        while count < PRODUCERS as u64 * PER {
+            if let Some(v) = q.pop() {
+                let p = (v / PER) as usize;
+                let i = v % PER;
+                if let Some(prev) = last_seen[p] {
+                    assert!(i > prev, "per-producer FIFO violated");
+                }
+                last_seen[p] = Some(i);
+                count += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,291 @@
+//! A native (real OS threads) mini progress engine.
+//!
+//! The simulated stack reproduces the paper's *measurements*; this module
+//! demonstrates the paper's *design* with real concurrency, end to end:
+//!
+//! * an asynchronous operation only **registers** a work item
+//!   ([`NativeEngine::submit`] returns immediately);
+//! * idle worker threads (the "idle cores") execute the expensive part in
+//!   the background, serialized through the tasklet protocol;
+//! * a thread reaching [`NativeEngine::wait`] first **helps** — it drains
+//!   pending work items itself, exactly like "the message is sent inside
+//!   the wait function" (§3.2) — and only then parks on an [`EventCount`].
+//!
+//! Used by the `bench_sync` criterion benches and by stress tests; it is
+//! also a template for embedding the offload pattern in real Rust
+//! services.
+
+use crate::{EventCount, MpmcQueue, TaskletExecutor, TaskletHandle};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Completion handle of a submitted operation.
+#[derive(Clone)]
+pub struct NativeRequest {
+    state: Arc<ReqState>,
+}
+
+struct ReqState {
+    done: AtomicBool,
+    event: EventCount,
+}
+
+impl NativeRequest {
+    fn new() -> Self {
+        NativeRequest {
+            state: Arc::new(ReqState {
+                done: AtomicBool::new(false),
+                event: EventCount::new(),
+            }),
+        }
+    }
+
+    /// True once the operation ran.
+    pub fn is_complete(&self) -> bool {
+        self.state.done.load(Ordering::Acquire)
+    }
+
+    fn complete(&self) {
+        self.state.done.store(true, Ordering::Release);
+        self.state.event.signal();
+    }
+}
+
+type WorkFn = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    queue: MpmcQueue<(WorkFn, NativeRequest)>,
+    helped: AtomicU64,
+    offloaded: AtomicU64,
+}
+
+impl Shared {
+    /// Runs one pending work item; returns false if none was queued.
+    fn run_one(&self, helping: bool) -> bool {
+        match self.queue.pop() {
+            Some((work, req)) => {
+                work();
+                req.complete();
+                if helping {
+                    self.helped.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.offloaded.fetch_add(1, Ordering::Relaxed);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// The engine: a tasklet pool plus a work queue.
+///
+/// # Example
+/// ```
+/// use pm2_sync::NativeEngine;
+/// let engine = NativeEngine::new(2);
+/// let req = engine.submit(|| { /* expensive submission */ });
+/// // ... caller computes; an idle worker runs the closure ...
+/// engine.wait(&req);
+/// assert!(req.is_complete());
+/// engine.shutdown();
+/// ```
+pub struct NativeEngine {
+    executor: TaskletExecutor,
+    shared: Arc<Shared>,
+    progress: TaskletHandle,
+}
+
+impl NativeEngine {
+    /// Spawns an engine with `workers` background threads.
+    pub fn new(workers: usize) -> Self {
+        let executor = TaskletExecutor::new(workers);
+        let shared = Arc::new(Shared {
+            queue: MpmcQueue::with_capacity(4096),
+            helped: AtomicU64::new(0),
+            offloaded: AtomicU64::new(0),
+        });
+        let progress = {
+            let shared = Arc::clone(&shared);
+            executor.register(move || {
+                // Drain everything currently visible; schedules coalesce,
+                // so a burst of submissions runs in one pass.
+                while shared.run_one(false) {}
+            })
+        };
+        NativeEngine {
+            executor,
+            shared,
+            progress,
+        }
+    }
+
+    /// Registers `work` for background execution; returns its handle.
+    ///
+    /// This is the `isend` analogue: cheap for the caller, the expensive
+    /// part runs on whichever worker gets there first.
+    pub fn submit(&self, work: impl FnOnce() + Send + 'static) -> NativeRequest {
+        let req = NativeRequest::new();
+        let mut item = (Box::new(work) as WorkFn, req.clone());
+        loop {
+            match self.shared.queue.push(item) {
+                Ok(()) => break,
+                Err(back) => {
+                    item = back;
+                    std::thread::yield_now();
+                }
+            }
+        }
+        self.progress.schedule();
+        req
+    }
+
+    /// Waits for `req`, helping with pending work meanwhile.
+    pub fn wait(&self, req: &NativeRequest) {
+        loop {
+            if req.is_complete() {
+                return;
+            }
+            // Help: run pending work inline ("submitted during the wait").
+            if self.shared.run_one(true) {
+                continue;
+            }
+            if req.is_complete() {
+                return;
+            }
+            // Nothing to help with: park until some completion fires.
+            let seen = req.state.event.current();
+            if req.is_complete() {
+                return;
+            }
+            req.state.event.wait_past(seen);
+        }
+    }
+
+    /// (background executions, helped-inline executions).
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.shared.offloaded.load(Ordering::Relaxed),
+            self.shared.helped.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Total tasklet body executions (diagnostics).
+    pub fn tasklet_runs(&self) -> u64 {
+        self.executor.executed()
+    }
+
+    /// Stops the workers.
+    pub fn shutdown(self) {
+        self.executor.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn submitted_work_completes_in_background() {
+        let engine = NativeEngine::new(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let reqs: Vec<NativeRequest> = (0..16)
+            .map(|_| {
+                let hits = Arc::clone(&hits);
+                engine.submit(move || {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for r in &reqs {
+            engine.wait(r);
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 16);
+        let (off, helped) = engine.stats();
+        assert_eq!(off + helped, 16);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn wait_helps_when_workers_are_busy() {
+        // One worker, blocked on a long item: the waiting thread must
+        // execute its own work inline.
+        let engine = NativeEngine::new(1);
+        let gate = Arc::new(AtomicBool::new(false));
+        let blocker = {
+            let gate = Arc::clone(&gate);
+            engine.submit(move || {
+                while !gate.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            })
+        };
+        // Give the worker time to start the blocker.
+        std::thread::sleep(Duration::from_millis(20));
+        let hits = Arc::new(AtomicUsize::new(0));
+        let mine = {
+            let hits = Arc::clone(&hits);
+            engine.submit(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        engine.wait(&mine);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        let (_, helped) = engine.stats();
+        assert!(helped >= 1, "the waiter should have helped");
+        gate.store(true, Ordering::Release);
+        engine.wait(&blocker);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn overlaps_with_caller_computation() {
+        // The paper's pattern natively: submit, compute, wait. The work
+        // should have completed during the computation.
+        let engine = NativeEngine::new(2);
+        let req = engine.submit(|| {
+            std::thread::sleep(Duration::from_millis(5));
+        });
+        // "Compute" long enough for the background worker to finish.
+        std::thread::sleep(Duration::from_millis(100));
+        let t = std::time::Instant::now();
+        engine.wait(&req);
+        assert!(
+            t.elapsed() < Duration::from_millis(50),
+            "wait should be (almost) instantaneous after overlap"
+        );
+        let (off, helped) = engine.stats();
+        assert_eq!((off, helped), (1, 0), "must have run in background");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn heavy_mixed_load() {
+        let engine = Arc::new(NativeEngine::new(3));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let submitters: Vec<_> = (0..4)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    let mut reqs = Vec::new();
+                    for _ in 0..200 {
+                        let counter = Arc::clone(&counter);
+                        reqs.push(engine.submit(move || {
+                            counter.fetch_add(1, Ordering::SeqCst);
+                        }));
+                    }
+                    for r in &reqs {
+                        engine.wait(r);
+                    }
+                })
+            })
+            .collect();
+        for s in submitters {
+            s.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 800);
+    }
+}

@@ -1,0 +1,282 @@
+//! Reader-writer spinlock with writer preference.
+
+use crate::Backoff;
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Writer-pending bit; reader count lives in the remaining bits.
+const WRITER: usize = 1 << (usize::BITS - 1);
+/// Writer-waiting bit: blocks new readers so writers cannot starve.
+const WRITER_WAITING: usize = 1 << (usize::BITS - 2);
+const READER_MASK: usize = WRITER_WAITING - 1;
+
+/// A busy-waiting reader-writer lock.
+///
+/// Engine metadata that is read on every progress call but written rarely
+/// (e.g. the table of registered drivers, the list of idle hooks) wants
+/// cheap shared readers. This lock packs the state into one word:
+/// reader count, a writer-held bit and a writer-waiting bit; a waiting
+/// writer blocks *new* readers so it cannot be starved by a reader
+/// convoy.
+///
+/// # Example
+/// ```
+/// use pm2_sync::RwSpinLock;
+/// let table = RwSpinLock::new(vec![1, 2, 3]);
+/// assert_eq!(table.read().len(), 3);
+/// table.write().push(4);
+/// assert_eq!(table.read()[3], 4);
+/// ```
+pub struct RwSpinLock<T: ?Sized> {
+    state: AtomicUsize,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: standard reader-writer exclusion; T must be Send for exclusive
+// access from any thread, and Sync for shared access from many.
+unsafe impl<T: ?Sized + Send> Send for RwSpinLock<T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwSpinLock<T> {}
+
+impl<T> RwSpinLock<T> {
+    /// Creates an unlocked lock.
+    pub const fn new(value: T) -> Self {
+        RwSpinLock {
+            state: AtomicUsize::new(0),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwSpinLock<T> {
+    /// Acquires shared (read) access.
+    pub fn read(&self) -> RwReadGuard<'_, T> {
+        let backoff = Backoff::new();
+        loop {
+            let s = self.state.load(Ordering::Relaxed);
+            // Wait while a writer holds or waits (writer preference).
+            if s & (WRITER | WRITER_WAITING) == 0 {
+                assert!(s & READER_MASK < READER_MASK, "reader count overflow");
+                if self
+                    .state
+                    .compare_exchange_weak(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    return RwReadGuard { lock: self };
+                }
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Attempts shared access without waiting.
+    pub fn try_read(&self) -> Option<RwReadGuard<'_, T>> {
+        let s = self.state.load(Ordering::Relaxed);
+        if s & (WRITER | WRITER_WAITING) != 0 {
+            return None;
+        }
+        self.state
+            .compare_exchange(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
+            .ok()
+            .map(|_| RwReadGuard { lock: self })
+    }
+
+    /// Acquires exclusive (write) access.
+    pub fn write(&self) -> RwWriteGuard<'_, T> {
+        // Announce intent so new readers back off.
+        self.state.fetch_or(WRITER_WAITING, Ordering::Relaxed);
+        let backoff = Backoff::new();
+        loop {
+            // Take the lock once no readers remain and no writer holds.
+            let s = self.state.load(Ordering::Relaxed);
+            if s & (WRITER | READER_MASK) == 0 {
+                if self
+                    .state
+                    .compare_exchange_weak(
+                        s,
+                        (s & !WRITER_WAITING) | WRITER,
+                        Ordering::Acquire,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok()
+                {
+                    return RwWriteGuard { lock: self };
+                }
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Attempts exclusive access without waiting.
+    pub fn try_write(&self) -> Option<RwWriteGuard<'_, T>> {
+        self.state
+            .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+            .ok()
+            .map(|_| RwWriteGuard { lock: self })
+    }
+
+    /// Current reader count (diagnostic; racy).
+    pub fn readers(&self) -> usize {
+        self.state.load(Ordering::Relaxed) & READER_MASK
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: Default> Default for RwSpinLock<T> {
+    fn default() -> Self {
+        RwSpinLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwSpinLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_read() {
+            Some(g) => f.debug_struct("RwSpinLock").field("data", &&*g).finish(),
+            None => f.write_str("RwSpinLock(<write-locked>)"),
+        }
+    }
+}
+
+/// Shared guard.
+#[must_use]
+pub struct RwReadGuard<'a, T: ?Sized> {
+    lock: &'a RwSpinLock<T>,
+}
+
+impl<T: ?Sized> Deref for RwReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: readers hold a share of the lock.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.state.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Exclusive guard.
+#[must_use]
+pub struct RwWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwSpinLock<T>,
+}
+
+impl<T: ?Sized> Deref for RwWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the writer holds exclusive access.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the writer holds exclusive access.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.state.fetch_and(!WRITER, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let l = RwSpinLock::new(5);
+        let r1 = l.read();
+        let r2 = l.read();
+        assert_eq!((*r1, *r2), (5, 5));
+        assert_eq!(l.readers(), 2);
+        assert!(l.try_write().is_none());
+        drop((r1, r2));
+        let mut w = l.write();
+        *w = 6;
+        assert!(l.try_read().is_none());
+        drop(w);
+        assert_eq!(*l.read(), 6);
+    }
+
+    #[test]
+    fn waiting_writer_blocks_new_readers() {
+        let l = Arc::new(RwSpinLock::new(0u32));
+        let r = l.read();
+        let writer_started = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let l = Arc::clone(&l);
+            let ws = Arc::clone(&writer_started);
+            std::thread::spawn(move || {
+                ws.store(true, Ordering::Release);
+                let mut w = l.write();
+                *w = 1;
+            })
+        };
+        while !writer_started.load(Ordering::Acquire) {
+            std::hint::spin_loop();
+        }
+        // Give the writer time to set WRITER_WAITING.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(
+            l.try_read().is_none(),
+            "new readers must wait behind a waiting writer"
+        );
+        drop(r);
+        writer.join().unwrap();
+        assert_eq!(*l.read(), 1);
+    }
+
+    #[test]
+    fn hammer_readers_and_writers() {
+        const WRITERS: usize = 2;
+        const READERS: usize = 2;
+        const ITERS: usize = 3_000;
+        let l = Arc::new(RwSpinLock::new((0u64, 0u64)));
+        let ws: Vec<_> = (0..WRITERS)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    for _ in 0..ITERS {
+                        let mut g = l.write();
+                        g.0 += 1;
+                        g.1 += 2;
+                    }
+                })
+            })
+            .collect();
+        let rs: Vec<_> = (0..READERS)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    for _ in 0..ITERS {
+                        let g = l.read();
+                        assert_eq!(g.1, g.0 * 2, "torn read under RW lock");
+                    }
+                })
+            })
+            .collect();
+        for t in ws.into_iter().chain(rs) {
+            t.join().unwrap();
+        }
+        let g = l.read();
+        assert_eq!(g.0, (WRITERS * ITERS) as u64);
+    }
+}

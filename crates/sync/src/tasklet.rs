@@ -1,0 +1,441 @@
+//! Native tasklet engine with Linux `tasklet_struct` semantics.
+//!
+//! Marcel "extensively relies on the concept of tasklets" (§3.1):
+//! high-priority deferred work items with three guarantees that make them
+//! ideal for serializing communication progress without a global lock:
+//!
+//! 1. **Coalescing** — scheduling an already-scheduled tasklet is a no-op;
+//! 2. **Self-exclusion** — a tasklet never runs on two CPUs at once, so its
+//!    body needs no internal locking against itself;
+//! 3. **Promptness** — a scheduled tasklet runs as soon as a worker reaches
+//!    a safe point.
+//!
+//! This module is the real-threads incarnation used by the native progress
+//! engine and by the stress tests; `pm2-marcel` re-implements the identical
+//! state machine under virtual time.
+
+use crate::{EventCount, MpmcQueue};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Tasklet state bits (mirrors Linux `TASKLET_STATE_SCHED` / `_RUN`).
+const SCHEDULED: u8 = 0b01;
+const RUNNING: u8 = 0b10;
+
+/// Observable state of a tasklet, for diagnostics and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskletState {
+    /// Not scheduled, not running.
+    Idle,
+    /// Queued for execution.
+    Scheduled,
+    /// Currently executing on some worker.
+    Running,
+    /// Executing, and re-scheduled during execution (will run again).
+    RunningScheduled,
+}
+
+/// A deferred work item with Linux-tasklet semantics.
+pub struct Tasklet {
+    state: AtomicU8,
+    disable_count: AtomicU32,
+    runs: AtomicU64,
+    coalesced: AtomicU64,
+    func: Box<dyn Fn() + Send + Sync + 'static>,
+}
+
+impl Tasklet {
+    /// Creates a tasklet executing `func` each time it is scheduled.
+    pub fn new<F: Fn() + Send + Sync + 'static>(func: F) -> Arc<Self> {
+        Arc::new(Tasklet {
+            state: AtomicU8::new(0),
+            disable_count: AtomicU32::new(0),
+            runs: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            func: Box::new(func),
+        })
+    }
+
+    /// Current state snapshot.
+    pub fn state(&self) -> TaskletState {
+        match self.state.load(Ordering::Acquire) {
+            0 => TaskletState::Idle,
+            s if s == SCHEDULED => TaskletState::Scheduled,
+            s if s == RUNNING => TaskletState::Running,
+            _ => TaskletState::RunningScheduled,
+        }
+    }
+
+    /// Number of times the body has executed.
+    pub fn run_count(&self) -> u64 {
+        self.runs.load(Ordering::Relaxed)
+    }
+
+    /// Number of `schedule` calls that coalesced into an existing one.
+    pub fn coalesced_count(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Forbids execution until a matching [`Tasklet::enable`]. Nestable.
+    ///
+    /// A disabled tasklet can still be *scheduled*; it runs once re-enabled.
+    pub fn disable(&self) {
+        self.disable_count.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Re-allows execution (one level).
+    ///
+    /// # Panics
+    /// Panics if called more times than [`Tasklet::disable`].
+    pub fn enable(&self) {
+        let prev = self.disable_count.fetch_sub(1, Ordering::AcqRel);
+        assert!(prev > 0, "Tasklet::enable without matching disable");
+    }
+
+    fn is_disabled(&self) -> bool {
+        self.disable_count.load(Ordering::Acquire) > 0
+    }
+
+    /// Marks scheduled; returns `true` if the caller must enqueue it.
+    fn mark_scheduled(&self) -> bool {
+        let prev = self.state.fetch_or(SCHEDULED, Ordering::AcqRel);
+        if prev & SCHEDULED != 0 {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Attempts to claim the RUN bit; `false` if already running elsewhere.
+    fn try_lock_run(&self) -> bool {
+        self.state.fetch_or(RUNNING, Ordering::AcqRel) & RUNNING == 0
+    }
+
+    fn unlock_run(&self) {
+        self.state.fetch_and(!RUNNING, Ordering::Release);
+    }
+
+    fn clear_scheduled(&self) {
+        self.state.fetch_and(!SCHEDULED, Ordering::AcqRel);
+    }
+
+    fn is_scheduled(&self) -> bool {
+        self.state.load(Ordering::Acquire) & SCHEDULED != 0
+    }
+}
+
+impl fmt::Debug for Tasklet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tasklet")
+            .field("state", &self.state())
+            .field("runs", &self.run_count())
+            .finish()
+    }
+}
+
+/// Shared handle used to schedule a tasklet onto an executor.
+#[derive(Clone)]
+pub struct TaskletHandle {
+    tasklet: Arc<Tasklet>,
+    executor: Arc<ExecutorShared>,
+}
+
+impl TaskletHandle {
+    /// Schedules the tasklet. Coalesces if already scheduled.
+    ///
+    /// Returns `true` if this call enqueued it, `false` if it coalesced.
+    pub fn schedule(&self) -> bool {
+        if self.tasklet.mark_scheduled() {
+            self.executor.enqueue(Arc::clone(&self.tasklet));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Access to the underlying tasklet (state inspection, disable/enable).
+    pub fn tasklet(&self) -> &Arc<Tasklet> {
+        &self.tasklet
+    }
+}
+
+impl fmt::Debug for TaskletHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("TaskletHandle").field(&self.tasklet).finish()
+    }
+}
+
+struct ExecutorShared {
+    queue: MpmcQueue<Arc<Tasklet>>,
+    work: EventCount,
+    shutdown: AtomicBool,
+    executed: AtomicU64,
+}
+
+impl ExecutorShared {
+    fn enqueue(&self, t: Arc<Tasklet>) {
+        let mut item = t;
+        // The ring is sized generously; if it is momentarily full, yield
+        // and retry — dropping a scheduled tasklet would lose progress.
+        loop {
+            match self.queue.push(item) {
+                Ok(()) => break,
+                Err(back) => {
+                    item = back;
+                    std::thread::yield_now();
+                }
+            }
+        }
+        self.work.signal();
+    }
+}
+
+/// A pool of worker threads executing [`Tasklet`]s.
+///
+/// Workers model the "idle cores" of the paper: they sleep until a tasklet
+/// is scheduled and then race to execute it under the tasklet's
+/// self-exclusion protocol.
+pub struct TaskletExecutor {
+    shared: Arc<ExecutorShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl TaskletExecutor {
+    /// Spawns `workers` executor threads.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        let shared = Arc::new(ExecutorShared {
+            queue: MpmcQueue::with_capacity(1024),
+            work: EventCount::new(),
+            shutdown: AtomicBool::new(false),
+            executed: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pm2-tasklet-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn tasklet worker")
+            })
+            .collect();
+        TaskletExecutor {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Registers a tasklet body and returns a schedulable handle.
+    pub fn register<F: Fn() + Send + Sync + 'static>(&self, func: F) -> TaskletHandle {
+        TaskletHandle {
+            tasklet: Tasklet::new(func),
+            executor: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Wraps an existing tasklet in a handle bound to this executor.
+    pub fn handle_for(&self, tasklet: Arc<Tasklet>) -> TaskletHandle {
+        TaskletHandle {
+            tasklet,
+            executor: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Total tasklet bodies executed by this pool.
+    pub fn executed(&self) -> u64 {
+        self.shared.executed.load(Ordering::Relaxed)
+    }
+
+    /// Stops the workers after the queue drains of currently-queued items.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.work.signal();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for TaskletExecutor {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.work.signal();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl fmt::Debug for TaskletExecutor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TaskletExecutor")
+            .field("workers", &self.workers.len())
+            .field("executed", &self.executed())
+            .finish()
+    }
+}
+
+fn worker_loop(shared: &ExecutorShared) {
+    loop {
+        let seen = shared.work.current();
+        match shared.queue.pop() {
+            Some(tasklet) => run_one(shared, tasklet),
+            None => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                shared.work.wait_past(seen);
+                // Wake peers too in case several items arrived at once.
+            }
+        }
+    }
+}
+
+/// Executes one dequeued tasklet under the SCHED/RUN protocol.
+fn run_one(shared: &ExecutorShared, tasklet: Arc<Tasklet>) {
+    if tasklet.is_disabled() {
+        // Keep it pending: push back and let someone retry later. Yield so
+        // a disabling thread gets CPU time to re-enable.
+        std::thread::yield_now();
+        shared.enqueue(tasklet);
+        return;
+    }
+    if !tasklet.try_lock_run() {
+        // Another worker is running it right now; Linux re-raises the
+        // softirq in this case — we re-enqueue.
+        shared.enqueue(tasklet);
+        return;
+    }
+    // We own the RUN bit. Clear SCHED so schedules during the run enqueue a
+    // fresh execution.
+    tasklet.clear_scheduled();
+    (tasklet.func)();
+    tasklet.runs.fetch_add(1, Ordering::Relaxed);
+    shared.executed.fetch_add(1, Ordering::Relaxed);
+    tasklet.unlock_run();
+    // A schedule that happened while RUNNING was set has already enqueued
+    // the tasklet again (mark_scheduled saw SCHED==0); nothing more to do.
+    let _ = tasklet.is_scheduled();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::{Duration, Instant};
+
+    fn wait_until(deadline_ms: u64, cond: impl Fn() -> bool) -> bool {
+        let start = Instant::now();
+        while start.elapsed() < Duration::from_millis(deadline_ms) {
+            if cond() {
+                return true;
+            }
+            std::thread::yield_now();
+        }
+        cond()
+    }
+
+    #[test]
+    fn runs_once_per_schedule() {
+        let exec = TaskletExecutor::new(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = {
+            let hits = Arc::clone(&hits);
+            exec.register(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        assert!(h.schedule());
+        assert!(wait_until(2000, || hits.load(Ordering::SeqCst) == 1));
+        h.schedule();
+        assert!(wait_until(2000, || hits.load(Ordering::SeqCst) == 2));
+        exec.shutdown();
+    }
+
+    #[test]
+    fn coalesces_redundant_schedules() {
+        let exec = TaskletExecutor::new(1);
+        let gate = Arc::new(AtomicBool::new(false));
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = {
+            let gate = Arc::clone(&gate);
+            let hits = Arc::clone(&hits);
+            exec.register(move || {
+                while !gate.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+                hits.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        // First schedule starts running and blocks on the gate.
+        h.schedule();
+        assert!(wait_until(2000, || h.tasklet().state() == TaskletState::Running
+            || h.tasklet().state() == TaskletState::RunningScheduled));
+        // While it runs, many schedules coalesce into exactly one more run.
+        for _ in 0..10 {
+            h.schedule();
+        }
+        gate.store(true, Ordering::Release);
+        assert!(wait_until(2000, || hits.load(Ordering::SeqCst) == 2));
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+        assert!(h.tasklet().coalesced_count() >= 8);
+        exec.shutdown();
+    }
+
+    #[test]
+    fn never_runs_concurrently_with_itself() {
+        let exec = TaskletExecutor::new(4);
+        let inside = Arc::new(AtomicUsize::new(0));
+        let violations = Arc::new(AtomicUsize::new(0));
+        let h = {
+            let inside = Arc::clone(&inside);
+            let violations = Arc::clone(&violations);
+            exec.register(move || {
+                if inside.fetch_add(1, Ordering::SeqCst) != 0 {
+                    violations.fetch_add(1, Ordering::SeqCst);
+                }
+                std::thread::yield_now();
+                inside.fetch_sub(1, Ordering::SeqCst);
+            })
+        };
+        for _ in 0..2_000 {
+            h.schedule();
+            if h.tasklet().run_count() % 7 == 0 {
+                std::thread::yield_now();
+            }
+        }
+        assert!(wait_until(5000, || h.tasklet().state() == TaskletState::Idle));
+        assert_eq!(violations.load(Ordering::SeqCst), 0);
+        exec.shutdown();
+    }
+
+    #[test]
+    fn disable_defers_execution() {
+        let exec = TaskletExecutor::new(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = {
+            let hits = Arc::clone(&hits);
+            exec.register(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        h.tasklet().disable();
+        h.schedule();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(hits.load(Ordering::SeqCst), 0, "disabled tasklet ran");
+        h.tasklet().enable();
+        assert!(wait_until(2000, || hits.load(Ordering::SeqCst) == 1));
+        exec.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "without matching disable")]
+    fn unbalanced_enable_panics() {
+        let t = Tasklet::new(|| {});
+        t.enable();
+    }
+}

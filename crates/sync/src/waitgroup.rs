@@ -1,0 +1,132 @@
+//! Wait group: block until N parallel activities finish.
+
+use crate::EventCount;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Counts outstanding activities and releases waiters when it reaches zero.
+///
+/// Used by the benchmark harness to join fleets of communicating threads
+/// without collecting join handles, and by tests to fence phases.
+///
+/// # Example
+/// ```
+/// use pm2_sync::WaitGroup;
+///
+/// let wg = WaitGroup::new();
+/// for _ in 0..4 {
+///     let work = wg.add();
+///     std::thread::spawn(move || {
+///         // ... do things ...
+///         drop(work); // marks completion
+///     });
+/// }
+/// wg.wait();
+/// ```
+#[derive(Clone, Debug)]
+pub struct WaitGroup {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    count: AtomicUsize,
+    done: EventCount,
+}
+
+/// Token representing one registered activity; completion on drop.
+#[derive(Debug)]
+pub struct WaitGroupToken {
+    inner: Arc<Inner>,
+}
+
+impl WaitGroup {
+    /// Creates a wait group with zero outstanding activities.
+    pub fn new() -> Self {
+        WaitGroup {
+            inner: Arc::new(Inner {
+                count: AtomicUsize::new(0),
+                done: EventCount::new(),
+            }),
+        }
+    }
+
+    /// Registers one activity; dropping the token completes it.
+    pub fn add(&self) -> WaitGroupToken {
+        self.inner.count.fetch_add(1, Ordering::AcqRel);
+        WaitGroupToken {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Number of outstanding activities.
+    pub fn pending(&self) -> usize {
+        self.inner.count.load(Ordering::Acquire)
+    }
+
+    /// Blocks until every registered token has been dropped.
+    ///
+    /// A wait group with no registrations returns immediately.
+    pub fn wait(&self) {
+        loop {
+            let gen = self.inner.done.current();
+            if self.inner.count.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            self.inner.done.wait_past(gen);
+        }
+    }
+}
+
+impl Default for WaitGroup {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for WaitGroupToken {
+    fn drop(&mut self) {
+        if self.inner.count.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.inner.done.signal();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_wait_returns() {
+        WaitGroup::new().wait();
+    }
+
+    #[test]
+    fn joins_spawned_threads() {
+        let wg = WaitGroup::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let token = wg.add();
+            let hits = Arc::clone(&hits);
+            std::thread::spawn(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+                drop(token);
+            });
+        }
+        wg.wait();
+        assert_eq!(hits.load(Ordering::SeqCst), 8);
+        assert_eq!(wg.pending(), 0);
+    }
+
+    #[test]
+    fn pending_tracks_tokens() {
+        let wg = WaitGroup::new();
+        let a = wg.add();
+        let b = wg.add();
+        assert_eq!(wg.pending(), 2);
+        drop(a);
+        assert_eq!(wg.pending(), 1);
+        drop(b);
+        assert_eq!(wg.pending(), 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests: the lock-free queues behave like their
+//! sequential models under arbitrary operation sequences, and survive
+//! randomized multi-threaded interleavings.
+
+use proptest::prelude::*;
+use pm2_sync::{MpmcQueue, MpscQueue, SeqLock, SpinLock, TicketLock};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u32),
+    Pop,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..1000).prop_map(Op::Push),
+            Just(Op::Pop),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    /// Single-threaded MPSC behaves exactly like a VecDeque.
+    #[test]
+    fn mpsc_matches_model(ops in ops()) {
+        let q = MpscQueue::new();
+        let mut model = VecDeque::new();
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    q.push(v);
+                    model.push_back(v);
+                }
+                Op::Pop => {
+                    prop_assert_eq!(q.pop(), model.pop_front());
+                }
+            }
+            prop_assert_eq!(q.is_empty(), model.is_empty());
+        }
+        prop_assert_eq!(q.drain(), Vec::from(model));
+    }
+
+    /// Single-threaded bounded MPMC behaves like a bounded VecDeque.
+    #[test]
+    fn mpmc_matches_model(ops in ops(), cap_pow in 1u32..6) {
+        let cap = 1usize << cap_pow;
+        let q = MpmcQueue::with_capacity(cap);
+        let mut model: VecDeque<u32> = VecDeque::new();
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    let r = q.push(v);
+                    if model.len() < cap {
+                        prop_assert_eq!(r, Ok(()));
+                        model.push_back(v);
+                    } else {
+                        prop_assert_eq!(r, Err(v));
+                    }
+                }
+                Op::Pop => {
+                    prop_assert_eq!(q.pop(), model.pop_front());
+                }
+            }
+        }
+    }
+
+    /// Values pushed by concurrent producers are all received exactly
+    /// once, in per-producer order.
+    #[test]
+    fn mpsc_concurrent_no_loss_no_dup(per_producer in 1usize..300, producers in 1usize..4) {
+        let q = Arc::new(MpscQueue::new());
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..per_producer {
+                        q.push((p * per_producer + i) as u64);
+                    }
+                })
+            })
+            .collect();
+        let mut last = vec![-1i64; producers];
+        let mut count = 0;
+        while count < producers * per_producer {
+            if let Some(v) = q.pop() {
+                let p = v as usize / per_producer;
+                let i = (v as usize % per_producer) as i64;
+                prop_assert!(i > last[p], "per-producer order violated");
+                last[p] = i;
+                count += 1;
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        prop_assert_eq!(q.pop(), None);
+    }
+
+    /// Spinlock-protected counter increments are never lost.
+    #[test]
+    fn spinlock_counter_exact(threads in 1usize..4, iters in 1usize..2000) {
+        let lock = Arc::new(SpinLock::new(0usize));
+        let hs: Vec<_> = (0..threads).map(|_| {
+            let lock = Arc::clone(&lock);
+            std::thread::spawn(move || {
+                for _ in 0..iters {
+                    *lock.lock() += 1;
+                }
+            })
+        }).collect();
+        for h in hs { h.join().unwrap(); }
+        prop_assert_eq!(*lock.lock(), threads * iters);
+    }
+
+    /// Ticket lock is exact too.
+    #[test]
+    fn ticketlock_counter_exact(threads in 1usize..4, iters in 1usize..2000) {
+        let lock = Arc::new(TicketLock::new(0usize));
+        let hs: Vec<_> = (0..threads).map(|_| {
+            let lock = Arc::clone(&lock);
+            std::thread::spawn(move || {
+                for _ in 0..iters {
+                    *lock.lock() += 1;
+                }
+            })
+        }).collect();
+        for h in hs { h.join().unwrap(); }
+        prop_assert_eq!(*lock.lock(), threads * iters);
+    }
+
+    /// SeqLock readers never observe an inconsistent pair.
+    #[test]
+    fn seqlock_never_tears(writes in 1u64..3000) {
+        let l = Arc::new(SeqLock::new((0u64, 0u64)));
+        let writer = {
+            let l = Arc::clone(&l);
+            std::thread::spawn(move || {
+                for i in 1..=writes {
+                    l.write((i, i.wrapping_mul(3)));
+                }
+            })
+        };
+        for _ in 0..2000 {
+            let (a, b) = l.read();
+            prop_assert_eq!(b, a.wrapping_mul(3));
+        }
+        writer.join().unwrap();
+        let (a, b) = l.read();
+        prop_assert_eq!((a, b), (writes, writes.wrapping_mul(3)));
+    }
+}

@@ -1,0 +1,54 @@
+//! Multirail distribution: splitting a rendezvous transfer across two
+//! network rails (one of NewMadeleine's strategy-layer optimizations).
+//!
+//! ```sh
+//! cargo run --release -p pm2-mpi --example multirail
+//! ```
+
+use pm2_mpi::{Cluster, ClusterConfig};
+use pm2_newmad::{EngineKind, Tag};
+use pm2_topo::NodeId;
+use std::cell::Cell;
+use std::rc::Rc;
+
+fn transfer(rails: usize, multirail: bool, bytes: usize) -> f64 {
+    let cfg = ClusterConfig {
+        rails,
+        multirail,
+        ..ClusterConfig::paper_testbed(EngineKind::Pioman)
+    };
+    let cluster = Cluster::build(cfg);
+    let done = Rc::new(Cell::new(0u64));
+    {
+        let s = cluster.session(0).clone();
+        cluster.spawn_on(0, "tx", move |ctx| async move {
+            let h = s.isend(&ctx, NodeId(1), Tag(1), vec![0xcd; bytes]).await;
+            s.swait_send(&h, &ctx).await;
+        });
+    }
+    {
+        let s = cluster.session(1).clone();
+        let done = Rc::clone(&done);
+        cluster.spawn_on(1, "rx", move |ctx| async move {
+            let data = s.recv(&ctx, Some(NodeId(0)), Tag(1)).await;
+            assert!(data.iter().all(|&b| b == 0xcd));
+            done.set(ctx.marcel().sim().now().as_nanos());
+        });
+    }
+    cluster.run();
+    done.get() as f64 / 1000.0
+}
+
+fn main() {
+    let bytes = 512 << 10;
+    println!("512 kB rendezvous transfer, receive-side completion time:\n");
+    let single = transfer(1, false, bytes);
+    let dual = transfer(2, true, bytes);
+    println!("  1 rail          : {single:8.1} µs");
+    println!("  2 rails (split) : {dual:8.1} µs");
+    println!(
+        "\nThe payload is chunked across the rails; both wires transfer in\n\
+         parallel, cutting the bulk time roughly in half ({:.2}x).",
+        single / dual
+    );
+}

@@ -1,0 +1,38 @@
+//! The convolution meta-application (Figure 7/8): a hybrid MPI+threads
+//! stencil with intra-node (shared memory) and inter-node (NIC) halo
+//! exchanges, run under both engines.
+//!
+//! ```sh
+//! cargo run --release -p pm2-mpi --example stencil
+//! ```
+
+use pm2_mpi::workloads::{run_stencil, StencilParams};
+use pm2_mpi::ClusterConfig;
+use pm2_newmad::EngineKind;
+
+fn main() {
+    for (name, params) in [
+        ("4 threads (2x2 grid)", StencilParams::four_threads()),
+        ("16 threads (4x4 grid)", StencilParams::sixteen_threads()),
+    ] {
+        let seq = run_stencil(
+            ClusterConfig::paper_testbed(EngineKind::Sequential),
+            &params,
+        );
+        let pio = run_stencil(ClusterConfig::paper_testbed(EngineKind::Pioman), &params);
+        println!("{name}:");
+        println!("  no offloading : {:8.1} µs", seq.total_us);
+        println!("  offloading    : {:8.1} µs", pio.total_us);
+        println!(
+            "  speedup       : {:8.1} %",
+            (seq.total_us - pio.total_us) / seq.total_us * 100.0
+        );
+        let c = &pio.counters[0];
+        println!(
+            "  node-0 traffic: {} intra-node (shm) msgs, {} inter-node eager msgs, {} unexpected\n",
+            c.shm_msgs, c.eager_msgs_tx, c.unexpected
+        );
+    }
+    println!("Idle cores absorb the halo-copy submissions; threads blocked on");
+    println!("their neighbours' data leave gaps that PIOMAN fills (§4.3).");
+}

@@ -1,0 +1,38 @@
+//! Tracing a communication: every scheduler, tasklet, protocol and
+//! hardware event of one eager send, in virtual-time order.
+//!
+//! ```sh
+//! cargo run --release -p pm2-mpi --example trace
+//! ```
+
+use pm2_mpi::{Cluster, ClusterConfig};
+use pm2_newmad::{EngineKind, Tag};
+use pm2_sim::SimDuration;
+use pm2_topo::NodeId;
+
+fn main() {
+    let cluster = Cluster::build(ClusterConfig::paper_testbed(EngineKind::Pioman));
+    cluster.sim().trace().set_enabled(true);
+
+    {
+        let s = cluster.session(0).clone();
+        cluster.spawn_on(0, "sender", move |ctx| async move {
+            let h = s.isend(&ctx, NodeId(1), Tag(1), vec![0xee; 4096]).await;
+            ctx.compute(SimDuration::from_micros(20)).await;
+            s.swait_send(&h, &ctx).await;
+        });
+    }
+    {
+        let s = cluster.session(1).clone();
+        cluster.spawn_on(1, "receiver", move |ctx| async move {
+            let _ = s.recv(&ctx, Some(NodeId(0)), Tag(1)).await;
+        });
+    }
+    cluster.run();
+
+    println!("{}", cluster.sim().trace().render());
+    println!(
+        "{} trace records; enable per-category filtering with records_in()",
+        cluster.sim().trace().records().len()
+    );
+}

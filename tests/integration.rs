@@ -1,0 +1,271 @@
+//! Cross-crate integration tests: the paper's result *shapes* asserted
+//! end-to-end on the full stack (topology → fabric → Marcel → PIOMAN →
+//! NewMadeleine → mini-MPI).
+
+use pm2_mpi::workloads::{run_overlap, run_stencil, OverlapParams, StencilParams};
+use pm2_mpi::{Cluster, ClusterConfig, Comm, StrategyKind};
+use pm2_newmad::{EngineKind, Tag};
+use pm2_sim::SimDuration;
+use pm2_topo::NodeId;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn overlap(engine: EngineKind, size: usize, compute_us: u64) -> f64 {
+    run_overlap(
+        ClusterConfig::paper_testbed(engine),
+        &OverlapParams {
+            msg_len: size,
+            compute: SimDuration::from_micros(compute_us),
+            iters: 12,
+            warmup: 3,
+        },
+    )
+    .half_round_us
+    .mean()
+}
+
+/// Figure 5's shape: for eager sizes, the sequential engine pays
+/// communication *plus* computation while PIOMAN pays the max of the two
+/// (within a small tasklet overhead).
+#[test]
+fn fig5_shape_holds() {
+    for size in [1 << 10, 4 << 10, 16 << 10] {
+        let reference = overlap(EngineKind::Pioman, size, 0);
+        let no_offload = overlap(EngineKind::Sequential, size, 20);
+        let offload = overlap(EngineKind::Pioman, size, 20);
+        let sum = reference + 20.0;
+        let max = reference.max(20.0);
+        assert!(
+            (no_offload - sum).abs() < 3.0,
+            "{size}B: no-offload {no_offload:.1} should be ≈ sum {sum:.1}"
+        );
+        assert!(
+            offload >= max - 0.5 && offload <= max + 3.0,
+            "{size}B: offload {offload:.1} should be ≈ max {max:.1}"
+        );
+        assert!(no_offload > offload, "{size}B: offloading must win");
+    }
+}
+
+/// Figure 6's shape: rendezvous progression overlaps the handshake and
+/// the bulk transfer with the computation; the crossover sits where the
+/// transfer time reaches the computation time (~128K).
+#[test]
+fn fig6_shape_holds() {
+    // Below the crossover, PIOMAN is compute-bound.
+    let prog_small = overlap(EngineKind::Pioman, 64 << 10, 100);
+    assert!(
+        (prog_small - 100.0).abs() < 6.0,
+        "64K rdv-prog {prog_small:.1} should sit near the 100µs compute"
+    );
+    // Above it, both engines are comm-bound but sequential still pays
+    // the full sum.
+    let reference = overlap(EngineKind::Pioman, 256 << 10, 0);
+    let no_prog = overlap(EngineKind::Sequential, 256 << 10, 100);
+    let prog = overlap(EngineKind::Pioman, 256 << 10, 100);
+    assert!(
+        (no_prog - (reference + 100.0)).abs() < 12.0,
+        "no-prog {no_prog:.1} vs sum {:.1}",
+        reference + 100.0
+    );
+    assert!(
+        (prog - reference).abs() < 8.0,
+        "rdv-prog {prog:.1} should track the reference {reference:.1}"
+    );
+    assert!(no_prog > prog + 50.0, "progression must win clearly");
+}
+
+/// Table 1's shape: the meta-application speeds up by roughly the
+/// paper's 13–14% under offloading, in both thread configurations, and
+/// the 16-thread run takes substantially longer than the 4-thread one.
+#[test]
+fn table1_shape_holds() {
+    let mut seq = Vec::new();
+    let mut pio = Vec::new();
+    for p in [StencilParams::four_threads(), StencilParams::sixteen_threads()] {
+        seq.push(run_stencil(ClusterConfig::paper_testbed(EngineKind::Sequential), &p).total_us);
+        pio.push(run_stencil(ClusterConfig::paper_testbed(EngineKind::Pioman), &p).total_us);
+    }
+    for i in 0..2 {
+        let speedup = (seq[i] - pio[i]) / seq[i] * 100.0;
+        assert!(
+            (5.0..30.0).contains(&speedup),
+            "config {i}: speedup {speedup:.1}% outside the plausible band"
+        );
+    }
+    assert!(
+        seq[1] > seq[0] * 1.8,
+        "16 threads ({:.0}µs) should cost much more than 4 ({:.0}µs)",
+        seq[1],
+        seq[0]
+    );
+}
+
+/// A 4-node all-to-all with mixed sizes arrives intact under both
+/// engines (multi-node matching, wildcard receives, eager + rendezvous).
+#[test]
+fn four_node_all_to_all() {
+    for engine in [EngineKind::Pioman, EngineKind::Sequential] {
+        let cluster = Cluster::build(ClusterConfig {
+            nodes: 4,
+            ..ClusterConfig::paper_testbed(engine)
+        });
+        let received = Rc::new(RefCell::new(vec![0usize; 4]));
+        for me in 0..4usize {
+            let s = cluster.session(me).clone();
+            let received = Rc::clone(&received);
+            cluster.spawn_on(me, format!("rank{me}"), move |ctx| async move {
+                let mut handles = Vec::new();
+                for peer in 0..4 {
+                    if peer == me {
+                        continue;
+                    }
+                    let len = 1 << (10 + ((me + peer) % 7)); // 1K..64K
+                    let tag = Tag((me * 4 + peer) as u64);
+                    handles.push(s.isend(&ctx, NodeId(peer), tag, vec![me as u8; len]).await);
+                }
+                ctx.compute(SimDuration::from_micros(30)).await;
+                for h in &handles {
+                    s.swait_send(h, &ctx).await;
+                }
+                for peer in 0..4usize {
+                    if peer == me {
+                        continue;
+                    }
+                    let tag = Tag((peer * 4 + me) as u64);
+                    let data = s.recv(&ctx, Some(NodeId(peer)), tag).await;
+                    assert!(data.iter().all(|&b| b == peer as u8));
+                    received.borrow_mut()[me] += 1;
+                }
+            });
+        }
+        cluster.run();
+        assert_eq!(*received.borrow(), vec![3, 3, 3, 3], "engine {engine:?}");
+    }
+}
+
+/// Collectives compose with point-to-point traffic across barriers.
+#[test]
+fn collectives_and_p2p_compose() {
+    let cluster = Cluster::build(ClusterConfig {
+        nodes: 3,
+        ..ClusterConfig::default()
+    });
+    let comms = Comm::world(&cluster);
+    let sums = Rc::new(RefCell::new(Vec::new()));
+    for (rank, comm) in comms.into_iter().enumerate() {
+        let sums = Rc::clone(&sums);
+        cluster.spawn_on(rank, format!("r{rank}"), move |ctx| async move {
+            for round in 0..3u64 {
+                let s = comm.allreduce_sum(&ctx, (comm.rank() as u64 + 1) * (round + 1)).await;
+                sums.borrow_mut().push(s);
+                comm.barrier(&ctx).await;
+                // Ring exchange after each barrier.
+                let next = (comm.rank() + 1) % comm.size();
+                let prev = (comm.rank() + comm.size() - 1) % comm.size();
+                let h = comm
+                    .isend(&ctx, next, Tag(round), vec![comm.rank() as u8; 2048])
+                    .await;
+                let data = comm.recv(&ctx, Some(prev), Tag(round)).await;
+                assert_eq!(data[0] as usize, prev);
+                comm.wait_send(&h, &ctx).await;
+                comm.barrier(&ctx).await;
+            }
+        });
+    }
+    cluster.run();
+    let sums = sums.borrow();
+    assert_eq!(sums.len(), 9);
+    for round in 0..3u64 {
+        let expected = 6 * (round + 1); // (1+2+3) * (round+1)
+        assert_eq!(
+            sums.iter().filter(|&&s| s == expected).count(),
+            3,
+            "round {round}"
+        );
+    }
+}
+
+/// The aggregation strategy preserves correctness on the full stack and
+/// reduces wire frames for bursty traffic.
+#[test]
+fn aggregation_end_to_end() {
+    let cluster = Cluster::build(ClusterConfig {
+        strategy: StrategyKind::Aggreg,
+        ..ClusterConfig::default()
+    });
+    const N: usize = 20;
+    {
+        let s = cluster.session(0).clone();
+        cluster.spawn_on(0, "tx", move |ctx| async move {
+            let mut hs = Vec::new();
+            for i in 0..N {
+                hs.push(s.isend(&ctx, NodeId(1), Tag(i as u64), vec![i as u8; 256]).await);
+            }
+            ctx.compute(SimDuration::from_micros(40)).await;
+            for h in &hs {
+                s.swait_send(h, &ctx).await;
+            }
+        });
+    }
+    let ok = Rc::new(RefCell::new(0usize));
+    {
+        let s = cluster.session(1).clone();
+        let ok = Rc::clone(&ok);
+        cluster.spawn_on(1, "rx", move |ctx| async move {
+            for i in 0..N {
+                let v = s.recv(&ctx, Some(NodeId(0)), Tag(i as u64)).await;
+                assert_eq!(v, vec![i as u8; 256]);
+                *ok.borrow_mut() += 1;
+            }
+        });
+    }
+    cluster.run();
+    assert_eq!(*ok.borrow(), N);
+    let c = cluster.session(0).counters();
+    assert!(
+        c.eager_frames_tx < N as u64 / 2,
+        "burst should aggregate: {} frames for {N} messages",
+        c.eager_frames_tx
+    );
+}
+
+/// Determinism across the whole stack: identical seeds give identical
+/// virtual end times; different seeds with jitter give different ones.
+#[test]
+fn full_stack_determinism() {
+    fn run(seed: u64, jitter: f64) -> u64 {
+        let mut fabric = pm2_fabric::FabricParams::myri10g();
+        fabric.jitter_frac = jitter;
+        let cluster = Cluster::build(ClusterConfig {
+            seed,
+            fabric,
+            ..ClusterConfig::default()
+        });
+        {
+            let s = cluster.session(0).clone();
+            cluster.spawn_on(0, "tx", move |ctx| async move {
+                for i in 0..10 {
+                    let h = s.isend(&ctx, NodeId(1), Tag(i), vec![1; 4096]).await;
+                    s.swait_send(&h, &ctx).await;
+                }
+            });
+        }
+        let done = Rc::new(RefCell::new(0u64));
+        {
+            let s = cluster.session(1).clone();
+            let done = Rc::clone(&done);
+            cluster.spawn_on(1, "rx", move |ctx| async move {
+                for i in 0..10 {
+                    let _ = s.recv(&ctx, Some(NodeId(0)), Tag(i)).await;
+                }
+                *done.borrow_mut() = ctx.marcel().sim().now().as_nanos();
+            });
+        }
+        cluster.run();
+        let t = *done.borrow();
+        t
+    }
+    assert_eq!(run(7, 0.3), run(7, 0.3));
+    assert_ne!(run(7, 0.3), run(8, 0.3), "jitter should differ across seeds");
+}

@@ -1,0 +1,236 @@
+//! Stress scenarios: larger clusters, heavy mixed traffic, jitter
+//! injection, long-running stability. These complement the shape tests in
+//! `integration.rs`.
+
+use pm2_fabric::FabricParams;
+use pm2_mpi::{Cluster, ClusterConfig, Comm, StrategyKind};
+use pm2_newmad::{EngineKind, Tag};
+use pm2_sim::rng::Xoshiro256;
+use pm2_sim::SimDuration;
+use pm2_topo::NodeId;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// 6 nodes × 4 threads each, random rings of mixed-size messages under
+/// jitter: everything arrives intact, under both engines.
+#[test]
+fn six_node_random_traffic_with_jitter() {
+    for engine in [EngineKind::Pioman, EngineKind::Sequential] {
+        let mut fabric = FabricParams::myri10g();
+        fabric.jitter_frac = 0.25;
+        let cluster = Cluster::build(ClusterConfig {
+            nodes: 6,
+            fabric,
+            seed: 99,
+            ..ClusterConfig::paper_testbed(engine)
+        });
+        let delivered = Rc::new(Cell::new(0u32));
+        let mut rng = Xoshiro256::new(1234);
+        let mut expected = 0u32;
+        for node in 0..6usize {
+            for t in 0..4usize {
+                let me = node * 4 + t;
+                let peer_thread = rng.gen_below(24) as usize;
+                let peer_node = peer_thread / 4;
+                let len = 64 + rng.gen_below(48 << 10) as usize;
+                let compute = rng.gen_below(40);
+                expected += 1;
+                // Pair (me -> peer) with a unique tag; the peer's node
+                // runs a dedicated receiver thread.
+                let tag = Tag(me as u64);
+                {
+                    let s = cluster.session(node).clone();
+                    cluster.spawn_on(node, format!("tx{me}"), move |ctx| async move {
+                        ctx.compute(SimDuration::from_micros(compute)).await;
+                        let h = s
+                            .isend(&ctx, NodeId(peer_node), tag, vec![me as u8; len])
+                            .await;
+                        ctx.compute(SimDuration::from_micros(compute)).await;
+                        s.swait_send(&h, &ctx).await;
+                    });
+                }
+                {
+                    let s = cluster.session(peer_node).clone();
+                    let delivered = Rc::clone(&delivered);
+                    cluster.spawn_on(peer_node, format!("rx{me}"), move |ctx| async move {
+                        let data = s.recv(&ctx, Some(NodeId(node)), tag).await;
+                        assert_eq!(data.len(), len);
+                        assert!(data.iter().all(|&b| b == me as u8));
+                        delivered.set(delivered.get() + 1);
+                    });
+                }
+            }
+        }
+        cluster.run();
+        assert_eq!(delivered.get(), expected, "engine {engine:?}");
+    }
+}
+
+/// Many iterations of the full stencil keep the engines stable and
+/// PIOMAN ahead; counters stay consistent (sends == recvs).
+#[test]
+fn long_running_stencil_stability() {
+    use pm2_mpi::workloads::{run_stencil, StencilParams};
+    let p = StencilParams {
+        iters: 10,
+        ..StencilParams::four_threads()
+    };
+    let seq = run_stencil(ClusterConfig::paper_testbed(EngineKind::Sequential), &p);
+    let pio = run_stencil(ClusterConfig::paper_testbed(EngineKind::Pioman), &p);
+    assert!(pio.total_us < seq.total_us);
+    for r in [&seq, &pio] {
+        let sends: u64 = r.counters.iter().map(|c| c.sends).sum();
+        let recvs: u64 = r.counters.iter().map(|c| c.recvs).sum();
+        assert_eq!(sends, recvs, "every halo send has a matching receive");
+        assert_eq!(sends, 4 * 2 * 10, "4 threads x 2 neighbours x 10 iters");
+    }
+}
+
+/// Wildcard receivers under bursty multi-sender load: each message is
+/// consumed exactly once.
+#[test]
+fn wildcard_receivers_consume_each_message_once() {
+    let cluster = Cluster::build(ClusterConfig {
+        nodes: 4,
+        ..ClusterConfig::default()
+    });
+    const PER_SENDER: usize = 15;
+    let tally = Rc::new(RefCell::new(vec![0u32; 3 * PER_SENDER]));
+    for sender in 1..4usize {
+        let s = cluster.session(sender).clone();
+        cluster.spawn_on(sender, format!("tx{sender}"), move |ctx| async move {
+            for m in 0..PER_SENDER {
+                let uid = (sender - 1) * PER_SENDER + m;
+                let h = s
+                    .isend(&ctx, NodeId(0), Tag(7), vec![uid as u8; 512])
+                    .await;
+                s.swait_send(&h, &ctx).await;
+            }
+        });
+    }
+    // Three wildcard receiver threads share the sink node.
+    for r in 0..3 {
+        let s = cluster.session(0).clone();
+        let tally = Rc::clone(&tally);
+        cluster.spawn_on(0, format!("rx{r}"), move |ctx| async move {
+            for _ in 0..PER_SENDER {
+                let data = s.recv(&ctx, None, Tag(7)).await;
+                tally.borrow_mut()[data[0] as usize] += 1;
+            }
+        });
+    }
+    cluster.run();
+    assert!(
+        tally.borrow().iter().all(|&c| c == 1),
+        "some message lost or duplicated: {:?}",
+        tally.borrow()
+    );
+}
+
+/// Collectives at scale: 8 ranks, repeated allreduce/bcast/alltoall
+/// rounds agree everywhere.
+#[test]
+fn collectives_at_scale() {
+    let cluster = Cluster::build(ClusterConfig {
+        nodes: 8,
+        ..ClusterConfig::default()
+    });
+    let comms = Comm::world(&cluster);
+    let checks = Rc::new(Cell::new(0u32));
+    for (rank, comm) in comms.into_iter().enumerate() {
+        let checks = Rc::clone(&checks);
+        cluster.spawn_on(rank, format!("r{rank}"), move |ctx| async move {
+            for round in 1..=3u64 {
+                let sum = comm.allreduce_sum(&ctx, comm.rank() as u64 * round).await;
+                assert_eq!(sum, (0..8).map(|r| r * round).sum::<u64>());
+                let root = (round as usize) % comm.size();
+                let data = if comm.rank() == root {
+                    vec![round as u8; 4096]
+                } else {
+                    Vec::new()
+                };
+                let b = comm.bcast(&ctx, root, data).await;
+                assert_eq!(b, vec![round as u8; 4096]);
+                let out: Vec<Vec<u8>> = (0..comm.size())
+                    .map(|to| vec![(comm.rank() * 8 + to) as u8; 128])
+                    .collect();
+                let inb = comm.alltoall(&ctx, out).await;
+                for (from, buf) in inb.iter().enumerate() {
+                    assert_eq!(buf[0] as usize, from * 8 + comm.rank());
+                }
+                comm.barrier(&ctx).await;
+                checks.set(checks.get() + 1);
+            }
+        });
+    }
+    cluster.run();
+    assert_eq!(checks.get(), 24);
+}
+
+/// Aggregation under sustained load never reorders within a tag and
+/// always conserves messages.
+#[test]
+fn aggregation_under_sustained_load() {
+    let cluster = Cluster::build(ClusterConfig {
+        strategy: StrategyKind::Aggreg,
+        ..ClusterConfig::default()
+    });
+    const STREAMS: usize = 4;
+    const PER: usize = 25;
+    let oks = Rc::new(Cell::new(0u32));
+    for stream in 0..STREAMS {
+        let s = cluster.session(0).clone();
+        cluster.spawn_on(0, format!("tx{stream}"), move |ctx| async move {
+            for m in 0..PER {
+                let h = s
+                    .isend(&ctx, NodeId(1), Tag(stream as u64), vec![m as u8; 200])
+                    .await;
+                ctx.compute(SimDuration::from_micros(2)).await;
+                s.swait_send(&h, &ctx).await;
+            }
+        });
+        let s = cluster.session(1).clone();
+        let oks = Rc::clone(&oks);
+        cluster.spawn_on(1, format!("rx{stream}"), move |ctx| async move {
+            for m in 0..PER {
+                let data = s.recv(&ctx, Some(NodeId(0)), Tag(stream as u64)).await;
+                assert_eq!(data[0] as usize, m, "stream {stream} reordered");
+                oks.set(oks.get() + 1);
+            }
+        });
+    }
+    cluster.run();
+    assert_eq!(oks.get(), (STREAMS * PER) as u32);
+    assert_eq!(cluster.session(1).counters().ooo_deliveries, 0);
+}
+
+/// Huge single transfer (16 MB) crosses the fabric correctly and at the
+/// wire rate.
+#[test]
+fn sixteen_megabyte_rendezvous() {
+    let cluster = Cluster::build(ClusterConfig::default());
+    let len = 16 << 20;
+    let done = Rc::new(Cell::new(0u64));
+    {
+        let s = cluster.session(0).clone();
+        cluster.spawn_on(0, "tx", move |ctx| async move {
+            let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let h = s.isend(&ctx, NodeId(1), Tag(1), data).await;
+            s.swait_send(&h, &ctx).await;
+        });
+    }
+    {
+        let s = cluster.session(1).clone();
+        let done = Rc::clone(&done);
+        cluster.spawn_on(1, "rx", move |ctx| async move {
+            let data = s.recv(&ctx, Some(NodeId(0)), Tag(1)).await;
+            assert_eq!(data.len(), len);
+            assert!(data.iter().enumerate().all(|(i, &b)| b == (i % 251) as u8));
+            done.set(ctx.marcel().sim().now().as_micros());
+        });
+    }
+    cluster.run();
+    // 16 MB at 1.25 GB/s ≈ 13.4 ms; allow protocol slack.
+    let t = done.get();
+    assert!(t > 13_000 && t < 15_000, "16MB transfer took {t}µs");
+}
