@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: formatting, lints, build, tests.
+# Everything runs offline against the committed Cargo.lock.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test"
+cargo test -q
+
+echo "CI OK"

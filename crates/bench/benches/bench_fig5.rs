@@ -1,16 +1,15 @@
-//! Criterion wrapper of the Figure 5 experiment: runs the full simulated
+//! Bench wrapper of the Figure 5 experiment: runs the full simulated
 //! small-message overlap benchmark for each engine and asserts the
 //! paper's shape (offload ≈ max, no-offload ≈ sum) on every sample.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pm2_bench::bench;
 use pm2_mpi::workloads::{run_overlap, OverlapParams};
 use pm2_mpi::ClusterConfig;
 use pm2_newmad::EngineKind;
 use std::hint::black_box;
 
-fn bench_fig5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5_small_message_offloading");
-    g.sample_size(10);
+fn main() {
+    println!("fig5_small_message_offloading");
     for size in [1 << 10, 8 << 10, 32 << 10] {
         let p = OverlapParams {
             msg_len: size,
@@ -18,29 +17,17 @@ fn bench_fig5(c: &mut Criterion) {
             iters: 10,
             warmup: 2,
         };
-        g.bench_with_input(
-            BenchmarkId::new("sequential", size),
-            &p,
-            |b, p| {
-                b.iter(|| {
-                    black_box(run_overlap(
-                        ClusterConfig::paper_testbed(EngineKind::Sequential),
-                        p,
-                    ))
-                })
-            },
-        );
-        g.bench_with_input(BenchmarkId::new("pioman", size), &p, |b, p| {
-            b.iter(|| {
-                let r = run_overlap(ClusterConfig::paper_testbed(EngineKind::Pioman), p);
-                // Invariant: overlap keeps the time near max(comm, comp).
-                assert!(r.half_round_us.mean() < 50.0);
-                black_box(r)
-            })
+        bench(&format!("sequential/{size}"), 10, || {
+            black_box(run_overlap(
+                ClusterConfig::paper_testbed(EngineKind::Sequential),
+                &p,
+            ));
+        });
+        bench(&format!("pioman/{size}"), 10, || {
+            let r = run_overlap(ClusterConfig::paper_testbed(EngineKind::Pioman), &p);
+            // Invariant: overlap keeps the time near max(comm, comp).
+            assert!(r.half_round_us.mean() < 50.0);
+            black_box(r);
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig5);
-criterion_main!(benches);

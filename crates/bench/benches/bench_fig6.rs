@@ -1,15 +1,14 @@
-//! Criterion wrapper of the Figure 6 experiment: rendezvous progression
+//! Bench wrapper of the Figure 6 experiment: rendezvous progression
 //! under both engines.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pm2_bench::bench;
 use pm2_mpi::workloads::{run_overlap, OverlapParams};
 use pm2_mpi::ClusterConfig;
 use pm2_newmad::EngineKind;
 use std::hint::black_box;
 
-fn bench_fig6(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6_rendezvous_progression");
-    g.sample_size(10);
+fn main() {
+    println!("fig6_rendezvous_progression");
     for size in [64 << 10, 256 << 10] {
         let p = OverlapParams {
             msg_len: size,
@@ -21,15 +20,9 @@ fn bench_fig6(c: &mut Criterion) {
             ("sequential", EngineKind::Sequential),
             ("pioman", EngineKind::Pioman),
         ] {
-            g.bench_with_input(BenchmarkId::new(name, size), &p, |b, p| {
-                b.iter(|| {
-                    black_box(run_overlap(ClusterConfig::paper_testbed(engine), p))
-                })
+            bench(&format!("{name}/{size}"), 10, || {
+                black_box(run_overlap(ClusterConfig::paper_testbed(engine), &p));
             });
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig6);
-criterion_main!(benches);

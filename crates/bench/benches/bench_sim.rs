@@ -1,50 +1,46 @@
-//! Criterion benches of the DES kernel: how fast the simulator itself
-//! executes (host time per simulated event / task).
+//! Benches of the DES kernel: how fast the simulator itself executes
+//! (host time per simulated event / task).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pm2_bench::bench;
 use pm2_sim::{Sim, SimDuration};
 use std::hint::black_box;
 
-fn bench_events(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_kernel");
-    g.bench_function("schedule_and_run_1k_events", |b| {
-        b.iter(|| {
-            let sim = Sim::new(1);
-            for i in 0..1_000u64 {
-                sim.schedule_in(SimDuration::from_nanos(i), |_| {});
-            }
-            black_box(sim.run());
-        })
+fn bench_events() {
+    println!("sim_kernel");
+    bench("schedule_and_run_1k_events", 500, || {
+        let sim = Sim::new(1);
+        for i in 0..1_000u64 {
+            sim.schedule_in(SimDuration::from_nanos(i), |_| {});
+        }
+        black_box(sim.run());
     });
-    g.bench_function("spawn_and_run_100_sleeping_tasks", |b| {
-        b.iter(|| {
-            let sim = Sim::new(1);
-            for i in 0..100u64 {
-                let sim2 = sim.clone();
-                sim.spawn(async move {
-                    for _ in 0..10 {
-                        sim2.sleep(SimDuration::from_nanos(i + 1)).await;
-                    }
-                });
-            }
-            black_box(sim.run());
-        })
+    bench("spawn_and_run_100_sleeping_tasks", 500, || {
+        let sim = Sim::new(1);
+        for i in 0..100u64 {
+            let sim2 = sim.clone();
+            sim.spawn(async move {
+                for _ in 0..10 {
+                    sim2.sleep(SimDuration::from_nanos(i + 1)).await;
+                }
+            });
+        }
+        black_box(sim.run());
     });
-    g.finish();
 }
 
-fn bench_rng(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_rng");
-    g.bench_function("xoshiro_next_u64", |b| {
-        let mut rng = pm2_sim::rng::Xoshiro256::new(7);
-        b.iter(|| black_box(rng.next_u64()))
+fn bench_rng() {
+    println!("sim_rng");
+    let mut rng = pm2_sim::rng::Xoshiro256::new(7);
+    bench("xoshiro_next_u64", 1_000_000, || {
+        black_box(rng.next_u64());
     });
-    g.bench_function("xoshiro_gen_below", |b| {
-        let mut rng = pm2_sim::rng::Xoshiro256::new(7);
-        b.iter(|| black_box(rng.gen_below(1000)))
+    let mut rng = pm2_sim::rng::Xoshiro256::new(7);
+    bench("xoshiro_gen_below", 1_000_000, || {
+        black_box(rng.gen_below(1000));
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_events, bench_rng);
-criterion_main!(benches);
+fn main() {
+    bench_events();
+    bench_rng();
+}

@@ -1,132 +1,98 @@
-//! Criterion benches of the native concurrency primitives (`pm2-sync`):
-//! the "light primitives" of §2.1, measured on the host.
+//! Benches of the native concurrency primitives (`pm2-sync`): the "light
+//! primitives" of §2.1, measured on the host.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pm2_bench::bench;
 use pm2_sync::{EventCount, MpmcQueue, MpscQueue, SpinLock, TaskletExecutor, TicketLock};
 use std::hint::black_box;
 use std::sync::Arc;
 
-fn bench_locks(c: &mut Criterion) {
-    let mut g = c.benchmark_group("locks_uncontended");
+fn bench_locks() {
+    println!("locks_uncontended");
     let spin = SpinLock::new(0u64);
-    g.bench_function("spinlock", |b| {
-        b.iter(|| {
-            *spin.lock() += 1;
-            black_box(());
-        })
+    bench("spinlock", 1_000_000, || {
+        *spin.lock() += 1;
+        black_box(());
     });
     let ticket = TicketLock::new(0u64);
-    g.bench_function("ticketlock", |b| {
-        b.iter(|| {
-            *ticket.lock() += 1;
-            black_box(());
-        })
-    });
-    let mutex = parking_lot::Mutex::new(0u64);
-    g.bench_function("parking_lot_mutex", |b| {
-        b.iter(|| {
-            *mutex.lock() += 1;
-            black_box(());
-        })
+    bench("ticketlock", 1_000_000, || {
+        *ticket.lock() += 1;
+        black_box(());
     });
     let std_mutex = std::sync::Mutex::new(0u64);
-    g.bench_function("std_mutex", |b| {
-        b.iter(|| {
-            *std_mutex.lock().unwrap() += 1;
-            black_box(());
-        })
+    bench("std_mutex", 1_000_000, || {
+        *std_mutex.lock().unwrap() += 1;
+        black_box(());
     });
-    g.finish();
 
-    let mut g = c.benchmark_group("locks_contended_2threads");
-    g.sample_size(10);
-    g.bench_function("spinlock", |b| {
-        b.iter_batched(
-            || Arc::new(SpinLock::new(0u64)),
-            |lock| {
-                let l2 = Arc::clone(&lock);
-                let t = std::thread::spawn(move || {
-                    for _ in 0..5_000 {
-                        *l2.lock() += 1;
-                    }
-                });
-                for _ in 0..5_000 {
-                    *lock.lock() += 1;
-                }
-                t.join().unwrap();
-            },
-            BatchSize::PerIteration,
-        )
-    });
-    g.bench_function("parking_lot_mutex", |b| {
-        b.iter_batched(
-            || Arc::new(parking_lot::Mutex::new(0u64)),
-            |lock| {
-                let l2 = Arc::clone(&lock);
-                let t = std::thread::spawn(move || {
-                    for _ in 0..5_000 {
-                        *l2.lock() += 1;
-                    }
-                });
-                for _ in 0..5_000 {
-                    *lock.lock() += 1;
-                }
-                t.join().unwrap();
-            },
-            BatchSize::PerIteration,
-        )
-    });
-    g.finish();
-}
-
-fn bench_queues(c: &mut Criterion) {
-    let mut g = c.benchmark_group("queues");
-    g.bench_function("mpsc_push_pop", |b| {
-        let q = MpscQueue::new();
-        b.iter(|| {
-            q.push(black_box(1u64));
-            black_box(q.pop());
-        })
-    });
-    g.bench_function("mpmc_push_pop", |b| {
-        let q = MpmcQueue::with_capacity(64);
-        b.iter(|| {
-            q.push(black_box(1u64)).unwrap();
-            black_box(q.pop());
-        })
-    });
-    g.finish();
-}
-
-fn bench_events(c: &mut Criterion) {
-    let mut g = c.benchmark_group("events");
-    g.bench_function("eventcount_signal", |b| {
-        let ec = EventCount::new();
-        b.iter(|| {
-            ec.signal();
-            black_box(ec.current());
-        })
-    });
-    g.finish();
-}
-
-fn bench_tasklets(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tasklets");
-    g.sample_size(10);
-    g.bench_function("schedule_run_roundtrip", |b| {
-        let exec = TaskletExecutor::new(1);
-        let handle = exec.register(|| {});
-        b.iter(|| {
-            let before = handle.tasklet().run_count();
-            handle.schedule();
-            while handle.tasklet().run_count() == before {
-                std::hint::spin_loop();
+    println!("locks_contended_2threads");
+    bench("spinlock", 20, || {
+        let lock = Arc::new(SpinLock::new(0u64));
+        let l2 = Arc::clone(&lock);
+        let t = std::thread::spawn(move || {
+            for _ in 0..5_000 {
+                *l2.lock() += 1;
             }
         });
-        exec.shutdown();
+        for _ in 0..5_000 {
+            *lock.lock() += 1;
+        }
+        t.join().unwrap();
     });
-    g.finish();
+    bench("std_mutex", 20, || {
+        let lock = Arc::new(std::sync::Mutex::new(0u64));
+        let l2 = Arc::clone(&lock);
+        let t = std::thread::spawn(move || {
+            for _ in 0..5_000 {
+                *l2.lock().unwrap() += 1;
+            }
+        });
+        for _ in 0..5_000 {
+            *lock.lock().unwrap() += 1;
+        }
+        t.join().unwrap();
+    });
 }
 
-criterion_group!(benches, bench_locks, bench_queues, bench_events, bench_tasklets);
-criterion_main!(benches);
+fn bench_queues() {
+    println!("queues");
+    let q = MpscQueue::new();
+    bench("mpsc_push_pop", 1_000_000, || {
+        q.push(black_box(1u64));
+        black_box(q.pop());
+    });
+    let q = MpmcQueue::with_capacity(64);
+    bench("mpmc_push_pop", 1_000_000, || {
+        q.push(black_box(1u64)).unwrap();
+        black_box(q.pop());
+    });
+}
+
+fn bench_events() {
+    println!("events");
+    let ec = EventCount::new();
+    bench("eventcount_signal", 1_000_000, || {
+        ec.signal();
+        black_box(ec.current());
+    });
+}
+
+fn bench_tasklets() {
+    println!("tasklets");
+    let exec = TaskletExecutor::new(1);
+    let handle = exec.register(|| {});
+    bench("schedule_run_roundtrip", 10_000, || {
+        let before = handle.tasklet().run_count();
+        handle.schedule();
+        while handle.tasklet().run_count() == before {
+            std::hint::spin_loop();
+        }
+    });
+    exec.shutdown();
+}
+
+fn main() {
+    bench_locks();
+    bench_queues();
+    bench_events();
+    bench_tasklets();
+}

@@ -1,15 +1,14 @@
-//! Criterion wrapper of the Table 1 experiment: the convolution
+//! Bench wrapper of the Table 1 experiment: the convolution
 //! meta-application under both engines and both thread counts.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pm2_bench::bench;
 use pm2_mpi::workloads::{run_stencil, StencilParams};
 use pm2_mpi::ClusterConfig;
 use pm2_newmad::EngineKind;
 use std::hint::black_box;
 
-fn bench_table1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1_meta_application");
-    g.sample_size(10);
+fn main() {
+    println!("table1_meta_application");
     for (threads, params) in [
         (4usize, StencilParams::four_threads()),
         (16, StencilParams::sixteen_threads()),
@@ -18,19 +17,9 @@ fn bench_table1(c: &mut Criterion) {
             ("no_offload", EngineKind::Sequential),
             ("offload", EngineKind::Pioman),
         ] {
-            g.bench_with_input(
-                BenchmarkId::new(name, threads),
-                &params,
-                |b, params| {
-                    b.iter(|| {
-                        black_box(run_stencil(ClusterConfig::paper_testbed(engine), params))
-                    })
-                },
-            );
+            bench(&format!("{name}/{threads}"), 10, || {
+                black_box(run_stencil(ClusterConfig::paper_testbed(engine), &params));
+            });
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

@@ -47,9 +47,7 @@ fn run(busy_local_socket: bool) -> f64 {
             move |ctx| async move {
                 for i in 0..ITERS {
                     let t1 = ctx.marcel().sim().now();
-                    let h = s
-                        .isend(&ctx, NodeId(1), Tag(i as u64), vec![1; MSG])
-                        .await;
+                    let h = s.isend(&ctx, NodeId(1), Tag(i as u64), vec![1; MSG]).await;
                     ctx.compute(SimDuration::from_micros(COMPUTE_US)).await;
                     s.swait_send(&h, &ctx).await;
                     let t2 = ctx.marcel().sim().now();

@@ -18,7 +18,10 @@ fn main() {
         "{}",
         header(
             "msg size",
-            &thresholds.iter().map(|t| format!("thr {}", fmt_size(*t))).collect::<Vec<_>>(),
+            &thresholds
+                .iter()
+                .map(|t| format!("thr {}", fmt_size(*t)))
+                .collect::<Vec<_>>(),
         )
     );
     for size in [4 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10] {

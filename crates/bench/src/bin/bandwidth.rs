@@ -26,6 +26,7 @@ fn main() {
         )
     );
     let mut size = 64usize;
+    let mut rail_work = [0u64; 2];
     while size <= 4 << 20 {
         let seq = run_pingpong(
             ClusterConfig::paper_testbed(EngineKind::Sequential),
@@ -42,6 +43,9 @@ fn main() {
             size,
             10,
         );
+        for (acc, w) in rail_work.iter_mut().zip(&dual.driver_progress) {
+            *acc += w;
+        }
         println!(
             "{}",
             row(
@@ -59,4 +63,8 @@ fn main() {
     println!("\nExpected: ~3-4µs small-message latency; a step at the 32K");
     println!("rendezvous threshold; asymptotic bandwidth ≈ wire rate (1250 MB/s),");
     println!("doubled by multirail.");
+    println!(
+        "Per-rail driver progress, 2rail runs (rank 0): rail0={} rail1={}",
+        rail_work[0], rail_work[1]
+    );
 }

@@ -32,6 +32,7 @@ fn main() {
             ],
         )
     );
+    let mut shard_work: Vec<u64> = Vec::new();
     for size in fig5_sizes() {
         let reference = run_overlap(
             ClusterConfig::paper_testbed(EngineKind::Pioman),
@@ -53,9 +54,14 @@ fn main() {
         let no_offload = run_overlap(ClusterConfig::paper_testbed(EngineKind::Sequential), &p)
             .half_round_us
             .mean();
-        let offload = run_overlap(ClusterConfig::paper_testbed(EngineKind::Pioman), &p)
-            .half_round_us
-            .mean();
+        let offloaded = run_overlap(ClusterConfig::paper_testbed(EngineKind::Pioman), &p);
+        let offload = offloaded.half_round_us.mean();
+        if shard_work.len() < offloaded.driver_progress.len() {
+            shard_work.resize(offloaded.driver_progress.len(), 0);
+        }
+        for (acc, w) in shard_work.iter_mut().zip(&offloaded.driver_progress) {
+            *acc += w;
+        }
         // The overhead the paper measures where comm ≈ comp: offload time
         // minus the ideal max(comm, comp).
         let ideal = reference.max(fig5_compute().as_micros_f64());
@@ -67,4 +73,19 @@ fn main() {
     }
     println!("\nExpected shape (paper): no-offload ≈ reference + 20µs;");
     println!("offload ≈ max(reference, 20µs) + ~2µs tasklet overhead.");
+    let shards: Vec<String> = shard_work
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            if i + 1 == shard_work.len() {
+                format!("shm={w}")
+            } else {
+                format!("rail{i}={w}")
+            }
+        })
+        .collect();
+    println!(
+        "Per-driver progress, offload runs (node 0): {}",
+        shards.join(" ")
+    );
 }

@@ -24,11 +24,7 @@ fn main() {
         "{}",
         header(
             "size",
-            &[
-                "no-rdv-prog".into(),
-                "rdv-prog".into(),
-                "reference".into(),
-            ],
+            &["no-rdv-prog".into(), "rdv-prog".into(), "reference".into(),],
         )
     );
     for size in fig6_sizes() {

@@ -29,10 +29,7 @@ fn main() {
     println!("Meta-application: convolution-style stencil, 2 nodes x 8 cores\n");
     println!(
         "{}",
-        header(
-            "",
-            &["4 threads".into(), "16 threads".into()],
-        )
+        header("", &["4 threads".into(), "16 threads".into()],)
     );
     let mut seq_t = Vec::new();
     let mut pio_t = Vec::new();

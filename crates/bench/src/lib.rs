@@ -12,12 +12,34 @@
 //! * `abl_adaptive` — offload-or-not policy (§5 future work)
 //! * `abl_timer` — timer-tick cycle stealing when no core is idle (§3.1)
 //!
-//! Criterion benches under `benches/` measure the host-side performance of
-//! the native primitives (`pm2-sync`) and of the simulator itself.
+//! Plain `harness = false` benches under `benches/` measure the host-side
+//! performance of the native primitives (`pm2-sync`) and of the simulator
+//! itself using [`bench`]; they are self-contained so the workspace builds
+//! without any external crates.
 
 #![warn(missing_docs)]
 
 use pm2_sim::SimDuration;
+use std::time::Instant;
+
+/// Runs `f` repeatedly and prints mean wall time per iteration.
+///
+/// A fixed-iteration measure-after-warmup loop: crude next to a real
+/// statistics harness, but dependency-free and stable enough to compare
+/// primitives against each other on one host.
+pub fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    let warmup = (iters / 10).max(1);
+    for _ in 0..warmup {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let total = start.elapsed();
+    let per = total.as_nanos() as f64 / iters as f64;
+    println!("{name:>40}  {per:>12.1} ns/iter   ({iters} iters)");
+}
 
 /// Pretty-prints one table row: label + f64 columns.
 pub fn row(label: &str, cols: &[f64]) -> String {

@@ -39,6 +39,13 @@ pub struct PiomanConfig {
     /// Pause between inline polls when a wait cannot block (e.g. all
     /// background progression disabled): the busy-poll granularity.
     pub inline_poll_pause: SimDuration,
+    /// Anti-starvation valve for the multi-driver registry: after this
+    /// many consecutive deferred-submission steps, one progress call is
+    /// forced to poll for completions even if more submissions are
+    /// queued. [`crate::PiomanStats::max_submission_burst`] records the
+    /// longest burst actually observed so workloads can verify the
+    /// valve never had to fire.
+    pub submission_burst_limit: u32,
 }
 
 impl Default for PiomanConfig {
@@ -53,6 +60,7 @@ impl Default for PiomanConfig {
             syscall_cost: SimDuration::from_nanos(1_500),
             blocking_wake_latency: SimDuration::from_micros(2),
             inline_poll_pause: SimDuration::from_nanos(300),
+            submission_burst_limit: 64,
         }
     }
 }

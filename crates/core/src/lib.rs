@@ -27,6 +27,26 @@
 //! spinlocks allow concurrent progress on different cores (each paying a
 //! tiny lock cost), while a library-wide mutex serializes all progress
 //! system-wide — the `abl_lock` benchmark quantifies the difference.
+//!
+//! # The driver registry
+//!
+//! The server holds a *registry* of drivers rather than a single slot:
+//! each transport (every NIC rail, the shared-memory channel) attaches
+//! its own [`ProgressDriver`] and gets back a [`DriverId`]. Each
+//! progress step makes one scheduling decision over the whole registry:
+//!
+//! 1. **Submissions first** — the driver holding the globally-oldest
+//!    deferred submission (see [`DriverPending::oldest_submission`])
+//!    submits one request; ties between unranked drivers rotate fairly.
+//!    A burst valve ([`PiomanConfig::submission_burst_limit`]) forces a
+//!    completion sweep through sustained submission floods.
+//! 2. **Completion polling** — otherwise a round-robin rotor sweeps the
+//!    armed drivers; the first one that reports work ends the sweep, and
+//!    scanning a driver with nothing pending is free.
+//!
+//! Progress-site counters are kept per driver ([`Pioman::driver_stats`])
+//! as well as globally, so workloads can see *which* shard (which rail,
+//! or shared memory) the idle cores actually progressed.
 
 #![warn(missing_docs)]
 
@@ -36,4 +56,4 @@ mod server;
 
 pub use config::{LockModel, PiomanConfig};
 pub use req::PiomReq;
-pub use server::{DriverPending, Pioman, PiomanStats, Progress, ProgressDriver};
+pub use server::{DriverId, DriverPending, Pioman, PiomanStats, Progress, ProgressDriver};

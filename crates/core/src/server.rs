@@ -1,4 +1,10 @@
 //! The PIOMAN server: deciding when and where progress runs.
+//!
+//! Since the sharded-progression refactor the server owns a *driver
+//! registry*: each transport (NIC rail, shared-memory channel, …)
+//! registers its own [`ProgressDriver`] and the server walks them with a
+//! fair round-robin schedule, prioritising deferred submissions over
+//! pure completion polling (see [`Pioman::attach_driver`]).
 
 use crate::config::{LockModel, PiomanConfig};
 use crate::req::PiomReq;
@@ -27,13 +33,18 @@ impl Progress {
     };
 }
 
-/// What the driver currently has outstanding.
+/// What one driver currently has outstanding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DriverPending {
     /// Deferred submissions waiting to be fed to the hardware.
     pub submissions: bool,
     /// Posted requests whose completion must be detected by polling.
     pub armed: bool,
+    /// Global age rank of the oldest deferred submission (lower = older).
+    /// The registry uses it to reproduce a single FIFO submission order
+    /// across independently-queued drivers; `None` means "unranked" and
+    /// sorts last.
+    pub oldest_submission: Option<u64>,
 }
 
 impl DriverPending {
@@ -42,6 +53,13 @@ impl DriverPending {
         self.submissions || self.armed
     }
 }
+
+/// Identifier of a driver registered with [`Pioman::attach_driver`].
+///
+/// Ids are stable for the lifetime of the server: detaching a driver
+/// never renumbers the others.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DriverId(pub usize);
 
 /// The callbacks a communication library registers with PIOMAN.
 ///
@@ -61,6 +79,10 @@ pub trait ProgressDriver {
 }
 
 /// Cumulative PIOMAN counters.
+///
+/// The same struct is used both for the global tally ([`Pioman::stats`])
+/// and for the per-driver tallies ([`Pioman::driver_stats`]); in the
+/// per-driver view only the three progress-site counters are meaningful.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PiomanStats {
     /// Progress calls made inline by waiting threads.
@@ -75,13 +97,27 @@ pub struct PiomanStats {
     pub lock_contentions: u64,
     /// Calls to [`Pioman::wait`].
     pub waits: u64,
+    /// Longest run of consecutive submission steps the registry served
+    /// before a completion poll (bounded by
+    /// [`PiomanConfig::submission_burst_limit`]).
+    pub max_submission_burst: u64,
 }
 
 struct Inner {
     sim: Sim,
     marcel: Marcel,
     cfg: PiomanConfig,
-    driver: RefCell<Option<Rc<dyn ProgressDriver>>>,
+    /// Registered drivers; detached slots stay as `None` so ids remain
+    /// stable.
+    drivers: RefCell<Vec<Option<Rc<dyn ProgressDriver>>>>,
+    /// Per-driver progress-site counters, parallel to `drivers`.
+    driver_stats: RefCell<Vec<PiomanStats>>,
+    /// Completion-poll rotor: the slot the next poll sweep starts from.
+    rotor: Cell<usize>,
+    /// Tie-break rotor between equally-old submitters.
+    sub_rotor: Cell<usize>,
+    /// Consecutive submission steps served since the last poll sweep.
+    submission_burst: Cell<u32>,
     tasklet: Cell<Option<TaskletId>>,
     /// Global-mutex model: virtual time until which the library lock is
     /// held by some core.
@@ -113,7 +149,11 @@ impl Pioman {
             sim: marcel.sim().clone(),
             marcel: marcel.clone(),
             cfg,
-            driver: RefCell::new(None),
+            drivers: RefCell::new(Vec::new()),
+            driver_stats: RefCell::new(Vec::new()),
+            rotor: Cell::new(0),
+            sub_rotor: Cell::new(0),
+            submission_burst: Cell::new(0),
             tasklet: Cell::new(None),
             lock_held_until: Cell::new(SimTime::ZERO),
             carried_cost: Cell::new(SimDuration::ZERO),
@@ -125,15 +165,20 @@ impl Pioman {
         };
 
         // Progress tasklet: drains work whenever scheduled, rescheduling
-        // itself while the driver still has something outstanding.
+        // itself while some driver still has something outstanding.
         let weak: Weak<Inner> = Rc::downgrade(&inner);
         let tasklet = marcel.create_tasklet("pioman-progress", move |run| {
             let Some(inner) = weak.upgrade() else { return };
             let pioman = Pioman { inner };
-            let p = pioman.locked_progress(CallSite::Tasklet);
+            let (p, who) = pioman.locked_progress(CallSite::Tasklet);
+            if p.did_work {
+                if let Some(DriverId(i)) = who {
+                    run.note_shard(i as u32);
+                }
+            }
             let carried = pioman.inner.carried_cost.replace(SimDuration::ZERO);
             run.charge(p.cost + carried);
-            let pending = pioman.driver_pending();
+            let pending = pioman.drivers_pending();
             if pending.submissions || (p.did_work && pending.armed) {
                 run.reschedule();
             }
@@ -148,13 +193,18 @@ impl Pioman {
                     return HookResult::Nothing;
                 };
                 let pioman = Pioman { inner };
-                let pending = pioman.driver_pending();
+                let pending = pioman.drivers_pending();
                 if !pending.any() {
                     return HookResult::Nothing;
                 }
-                let p = pioman.locked_progress(CallSite::Hook);
+                let (p, who) = pioman.locked_progress(CallSite::Hook);
                 if p.cost.is_zero() && !p.did_work {
                     HookResult::Armed
+                } else if let (true, Some(DriverId(i))) = (p.did_work, who) {
+                    HookResult::WorkedOn {
+                        cost: p.cost,
+                        shard: i as u32,
+                    }
                 } else {
                     HookResult::Worked(p.cost)
                 }
@@ -168,7 +218,7 @@ impl Pioman {
                 marcel.start_timer(tick, move |m| {
                     let Some(inner) = weak.upgrade() else { return };
                     let pioman = Pioman { inner };
-                    if pioman.driver_pending().any() {
+                    if pioman.drivers_pending().any() {
                         if let Some(t) = pioman.inner.tasklet.get() {
                             m.tasklet_schedule(t, None);
                         }
@@ -180,9 +230,54 @@ impl Pioman {
         pioman
     }
 
-    /// Registers the communication library's callbacks.
-    pub fn attach_driver(&self, driver: Rc<dyn ProgressDriver>) {
-        *self.inner.driver.borrow_mut() = Some(driver);
+    /// Registers one transport's callbacks and returns its stable id.
+    ///
+    /// Drivers are polled round-robin in registration order, so register
+    /// them in the order sources should be scanned (e.g. NIC rails
+    /// first, shared memory last).
+    pub fn attach_driver(&self, driver: Rc<dyn ProgressDriver>) -> DriverId {
+        let mut drivers = self.inner.drivers.borrow_mut();
+        drivers.push(Some(driver));
+        self.inner
+            .driver_stats
+            .borrow_mut()
+            .push(PiomanStats::default());
+        DriverId(drivers.len() - 1)
+    }
+
+    /// Unregisters a driver; its slot is retired (ids of the remaining
+    /// drivers are unchanged). Returns false if `id` was already
+    /// detached or never existed.
+    pub fn detach_driver(&self, id: DriverId) -> bool {
+        let mut drivers = self.inner.drivers.borrow_mut();
+        match drivers.get_mut(id.0) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of currently attached drivers.
+    pub fn driver_count(&self) -> usize {
+        self.inner
+            .drivers
+            .borrow()
+            .iter()
+            .filter(|s| s.is_some())
+            .count()
+    }
+
+    /// Progress-site counters attributed to one driver. Counters survive
+    /// a detach. Returns default (all-zero) stats for unknown ids.
+    pub fn driver_stats(&self, id: DriverId) -> PiomanStats {
+        self.inner
+            .driver_stats
+            .borrow()
+            .get(id.0)
+            .copied()
+            .unwrap_or_default()
     }
 
     /// The scheduler this server is attached to.
@@ -200,14 +295,20 @@ impl Pioman {
         *self.inner.stats.borrow()
     }
 
-    fn driver(&self) -> Option<Rc<dyn ProgressDriver>> {
-        self.inner.driver.borrow().clone()
-    }
-
-    fn driver_pending(&self) -> DriverPending {
-        self.driver()
-            .map(|d| d.pending())
-            .unwrap_or_default()
+    /// Union of every attached driver's pending state.
+    fn drivers_pending(&self) -> DriverPending {
+        let drivers = self.inner.drivers.borrow();
+        let mut acc = DriverPending::default();
+        for d in drivers.iter().flatten() {
+            let p = d.pending();
+            acc.submissions |= p.submissions;
+            acc.armed |= p.armed;
+            acc.oldest_submission = match (acc.oldest_submission, p.oldest_submission) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        acc
     }
 
     /// The library posted new work (e.g. an asynchronous send was
@@ -223,11 +324,89 @@ impl Pioman {
         self.ensure_watcher();
     }
 
+    /// One scheduling decision of the registry: either feed the oldest
+    /// deferred submission to its driver, or run one completion-poll
+    /// sweep of the armed drivers.
+    ///
+    /// Submissions win over polling (the hardware should never sit idle
+    /// while requests wait in software queues), except that after
+    /// [`PiomanConfig::submission_burst_limit`] consecutive submission
+    /// steps one poll sweep is forced so a submission flood cannot starve
+    /// completion detection.
+    ///
+    /// The poll sweep scans drivers round-robin from the rotor, skipping
+    /// drivers with nothing armed; the first driver that reports work
+    /// ends the sweep (the unproductive scan costs of the drivers before
+    /// it are discarded — scanning an empty source is free). If nobody
+    /// worked, the sweep charges the most expensive unproductive poll.
+    fn registry_progress(&self) -> (Progress, Option<DriverId>) {
+        let drivers: Vec<Option<Rc<dyn ProgressDriver>>> = self.inner.drivers.borrow().clone();
+        let n = drivers.len();
+        if n == 0 {
+            return (Progress::NONE, None);
+        }
+        let pendings: Vec<DriverPending> = drivers
+            .iter()
+            .map(|s| s.as_ref().map(|d| d.pending()).unwrap_or_default())
+            .collect();
+
+        // Phase 1: deferred submissions, oldest first across all queues.
+        let burst = self.inner.submission_burst.get();
+        if burst < self.inner.cfg.submission_burst_limit {
+            let mut best: Option<(u64, usize)> = None;
+            for k in 0..n {
+                let pos = (self.inner.sub_rotor.get() + k) % n;
+                if !pendings[pos].submissions {
+                    continue;
+                }
+                let rank = pendings[pos].oldest_submission.unwrap_or(u64::MAX);
+                if best.is_none_or(|(r, _)| rank < r) {
+                    best = Some((rank, pos));
+                }
+            }
+            if let Some((_, pos)) = best {
+                let p = drivers[pos].as_ref().unwrap().progress();
+                let burst = burst + 1;
+                self.inner.submission_burst.set(burst);
+                let mut st = self.inner.stats.borrow_mut();
+                st.max_submission_burst = st.max_submission_burst.max(burst as u64);
+                drop(st);
+                self.inner.sub_rotor.set((pos + 1) % n);
+                return (p, Some(DriverId(pos)));
+            }
+        }
+        self.inner.submission_burst.set(0);
+
+        // Phase 2: completion polling, fair rotor over armed drivers.
+        let rotor = self.inner.rotor.get();
+        let mut worst = SimDuration::ZERO;
+        let mut worst_pos = None;
+        for k in 0..n {
+            let pos = (rotor + k) % n;
+            if !pendings[pos].armed {
+                continue;
+            }
+            let p = drivers[pos].as_ref().unwrap().progress();
+            if p.did_work {
+                self.inner.rotor.set((pos + 1) % n);
+                return (p, Some(DriverId(pos)));
+            }
+            if p.cost > worst {
+                worst = p.cost;
+                worst_pos = Some(pos);
+            }
+        }
+        (
+            Progress {
+                cost: worst,
+                did_work: false,
+            },
+            worst_pos.map(DriverId),
+        )
+    }
+
     /// One serialized progress step, honouring the lock model.
-    fn locked_progress(&self, site: CallSite) -> Progress {
-        let Some(driver) = self.driver() else {
-            return Progress::NONE;
-        };
+    fn locked_progress(&self, site: CallSite) -> (Progress, Option<DriverId>) {
         let now = self.inner.sim.now();
         let lock_cost = match self.inner.cfg.lock_model {
             LockModel::PerEventSpinlock => self.inner.cfg.spinlock_cost,
@@ -235,15 +414,18 @@ impl Pioman {
                 if now < self.inner.lock_held_until.get() {
                     // Someone else is inside the library: spin and retry.
                     self.inner.stats.borrow_mut().lock_contentions += 1;
-                    return Progress {
-                        cost: self.inner.cfg.mutex_spin_cost,
-                        did_work: false,
-                    };
+                    return (
+                        Progress {
+                            cost: self.inner.cfg.mutex_spin_cost,
+                            did_work: false,
+                        },
+                        None,
+                    );
                 }
                 self.inner.cfg.spinlock_cost
             }
         };
-        let p = driver.progress();
+        let (p, who) = self.registry_progress();
         let cost = if p.cost.is_zero() && !p.did_work {
             // Nothing even worth polling.
             SimDuration::ZERO
@@ -261,23 +443,70 @@ impl Pioman {
                 CallSite::Tasklet => st.tasklet_progress += 1,
             }
         }
+        if let Some(DriverId(i)) = who {
+            let mut ds = self.inner.driver_stats.borrow_mut();
+            if let Some(st) = ds.get_mut(i) {
+                match site {
+                    CallSite::Inline => st.inline_progress += 1,
+                    CallSite::Hook => st.hook_progress += 1,
+                    CallSite::Tasklet => st.tasklet_progress += 1,
+                }
+            }
+        }
         self.inner.sim.trace().emit_with(now, Category::Pioman, || {
             format!("progress cost={} did_work={}", cost, p.did_work)
         });
-        Progress {
-            cost,
-            did_work: p.did_work,
+        (
+            Progress {
+                cost,
+                did_work: p.did_work,
+            },
+            who,
+        )
+    }
+
+    /// One trigger that fires when *any* attached driver's hardware has
+    /// something to look at. Combines the per-driver triggers in
+    /// registration order; multi-source combinations spawn one forwarder
+    /// task per source.
+    fn combined_hw_trigger(&self) -> Option<Trigger> {
+        let drivers = self.inner.drivers.borrow();
+        let mut trigs: Vec<Trigger> = Vec::new();
+        for d in drivers.iter().flatten() {
+            if let Some(t) = d.hw_trigger() {
+                trigs.push(t);
+            }
         }
+        drop(drivers);
+        if trigs.is_empty() {
+            return None;
+        }
+        if trigs.iter().any(|t| t.is_fired()) {
+            let t = Trigger::new();
+            t.fire();
+            return Some(t);
+        }
+        if trigs.len() == 1 {
+            return trigs.pop();
+        }
+        let any = Trigger::new();
+        for t in trigs {
+            let a = any.clone();
+            self.inner.sim.spawn(async move {
+                t.wait().await;
+                a.fire();
+            });
+        }
+        Some(any)
     }
 
     /// Keeps a simulated kernel thread blocked on the hardware trigger
-    /// while the driver is waiting for events (the method of [10]).
+    /// while some driver is waiting for events (the method of [10]).
     fn ensure_watcher(&self) {
         if !self.inner.cfg.blocking_call || self.inner.watcher_active.get() {
             return;
         }
-        let Some(driver) = self.driver() else { return };
-        if driver.hw_trigger().is_none() {
+        if self.combined_hw_trigger().is_none() {
             return;
         }
         self.inner.watcher_active.set(true);
@@ -288,11 +517,11 @@ impl Pioman {
             loop {
                 let Some(inner) = weak.upgrade() else { return };
                 let pioman = Pioman { inner };
-                if !pioman.driver_pending().any() {
+                if !pioman.drivers_pending().any() {
                     pioman.inner.watcher_active.set(false);
                     return;
                 }
-                let Some(trig) = pioman.driver().and_then(|d| d.hw_trigger()) else {
+                let Some(trig) = pioman.combined_hw_trigger() else {
                     pioman.inner.watcher_active.set(false);
                     return;
                 };
@@ -338,7 +567,7 @@ impl Pioman {
             if let Some(i) = reqs.iter().position(PiomReq::is_complete) {
                 return i;
             }
-            let p = self.locked_progress(CallSite::Inline);
+            let (p, _) = self.locked_progress(CallSite::Inline);
             if !p.cost.is_zero() {
                 ctx.compute(p.cost).await;
             }
@@ -378,7 +607,7 @@ impl Pioman {
             if req.is_complete() {
                 return;
             }
-            let p = self.locked_progress(CallSite::Inline);
+            let (p, _) = self.locked_progress(CallSite::Inline);
             if !p.cost.is_zero() {
                 ctx.compute(p.cost).await;
             }
@@ -409,9 +638,12 @@ mod tests {
 
     /// A scriptable driver: a queue of work items (cost, completes-req),
     /// plus an "armed poll" that completes a request when a deadline
-    /// passes.
+    /// passes. `log` (shared between drivers in multi-driver tests)
+    /// records which driver each `progress()` call landed on.
     struct FakeDriver {
         sim: Sim,
+        id: usize,
+        log: Rc<RefCell<Vec<usize>>>,
         poll_cost: SimDuration,
         work: RefCell<VecDeque<(SimDuration, Option<PiomReq>)>>,
         armed: RefCell<Vec<(SimTime, PiomReq)>>,
@@ -420,8 +652,14 @@ mod tests {
 
     impl FakeDriver {
         fn new(sim: &Sim) -> Rc<Self> {
+            FakeDriver::with_id(sim, 0, Rc::new(RefCell::new(Vec::new())))
+        }
+
+        fn with_id(sim: &Sim, id: usize, log: Rc<RefCell<Vec<usize>>>) -> Rc<Self> {
             Rc::new(FakeDriver {
                 sim: sim.clone(),
+                id,
+                log,
                 poll_cost: SimDuration::from_nanos(200),
                 work: RefCell::new(VecDeque::new()),
                 armed: RefCell::new(Vec::new()),
@@ -441,6 +679,7 @@ mod tests {
 
     impl ProgressDriver for FakeDriver {
         fn progress(&self) -> Progress {
+            self.log.borrow_mut().push(self.id);
             if let Some((cost, req)) = self.work.borrow_mut().pop_front() {
                 if let Some(r) = req {
                     r.complete(&self.sim);
@@ -474,6 +713,7 @@ mod tests {
             DriverPending {
                 submissions: !self.work.borrow().is_empty(),
                 armed: !self.armed.borrow().is_empty(),
+                oldest_submission: None,
             }
         }
 
@@ -641,7 +881,11 @@ mod tests {
         });
         sim.run();
         assert!(reqs.iter().all(PiomReq::is_complete));
-        assert!(done_at.get() >= 40 && done_at.get() <= 43, "t={}", done_at.get());
+        assert!(
+            done_at.get() >= 40 && done_at.get() <= 43,
+            "t={}",
+            done_at.get()
+        );
     }
 
     #[test]
@@ -696,5 +940,245 @@ mod tests {
             "expected concurrency, took {}µs",
             sim.now().as_micros()
         );
+    }
+
+    // ---- multi-driver registry ----
+
+    type MultiSetup = (
+        Sim,
+        Marcel,
+        Pioman,
+        Vec<Rc<FakeDriver>>,
+        Vec<DriverId>,
+        Rc<RefCell<Vec<usize>>>,
+    );
+
+    fn setup_multi(cores: usize, cfg: PiomanConfig, n: usize) -> MultiSetup {
+        let sim = Sim::new(5);
+        let topo = Rc::new(Topology::single_node(cores));
+        let marcel = Marcel::new(sim.clone(), topo, NodeId(0), MarcelConfig::zero_cost());
+        let pioman = Pioman::new(&marcel, cfg);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut drivers = Vec::new();
+        let mut ids = Vec::new();
+        for i in 0..n {
+            let d = FakeDriver::with_id(&sim, i, Rc::clone(&log));
+            ids.push(pioman.attach_driver(d.clone() as Rc<dyn ProgressDriver>));
+            drivers.push(d);
+        }
+        (sim, marcel, pioman, drivers, ids, log)
+    }
+
+    #[test]
+    fn submissions_alternate_between_equal_rank_drivers() {
+        let (sim, marcel, pioman, drivers, ids, log) = setup_multi(2, PiomanConfig::default(), 2);
+        assert_eq!(ids, vec![DriverId(0), DriverId(1)]);
+        let reqs: Vec<PiomReq> = (0..6).map(|_| PiomReq::new(&sim, "w")).collect();
+        for (i, r) in reqs.iter().enumerate() {
+            drivers[i % 2].push_work(SimDuration::from_micros(1), Some(r.clone()));
+        }
+        let pioman2 = pioman.clone();
+        let last = reqs.last().unwrap().clone();
+        marcel.spawn("app", Priority::Normal, None, move |ctx| async move {
+            pioman2.notify_work(ctx.current_core());
+            pioman2.wait(&last, &ctx).await;
+        });
+        sim.run();
+        assert!(reqs.iter().all(PiomReq::is_complete));
+        // Unranked submitters are served round-robin by the tie-break
+        // rotor: neither driver gets two turns in a row while both have
+        // submissions queued.
+        let first6: Vec<usize> = log.borrow().iter().copied().take(6).collect();
+        assert_eq!(first6, vec![0, 1, 0, 1, 0, 1], "log={:?}", log.borrow());
+    }
+
+    #[test]
+    fn ranked_submissions_replay_global_fifo_order() {
+        let (sim, marcel, pioman, _drivers, ids, log) = setup_multi(2, PiomanConfig::default(), 2);
+        // Ranked drivers: driver 1 holds the globally-oldest submission,
+        // so it must be served first even though driver 0 is scanned
+        // first.
+        struct Ranked {
+            id: usize,
+            log: Rc<RefCell<Vec<usize>>>,
+            queue: RefCell<VecDeque<u64>>,
+        }
+        impl ProgressDriver for Ranked {
+            fn progress(&self) -> Progress {
+                self.log.borrow_mut().push(self.id);
+                self.queue.borrow_mut().pop_front();
+                Progress {
+                    cost: SimDuration::from_nanos(500),
+                    did_work: true,
+                }
+            }
+            fn pending(&self) -> DriverPending {
+                DriverPending {
+                    submissions: !self.queue.borrow().is_empty(),
+                    armed: false,
+                    oldest_submission: self.queue.borrow().front().copied(),
+                }
+            }
+            fn hw_trigger(&self) -> Option<Trigger> {
+                None
+            }
+        }
+        pioman.detach_driver(ids[0]);
+        pioman.detach_driver(ids[1]);
+        let a = Rc::new(Ranked {
+            id: 10,
+            log: Rc::clone(&log),
+            queue: RefCell::new(VecDeque::from([1, 4, 5])),
+        });
+        let b = Rc::new(Ranked {
+            id: 11,
+            log: Rc::clone(&log),
+            queue: RefCell::new(VecDeque::from([0, 2, 3])),
+        });
+        pioman.attach_driver(a as Rc<dyn ProgressDriver>);
+        pioman.attach_driver(b as Rc<dyn ProgressDriver>);
+        let pioman2 = pioman.clone();
+        marcel.spawn("app", Priority::Normal, None, move |ctx| async move {
+            pioman2.notify_work(ctx.current_core());
+            ctx.compute(SimDuration::from_micros(20)).await;
+        });
+        sim.run();
+        // Seq stamps 0..6 were spread b,a,b,b,a,a: the registry must
+        // replay exactly that global order.
+        assert_eq!(log.borrow().as_slice(), &[11, 10, 11, 11, 10, 10]);
+    }
+
+    #[test]
+    fn idle_drivers_are_never_polled() {
+        let (sim, marcel, pioman, drivers, _ids, log) = setup_multi(1, PiomanConfig::default(), 3);
+        let req = PiomReq::new(&sim, "recv");
+        drivers[1].arm(SimTime::from_micros(10), req.clone());
+        let pioman2 = pioman.clone();
+        let req2 = req.clone();
+        marcel.spawn("app", Priority::Normal, None, move |ctx| async move {
+            pioman2.wait(&req2, &ctx).await;
+        });
+        sim.run();
+        assert!(req.is_complete());
+        // Drivers 0 and 2 never had anything pending: the rotor sweep
+        // must skip them without a progress call.
+        assert!(
+            log.borrow().iter().all(|&i| i == 1),
+            "log={:?}",
+            log.borrow()
+        );
+        assert!(!log.borrow().is_empty());
+    }
+
+    #[test]
+    fn detached_driver_is_skipped_and_ids_stay_stable() {
+        let (sim, marcel, pioman, drivers, ids, log) = setup_multi(1, PiomanConfig::default(), 2);
+        assert_eq!(pioman.driver_count(), 2);
+        assert!(pioman.detach_driver(ids[0]));
+        assert!(!pioman.detach_driver(ids[0]), "double detach must fail");
+        assert_eq!(pioman.driver_count(), 1);
+        // Work queued on the detached driver is never progressed…
+        drivers[0].push_work(SimDuration::from_micros(1), None);
+        // …while the surviving driver keeps its id and keeps working.
+        let req = PiomReq::new(&sim, "recv");
+        drivers[1].arm(SimTime::from_micros(5), req.clone());
+        let pioman2 = pioman.clone();
+        let req2 = req.clone();
+        marcel.spawn("app", Priority::Normal, None, move |ctx| async move {
+            pioman2.wait(&req2, &ctx).await;
+        });
+        sim.run();
+        assert!(req.is_complete());
+        assert!(
+            log.borrow().iter().all(|&i| i == 1),
+            "log={:?}",
+            log.borrow()
+        );
+        assert_eq!(drivers[0].work.borrow().len(), 1);
+        assert!(pioman.driver_stats(ids[1]).hook_progress > 0);
+    }
+
+    #[test]
+    fn per_driver_stats_attribute_progress_to_the_right_shard() {
+        let (sim, marcel, pioman, drivers, ids, _log) = setup_multi(2, PiomanConfig::default(), 2);
+        let reqs: Vec<PiomReq> = (0..5).map(|_| PiomReq::new(&sim, "w")).collect();
+        // 2 items on driver 0, 3 on driver 1.
+        for (i, r) in reqs.iter().enumerate() {
+            drivers[if i < 2 { 0 } else { 1 }]
+                .push_work(SimDuration::from_micros(1), Some(r.clone()));
+        }
+        let pioman2 = pioman.clone();
+        let reqs2 = reqs.clone();
+        marcel.spawn("app", Priority::Normal, None, move |ctx| async move {
+            pioman2.notify_work(ctx.current_core());
+            pioman2.wait_all(&reqs2, &ctx).await;
+        });
+        sim.run();
+        let sum = |s: PiomanStats| s.inline_progress + s.hook_progress + s.tasklet_progress;
+        assert_eq!(sum(pioman.driver_stats(ids[0])), 2);
+        assert_eq!(sum(pioman.driver_stats(ids[1])), 3);
+        // Global counters keep counting every call, attributed or not.
+        assert!(sum(pioman.stats()) >= 5);
+    }
+
+    #[test]
+    fn submission_flood_cannot_starve_completion_polling() {
+        // Regression for the 3-driver starvation scenario: two drivers
+        // flooding submissions while a third waits on an armed poll. The
+        // burst valve must force completion sweeps through the flood.
+        struct Flood {
+            left: Cell<u64>,
+        }
+        impl ProgressDriver for Flood {
+            fn progress(&self) -> Progress {
+                self.left.set(self.left.get().saturating_sub(1));
+                Progress {
+                    cost: SimDuration::from_nanos(500),
+                    did_work: true,
+                }
+            }
+            fn pending(&self) -> DriverPending {
+                DriverPending {
+                    submissions: self.left.get() > 0,
+                    armed: false,
+                    oldest_submission: None,
+                }
+            }
+            fn hw_trigger(&self) -> Option<Trigger> {
+                None
+            }
+        }
+        let cfg = PiomanConfig {
+            submission_burst_limit: 4,
+            ..PiomanConfig::default()
+        };
+        let sim = Sim::new(5);
+        let topo = Rc::new(Topology::single_node(1));
+        let marcel = Marcel::new(sim.clone(), topo, NodeId(0), MarcelConfig::zero_cost());
+        let pioman = Pioman::new(&marcel, cfg);
+        for _ in 0..2 {
+            pioman.attach_driver(Rc::new(Flood {
+                left: Cell::new(200),
+            }) as Rc<dyn ProgressDriver>);
+        }
+        let victim = FakeDriver::new(&sim);
+        pioman.attach_driver(victim.clone() as Rc<dyn ProgressDriver>);
+        let req = PiomReq::new(&sim, "recv");
+        victim.arm(SimTime::from_micros(2), req.clone());
+        let done = Rc::new(Cell::new(0u64));
+        let done2 = Rc::clone(&done);
+        let pioman2 = pioman.clone();
+        let req2 = req.clone();
+        marcel.spawn("app", Priority::Normal, None, move |ctx| async move {
+            pioman2.notify_work(ctx.current_core());
+            pioman2.wait(&req2, &ctx).await;
+            done2.set(ctx.marcel().sim().now().as_micros());
+        });
+        sim.run();
+        assert!(req.is_complete());
+        // 400 flood items × 500ns ≈ 200µs of flood; the victim must be
+        // detected shortly after its 2µs deadline, not after the flood.
+        assert!(done.get() < 20, "victim starved until t={}µs", done.get());
+        assert_eq!(pioman.stats().max_submission_burst, 4);
     }
 }

@@ -56,7 +56,11 @@ impl MemoryRegistry {
     /// bytes; returns the host CPU cost of the operation.
     pub fn register(&self, id: u64, len: usize) -> SimDuration {
         let mut st = self.state.borrow_mut();
-        if let Some(pos) = st.entries.iter().position(|&(eid, elen)| eid == id && elen >= len) {
+        if let Some(pos) = st
+            .entries
+            .iter()
+            .position(|&(eid, elen)| eid == id && elen >= len)
+        {
             // Hit: refresh LRU position.
             let entry = st.entries.remove(pos).expect("position valid");
             st.entries.push_back(entry);

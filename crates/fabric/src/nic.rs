@@ -168,9 +168,11 @@ impl<P: 'static> Fabric<P> {
             payload,
         };
         self.sim.schedule_at(arrival, move |_| nic.deliver(frame));
-        self.sim.trace().emit_with(self.sim.now(), Category::Hw, || {
-            format!("tx {src}->{dst} {wire_bytes}B arrives at {arrival}")
-        });
+        self.sim
+            .trace()
+            .emit_with(self.sim.now(), Category::Hw, || {
+                format!("tx {src}->{dst} {wire_bytes}B arrives at {arrival}")
+            });
         TxInfo {
             egress_end,
             arrival,
@@ -281,6 +283,16 @@ impl<P: 'static> Nic<P> {
             *slot = Trigger::new();
         }
         slot.clone()
+    }
+
+    /// The per-rail hardware wake-up source for PIOMAN's blocking-call
+    /// method: a progress driver returns this from its `hw_trigger`
+    /// callback so the kernel watcher arms *this* rail specifically
+    /// rather than a whole-library event.
+    ///
+    /// Alias of [`Nic::rx_trigger`].
+    pub fn hw_trigger(&self) -> Trigger {
+        self.rx_trigger()
     }
 
     /// Counter snapshot.

@@ -61,14 +61,15 @@ impl<P: 'static> ShmChannel<P> {
     /// first; visibility follows the copy plus the coherence latency.
     pub fn push_after(self: &Rc<Self>, msg: P, delay: SimDuration) {
         let this = Rc::clone(self);
-        self.sim.schedule_in(delay + self.params.shm_latency, move |_| {
-            this.queue.borrow_mut().push_back(msg);
-            *this.pushed.borrow_mut() += 1;
-            this.trigger.borrow().fire();
-            if let Some(cb) = this.callback.borrow().as_ref() {
-                cb();
-            }
-        });
+        self.sim
+            .schedule_in(delay + self.params.shm_latency, move |_| {
+                this.queue.borrow_mut().push_back(msg);
+                *this.pushed.borrow_mut() += 1;
+                this.trigger.borrow().fire();
+                if let Some(cb) = this.callback.borrow().as_ref() {
+                    cb();
+                }
+            });
     }
 
     /// Installs a callback invoked whenever a message becomes visible
@@ -102,6 +103,14 @@ impl<P: 'static> ShmChannel<P> {
             *slot = Trigger::new();
         }
         slot.clone()
+    }
+
+    /// The shared-memory wake-up source for PIOMAN's blocking-call
+    /// method (alias of [`ShmChannel::trigger`], mirroring
+    /// `Nic::hw_trigger` so per-transport progress drivers treat both
+    /// uniformly).
+    pub fn hw_trigger(&self) -> Trigger {
+        self.trigger()
     }
 
     /// (messages pushed, messages popped) so far.

@@ -142,7 +142,10 @@ impl RunQueues {
     #[allow(dead_code)]
     pub(crate) fn remove(&mut self, tid: ThreadId) -> bool {
         let scan = |q: &mut VecDeque<ThreadId>| {
-            q.iter().position(|&t| t == tid).map(|i| q.remove(i)).is_some()
+            q.iter()
+                .position(|&t| t == tid)
+                .map(|i| q.remove(i))
+                .is_some()
         };
         for qs in self.core.iter_mut().chain(self.socket.iter_mut()) {
             for q in qs.iter_mut() {
@@ -172,8 +175,22 @@ mod tests {
     fn priority_dominates_locality() {
         // 4 cores, 2 sockets.
         let mut q = RunQueues::new(4, 2);
-        q.push(t(1), 1, Placement::Socket { socket: 0, front: false }); // normal, local
-        q.push(t(2), 2, Placement::Socket { socket: 1, front: false }); // high, remote
+        q.push(
+            t(1),
+            1,
+            Placement::Socket {
+                socket: 0,
+                front: false,
+            },
+        ); // normal, local
+        q.push(
+            t(2),
+            2,
+            Placement::Socket {
+                socket: 1,
+                front: false,
+            },
+        ); // high, remote
         let (tid, src) = q.pop_for(0).unwrap();
         assert_eq!(tid, t(2), "high priority wins even cross-socket");
         assert_eq!(src, PopSource::RemoteSocket);
@@ -185,7 +202,14 @@ mod tests {
     fn locality_order_within_priority() {
         let mut q = RunQueues::new(4, 2);
         q.push(t(1), 1, Placement::Node { front: false });
-        q.push(t(2), 1, Placement::Socket { socket: 0, front: false });
+        q.push(
+            t(2),
+            1,
+            Placement::Socket {
+                socket: 0,
+                front: false,
+            },
+        );
         q.push(t(3), 1, Placement::Core(0));
         assert_eq!(q.pop_for(0).unwrap(), (t(3), PopSource::Core));
         assert_eq!(q.pop_for(0).unwrap(), (t(2), PopSource::LocalSocket));
@@ -197,15 +221,32 @@ mod tests {
     fn strict_core_queue_is_not_stolen() {
         let mut q = RunQueues::new(4, 2);
         q.push(t(1), 1, Placement::Core(3));
-        assert!(q.pop_for(0).is_none(), "core 0 must not steal core 3's thread");
+        assert!(
+            q.pop_for(0).is_none(),
+            "core 0 must not steal core 3's thread"
+        );
         assert_eq!(q.pop_for(3).unwrap(), (t(1), PopSource::Core));
     }
 
     #[test]
     fn urgent_front_insertion() {
         let mut q = RunQueues::new(2, 1);
-        q.push(t(1), 2, Placement::Socket { socket: 0, front: false });
-        q.push(t(2), 2, Placement::Socket { socket: 0, front: true });
+        q.push(
+            t(1),
+            2,
+            Placement::Socket {
+                socket: 0,
+                front: false,
+            },
+        );
+        q.push(
+            t(2),
+            2,
+            Placement::Socket {
+                socket: 0,
+                front: true,
+            },
+        );
         assert_eq!(q.pop_for(0).unwrap().0, t(2));
         assert_eq!(q.pop_for(0).unwrap().0, t(1));
     }
@@ -214,7 +255,14 @@ mod tests {
     fn len_counts_all_levels() {
         let mut q = RunQueues::new(4, 2);
         q.push(t(1), 0, Placement::Core(1));
-        q.push(t(2), 1, Placement::Socket { socket: 1, front: false });
+        q.push(
+            t(2),
+            1,
+            Placement::Socket {
+                socket: 1,
+                front: false,
+            },
+        );
         q.push(t(3), 2, Placement::Node { front: false });
         assert_eq!(q.len(), 3);
         q.remove(t(2));

@@ -24,6 +24,15 @@ pub enum HookResult {
     /// Work was performed, consuming the given CPU time; re-check
     /// immediately afterwards.
     Worked(SimDuration),
+    /// Like [`HookResult::Worked`], additionally naming which shard of
+    /// the hook's backend did the work (e.g. which PIOMAN progress
+    /// driver); Marcel tallies per-shard hook work for it.
+    WorkedOn {
+        /// CPU time the work consumed.
+        cost: SimDuration,
+        /// Shard index the work is attributed to.
+        shard: u32,
+    },
 }
 
 /// Identifier of a periodic timer.
@@ -86,15 +95,32 @@ struct TimerRec {
     cancelled: Rc<std::cell::Cell<bool>>,
 }
 
+/// A registered idle hook (shared so a sweep can run hooks unborrowed).
+type IdleHook = Rc<dyn Fn(&Marcel, CoreId) -> HookResult>;
+
 struct State {
     cores: Vec<Core>,
     threads: Slab<ThreadRec>,
     tasklets: Slab<TaskletRec>,
     tasklet_queue: VecDeque<TaskletId>,
     runq: RunQueues,
-    hooks: Vec<Rc<dyn Fn(&Marcel, CoreId) -> HookResult>>,
+    hooks: Vec<IdleHook>,
     timers: Slab<TimerRec>,
     stats: SchedStats,
+    /// Per-shard counts of idle-hook work events
+    /// ([`HookResult::WorkedOn`]), indexed by shard.
+    hook_shard_work: Vec<u64>,
+    /// Per-shard counts of tasklet work events
+    /// ([`TaskletRun::note_shard`]), indexed by shard.
+    tasklet_shard_work: Vec<u64>,
+}
+
+fn bump_shard(v: &mut Vec<u64>, shard: u32) {
+    let i = shard as usize;
+    if v.len() <= i {
+        v.resize(i + 1, 0);
+    }
+    v[i] += 1;
 }
 
 struct Inner {
@@ -164,6 +190,8 @@ impl Marcel {
                     hooks: Vec::new(),
                     timers: Slab::new(),
                     stats: SchedStats::default(),
+                    hook_shard_work: Vec::new(),
+                    tasklet_shard_work: Vec::new(),
                 }),
             }),
         }
@@ -192,6 +220,18 @@ impl Marcel {
     /// Snapshot of the activity counters.
     pub fn stats(&self) -> SchedStats {
         self.inner.state.borrow().stats
+    }
+
+    /// Per-shard idle-hook work counts (index = shard named by
+    /// [`HookResult::WorkedOn`]; shards that never worked may be absent).
+    pub fn hook_shard_work(&self) -> Vec<u64> {
+        self.inner.state.borrow().hook_shard_work.clone()
+    }
+
+    /// Per-shard tasklet work counts (index = shard named by
+    /// [`TaskletRun::note_shard`]).
+    pub fn tasklet_shard_work(&self) -> Vec<u64> {
+        self.inner.state.borrow().tasklet_shard_work.clone()
     }
 
     fn local(&self, core: CoreId) -> usize {
@@ -623,16 +663,22 @@ impl Marcel {
             let mut st = self.inner.state.borrow_mut();
             let rec = st.tasklets.get_mut(id.0).expect("unknown tasklet");
             rec.scheduled = false;
-            (rec.body.take().expect("tasklet body in use"), rec.name.clone())
+            (
+                rec.body.take().expect("tasklet body in use"),
+                rec.name.clone(),
+            )
         };
         let mut run = TaskletRun::new(on);
         body(&mut run);
-        let (charged, resched) = run.take_outcome();
+        let (charged, resched, shard) = run.take_outcome();
         {
             let mut st = self.inner.state.borrow_mut();
             st.stats.tasklet_runs += 1;
             if stolen {
                 st.stats.compute_steals += 1;
+            }
+            if let Some(s) = shard {
+                bump_shard(&mut st.tasklet_shard_work, s);
             }
             let rec = st.tasklets.get_mut(id.0).expect("unknown tasklet");
             rec.body = Some(body);
@@ -879,7 +925,9 @@ impl Marcel {
                     rec.last_core = Some(core);
                     st.cores[local].current = Some(tid);
                 }
-                self.trace(Category::Sched, || format!("dispatch {:?} on {}", tid, core));
+                self.trace(Category::Sched, || {
+                    format!("dispatch {:?} on {}", tid, core)
+                });
                 if ctx_switch.is_zero() {
                     self.wake_dispatch(tid);
                 } else {
@@ -895,7 +943,7 @@ impl Marcel {
                 return;
             }
             // Phase 3: idle hooks.
-            let hooks: Vec<Rc<dyn Fn(&Marcel, CoreId) -> HookResult>> = {
+            let hooks: Vec<IdleHook> = {
                 let mut st = self.inner.state.borrow_mut();
                 st.stats.hook_sweeps += 1;
                 st.hooks.clone()
@@ -909,6 +957,12 @@ impl Marcel {
                     HookResult::Worked(c) => {
                         armed = true;
                         cost += c;
+                    }
+                    HookResult::WorkedOn { cost: c, shard } => {
+                        armed = true;
+                        cost += c;
+                        let mut st = self.inner.state.borrow_mut();
+                        bump_shard(&mut st.hook_shard_work, shard);
                     }
                 }
             }
@@ -938,9 +992,7 @@ impl Marcel {
             Some((tid, src)) => {
                 match src {
                     PopSource::RemoteSocket => st.stats.cross_socket_steals += 1,
-                    PopSource::Core | PopSource::LocalSocket => {
-                        st.stats.local_dispatches += 1
-                    }
+                    PopSource::Core | PopSource::LocalSocket => st.stats.local_dispatches += 1,
                     PopSource::Node => {}
                 }
                 Some(tid)
@@ -962,7 +1014,10 @@ impl Marcel {
     }
 
     fn trace(&self, cat: Category, f: impl FnOnce() -> String) {
-        self.inner.sim.trace().emit_with(self.inner.sim.now(), cat, f);
+        self.inner
+            .sim
+            .trace()
+            .emit_with(self.inner.sim.now(), cat, f);
     }
 }
 
@@ -1267,7 +1322,11 @@ mod tests {
         let armed2 = Rc::clone(&armed);
         sim.schedule_in(SimDuration::from_micros(10), move |_| armed2.set(false));
         sim.run();
-        assert!(polls.get() >= 10, "polled every 0.1µs for 10µs: {}", polls.get());
+        assert!(
+            polls.get() >= 10,
+            "polled every 0.1µs for 10µs: {}",
+            polls.get()
+        );
         assert!(sim.now().as_micros() >= 10);
     }
 
@@ -1352,14 +1411,18 @@ mod tests {
             let order = Rc::clone(&order);
             m.spawn("sleeper", Priority::Normal, None, move |ctx| async move {
                 ctx.sleep(SimDuration::from_micros(10)).await;
-                order.borrow_mut().push(("sleeper", ctx.marcel().sim().now().as_micros()));
+                order
+                    .borrow_mut()
+                    .push(("sleeper", ctx.marcel().sim().now().as_micros()));
             });
         }
         {
             let order = Rc::clone(&order);
             m.spawn("worker", Priority::Normal, None, move |ctx| async move {
                 ctx.compute(SimDuration::from_micros(6)).await;
-                order.borrow_mut().push(("worker", ctx.marcel().sim().now().as_micros()));
+                order
+                    .borrow_mut()
+                    .push(("worker", ctx.marcel().sim().now().as_micros()));
             });
         }
         sim.run();

@@ -18,6 +18,7 @@ pub struct TaskletRun {
     core: CoreId,
     charged: SimDuration,
     reschedule: bool,
+    shard: Option<u32>,
 }
 
 impl TaskletRun {
@@ -26,6 +27,7 @@ impl TaskletRun {
             core,
             charged: SimDuration::ZERO,
             reschedule: false,
+            shard: None,
         }
     }
 
@@ -45,16 +47,27 @@ impl TaskletRun {
         self.reschedule = true;
     }
 
-    pub(crate) fn take_outcome(self) -> (SimDuration, bool) {
-        (self.charged, self.reschedule)
+    /// Names which shard of the tasklet's backend the work of this
+    /// execution landed on (e.g. which PIOMAN progress driver); Marcel
+    /// tallies per-shard tasklet work
+    /// ([`crate::Marcel::tasklet_shard_work`]).
+    pub fn note_shard(&mut self, shard: u32) {
+        self.shard = Some(shard);
+    }
+
+    pub(crate) fn take_outcome(self) -> (SimDuration, bool, Option<u32>) {
+        (self.charged, self.reschedule, self.shard)
     }
 }
+
+/// A tasklet body callback.
+pub(crate) type TaskletBody = Box<dyn FnMut(&mut TaskletRun)>;
 
 /// Internal record of a registered tasklet.
 pub(crate) struct TaskletRec {
     /// Body taken out while running (prevents re-entrant execution and
     /// RefCell aliasing).
-    pub(crate) body: Option<Box<dyn FnMut(&mut TaskletRun)>>,
+    pub(crate) body: Option<TaskletBody>,
     /// SCHED bit: queued for execution.
     pub(crate) scheduled: bool,
     /// RUN bit: body currently executing (single-threaded sim still models

@@ -144,12 +144,7 @@ impl Cluster {
         let mut piomans = Vec::new();
         let mut sessions = Vec::new();
         for n in 0..cfg.nodes {
-            let marcel = Marcel::new(
-                sim.clone(),
-                Rc::clone(&topo),
-                NodeId(n),
-                cfg.marcel.clone(),
-            );
+            let marcel = Marcel::new(sim.clone(), Rc::clone(&topo), NodeId(n), cfg.marcel.clone());
             let pioman = match cfg.engine {
                 EngineKind::Pioman => Some(Pioman::new(&marcel, cfg.pioman.clone())),
                 EngineKind::Sequential => None,

@@ -61,13 +61,7 @@ impl Comm {
     ///
     /// # Panics
     /// Panics if `tag` intrudes into the reserved collective space.
-    pub async fn isend(
-        &self,
-        ctx: &ThreadCtx,
-        dest: usize,
-        tag: Tag,
-        data: Vec<u8>,
-    ) -> SendHandle {
+    pub async fn isend(&self, ctx: &ThreadCtx, dest: usize, tag: Tag, data: Vec<u8>) -> SendHandle {
         assert!(tag.0 < RESERVED_TAG_BASE, "tag {tag} is reserved");
         self.session.isend(ctx, NodeId(dest), tag, data).await
     }
@@ -168,13 +162,13 @@ impl Comm {
         if self.rank == root {
             let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.ranks];
             out[root] = data;
-            for r in 0..self.ranks {
+            for (r, slot) in out.iter_mut().enumerate() {
                 if r == root {
                     continue;
                 }
                 let tag = Tag(GATHER_TAG + (gen % (1 << 16)) * 64 + r as u64);
                 let h = self.session.irecv(ctx, Some(NodeId(r)), tag).await;
-                out[r] = self.session.swait_recv(&h, ctx).await;
+                *slot = self.session.swait_recv(&h, ctx).await;
             }
             Some(out)
         } else {
@@ -306,7 +300,9 @@ mod tests {
         for (rank, comm) in comms.into_iter().enumerate() {
             let results = Rc::clone(&results);
             cluster.spawn_on(rank, format!("rank{rank}"), move |ctx| async move {
-                let total = comm.allreduce_sum(&ctx, (comm.rank() as u64 + 1) * 10).await;
+                let total = comm
+                    .allreduce_sum(&ctx, (comm.rank() as u64 + 1) * 10)
+                    .await;
                 results.borrow_mut().push(total);
             });
         }
@@ -324,7 +320,8 @@ mod tests {
             cluster.spawn_on(rank, format!("rank{rank}"), move |ctx| async move {
                 for i in 0..5 {
                     if comm.rank() == 0 {
-                        ctx.compute(pm2_sim::SimDuration::from_micros(i * 3 + 1)).await;
+                        ctx.compute(pm2_sim::SimDuration::from_micros(i * 3 + 1))
+                            .await;
                     }
                     comm.barrier(&ctx).await;
                     counter.set(counter.get() + 1);
@@ -358,7 +355,11 @@ mod tests {
             }
             cluster.run();
             for r in 0..3 {
-                assert_eq!(got.borrow()[r], vec![root as u8; 1000], "root {root} rank {r}");
+                assert_eq!(
+                    got.borrow()[r],
+                    vec![root as u8; 1000],
+                    "root {root} rank {r}"
+                );
             }
         }
     }
@@ -374,7 +375,9 @@ mod tests {
         for (rank, comm) in comms.into_iter().enumerate() {
             let result = Rc::clone(&result);
             cluster.spawn_on(rank, format!("r{rank}"), move |ctx| async move {
-                let out = comm.gather(&ctx, 1, vec![comm.rank() as u8; 10 + comm.rank()]).await;
+                let out = comm
+                    .gather(&ctx, 1, vec![comm.rank() as u8; 10 + comm.rank()])
+                    .await;
                 if comm.rank() == 1 {
                     *result.borrow_mut() = out;
                 } else {

@@ -39,6 +39,9 @@ pub struct OverlapResult {
     pub half_round_us: OnlineStats,
     /// Sender-node session counters at the end.
     pub counters: NmCounters,
+    /// Productive progress steps per driver shard on the sender node, in
+    /// registration order (one entry per rail, then shared memory).
+    pub driver_progress: Vec<u64>,
 }
 
 /// Runs the Figure 4 program on a fresh cluster built from `cfg`.
@@ -66,7 +69,9 @@ pub fn run_overlap(cfg: ClusterConfig, p: &OverlapParams) -> OverlapResult {
             for i in 0..total {
                 let t1 = ctx.marcel().sim().now();
                 // Outbound direction: we are the sender.
-                let h = s.isend(&ctx, NodeId(1), Tag(2 * i as u64), vec![0xa5; len]).await;
+                let h = s
+                    .isend(&ctx, NodeId(1), Tag(2 * i as u64), vec![0xa5; len])
+                    .await;
                 ctx.compute(compute).await;
                 s.swait_send(&h, &ctx).await;
                 // Return direction: we are the receiver.
@@ -101,6 +106,7 @@ pub fn run_overlap(cfg: ClusterConfig, p: &OverlapParams) -> OverlapResult {
     OverlapResult {
         half_round_us: Rc::try_unwrap(stats).expect("sole owner").into_inner(),
         counters: cluster.session(0).counters(),
+        driver_progress: cluster.session(0).driver_progress(),
     }
 }
 
@@ -111,6 +117,9 @@ pub struct PingPongResult {
     pub latency_us: OnlineStats,
     /// Effective bandwidth in MB/s derived from the mean latency.
     pub bandwidth_mbs: f64,
+    /// Productive progress steps per driver shard on rank 0, in
+    /// registration order (one entry per rail, then shared memory).
+    pub driver_progress: Vec<u64>,
 }
 
 /// Classic ping-pong: rank 0 sends, rank 1 echoes, half the round trip is
@@ -147,14 +156,13 @@ pub fn run_pingpong(cfg: ClusterConfig, msg_len: usize, iters: usize) -> PingPon
         cluster.spawn_on(1, "pong", move |ctx| async move {
             for i in 0..iters + warmup {
                 let data = s.recv(&ctx, Some(NodeId(0)), Tag(2 * i as u64)).await;
-                let h = s
-                    .isend(&ctx, NodeId(0), Tag(2 * i as u64 + 1), data)
-                    .await;
+                let h = s.isend(&ctx, NodeId(0), Tag(2 * i as u64 + 1), data).await;
                 s.swait_send(&h, &ctx).await;
             }
         });
     }
     cluster.run();
+    let driver_progress = cluster.session(0).driver_progress();
     let latency_us = Rc::try_unwrap(stats).expect("sole owner").into_inner();
     let mean = latency_us.mean();
     let bandwidth_mbs = if mean > 0.0 {
@@ -165,6 +173,7 @@ pub fn run_pingpong(cfg: ClusterConfig, msg_len: usize, iters: usize) -> PingPon
     PingPongResult {
         latency_us,
         bandwidth_mbs,
+        driver_progress,
     }
 }
 
@@ -288,9 +297,7 @@ pub fn run_stencil(cfg: ClusterConfig, p: &StencilParams) -> StencilResult {
                         session.swait_send(h, &ctx).await;
                     }
                     for &(nb, _) in &neighbours {
-                        let data = session
-                            .recv(&ctx, None, tag(iter, nb as u64, me))
-                            .await;
+                        let data = session.recv(&ctx, None, tag(iter, nb as u64, me)).await;
                         debug_assert_eq!(data.len(), p.halo_bytes);
                         debug_assert!(data.iter().all(|&b| b == nb as u8));
                     }
@@ -303,7 +310,9 @@ pub fn run_stencil(cfg: ClusterConfig, p: &StencilParams) -> StencilResult {
     cluster.run();
     StencilResult {
         total_us: end_max.get() as f64 / 1_000.0,
-        counters: (0..cluster.ranks()).map(|n| cluster.session(n).counters()).collect(),
+        counters: (0..cluster.ranks())
+            .map(|n| cluster.session(n).counters())
+            .collect(),
     }
 }
 
@@ -341,6 +350,43 @@ mod tests {
         let r = run_overlap(ClusterConfig::paper_testbed(EngineKind::Pioman), &p);
         let t = r.half_round_us.mean();
         assert!(t > 2.0 && t < 12.0, "1K reference {t}µs");
+    }
+
+    #[test]
+    fn pingpong_shards_progress_per_transport() {
+        let cluster = Cluster::build(ClusterConfig::paper_testbed(EngineKind::Pioman));
+        for node in 0..2 {
+            let s = cluster.session(node).clone();
+            let peer = NodeId(1 - node);
+            cluster.spawn_on(node, "pp", move |ctx| async move {
+                for i in 0..8u64 {
+                    if ctx.marcel().node() == NodeId(0) {
+                        s.send(&ctx, peer, Tag(2 * i), vec![0; 1 << 10]).await;
+                        let _ = s.recv(&ctx, Some(peer), Tag(2 * i + 1)).await;
+                    } else {
+                        let _ = s.recv(&ctx, Some(peer), Tag(2 * i)).await;
+                        s.send(&ctx, peer, Tag(2 * i + 1), vec![0; 1 << 10]).await;
+                    }
+                }
+            });
+        }
+        cluster.run();
+        let pioman = cluster.pioman(0).expect("pioman engine");
+        // One driver per rail plus the shared-memory driver.
+        assert_eq!(pioman.driver_count(), 2);
+        // Pure inter-node traffic: all progress lands on the rail shard.
+        let work = cluster.session(0).driver_progress();
+        assert!(work[0] > 0, "rail shard idle: {work:?}");
+        assert_eq!(work[1], 0, "shm shard should be idle: {work:?}");
+        let c = cluster.session(0).counters();
+        assert_eq!(c.net_progress, work[0]);
+        assert_eq!(c.shm_progress, 0);
+        // The submission burst valve never engages in a ping-pong.
+        assert!(
+            pioman.stats().max_submission_burst < 64,
+            "burst {}",
+            pioman.stats().max_submission_burst
+        );
     }
 
     #[test]

@@ -1,12 +1,13 @@
-//! Property-based end-to-end tests: arbitrary message mixes are delivered
+//! Randomized end-to-end tests: generated message mixes are delivered
 //! intact (no loss, no duplication, no corruption) under every engine and
-//! strategy combination, crossing the eager/rendezvous boundary.
+//! strategy combination, crossing the eager/rendezvous boundary. Cases
+//! come from the kernel's seeded RNG, so every run replays identically.
 
 use pm2_mpi::{Cluster, ClusterConfig, StrategyKind};
 use pm2_newmad::{EngineKind, Tag};
+use pm2_sim::rng::Xoshiro256;
 use pm2_sim::SimDuration;
 use pm2_topo::NodeId;
-use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -17,24 +18,28 @@ struct Msg {
     delay_us: u64,
 }
 
-fn msgs() -> impl Strategy<Value = Vec<Msg>> {
-    prop::collection::vec(
-        (
-            // Sizes spanning PIO, eager and rendezvous regimes.
-            prop_oneof![
-                16usize..128,
-                128usize..(32 << 10),
-                (32usize << 10)..(128usize << 10),
-            ],
-            0u64..30,
-        )
-            .prop_map(|(len, delay_us)| Msg { len, delay_us }),
-        1..12,
-    )
+/// Sizes spanning the PIO, eager and rendezvous regimes.
+fn gen_msgs(rng: &mut Xoshiro256) -> Vec<Msg> {
+    let n = 1 + rng.gen_below(11) as usize;
+    (0..n)
+        .map(|_| {
+            let len = match rng.gen_below(3) {
+                0 => rng.gen_range(16, 128),
+                1 => rng.gen_range(128, 32 << 10),
+                _ => rng.gen_range(32 << 10, 128 << 10),
+            } as usize;
+            Msg {
+                len,
+                delay_us: rng.gen_below(30),
+            }
+        })
+        .collect()
 }
 
 fn payload(i: usize, len: usize) -> Vec<u8> {
-    (0..len).map(|j| (i as u8).wrapping_mul(37) ^ (j as u8)).collect()
+    (0..len)
+        .map(|j| (i as u8).wrapping_mul(37) ^ (j as u8))
+        .collect()
 }
 
 fn run_mix(engine: EngineKind, strategy: StrategyKind, seed: u64, msgs: &[Msg]) -> Vec<Vec<u8>> {
@@ -79,31 +84,41 @@ fn run_mix(engine: EngineKind, strategy: StrategyKind, seed: u64, msgs: &[Msg]) 
     Rc::try_unwrap(got).expect("sole owner").into_inner()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// All engines and strategies deliver every byte of every message.
-    #[test]
-    fn delivery_is_exact(ms in msgs(), seed in 0u64..1000) {
+/// All engines and strategies deliver every byte of every message.
+#[test]
+fn delivery_is_exact() {
+    for case in 0..12u64 {
+        let mut rng = Xoshiro256::new(case);
+        let ms = gen_msgs(&mut rng);
+        let seed = rng.gen_below(1000);
         for engine in [EngineKind::Pioman, EngineKind::Sequential] {
             for strategy in [StrategyKind::Fifo, StrategyKind::Aggreg] {
                 let got = run_mix(engine, strategy, seed, &ms);
                 for (i, m) in ms.iter().enumerate() {
-                    prop_assert_eq!(got[i].len(), m.len, "msg {} length ({:?}/{:?})", i, engine, strategy);
-                    prop_assert_eq!(&got[i], &payload(i, m.len), "msg {} corrupted", i);
+                    assert_eq!(
+                        got[i].len(),
+                        m.len,
+                        "msg {i} length ({engine:?}/{strategy:?}, case {case})"
+                    );
+                    assert_eq!(&got[i], &payload(i, m.len), "msg {i} corrupted");
                 }
             }
         }
     }
+}
 
-    /// The two engines deliver identical data (they may differ in timing
-    /// only), and runs are deterministic per seed.
-    #[test]
-    fn engines_agree_and_runs_repeat(ms in msgs(), seed in 0u64..1000) {
+/// The two engines deliver identical data (they may differ in timing
+/// only), and runs are deterministic per seed.
+#[test]
+fn engines_agree_and_runs_repeat() {
+    for case in 0..6u64 {
+        let mut rng = Xoshiro256::new(1000 + case);
+        let ms = gen_msgs(&mut rng);
+        let seed = rng.gen_below(1000);
         let a = run_mix(EngineKind::Pioman, StrategyKind::Fifo, seed, &ms);
         let b = run_mix(EngineKind::Sequential, StrategyKind::Fifo, seed, &ms);
-        prop_assert_eq!(&a, &b);
+        assert_eq!(&a, &b, "case {case}");
         let a2 = run_mix(EngineKind::Pioman, StrategyKind::Fifo, seed, &ms);
-        prop_assert_eq!(a, a2);
+        assert_eq!(a, a2, "case {case}");
     }
 }

@@ -1,0 +1,118 @@
+//! Session configuration, engine selection, and cumulative counters.
+
+use pm2_sim::SimDuration;
+
+/// When does an eager submission run in the background vs. inline?
+///
+/// The paper's §5 lists "an adaptive strategy to choose whether to offload
+/// communication or not" as future work; this implements it. Offloading a
+/// submission costs the ≈2 µs cross-CPU tasklet invocation measured in
+/// §4.1, which is only worth paying when the submission itself is
+/// expensive and an idle core actually exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OffloadPolicy {
+    /// Always defer to the background engine (the paper's evaluated
+    /// design).
+    Always,
+    /// Always submit inline on the calling thread (classical eager
+    /// behaviour, but still PIOMAN-driven for receives).
+    Never,
+    /// Offload only when an idle core exists *and* the submission cost
+    /// exceeds [`SessionConfig::adaptive_min_cost`].
+    Adaptive,
+}
+
+/// Which progression engine drives the session (the paper's comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Original NewMadeleine: progress only inside library calls, on the
+    /// calling thread. `swait` busy-polls and never releases the core.
+    Sequential,
+    /// PIOMAN-enabled NewMadeleine: progress on idle cores / timer ticks /
+    /// blocking calls; `swait` blocks and frees the core.
+    Pioman,
+}
+
+/// Session tuning knobs.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Progression engine.
+    pub engine: EngineKind,
+    /// Messages above this use the rendezvous protocol (MX: 32 kB).
+    pub rdv_threshold: usize,
+    /// CPU cost of registering a request in `isend`/`irecv`.
+    pub request_registration: SimDuration,
+    /// Busy-poll pause of the sequential `swait`.
+    pub poll_pause: SimDuration,
+    /// Distribute traffic over all rails (multirail) instead of rail 0.
+    pub multirail: bool,
+    /// Offload-or-inline decision for eager submissions (PIOMAN engine).
+    pub offload_policy: OffloadPolicy,
+    /// Credit-based flow control: bytes of unexpected-pool space each
+    /// peer may consume at this node before its eager sends fall back to
+    /// rendezvous. Protects the bounded pool behind §2.2's unexpected
+    /// path (MX-style).
+    pub credit_bytes_per_peer: usize,
+    /// Minimum submission cost worth offloading under
+    /// [`OffloadPolicy::Adaptive`] (≈ the cross-CPU tasklet overhead).
+    pub adaptive_min_cost: SimDuration,
+    /// Spin granularity on the sequential engine's library-wide mutex.
+    ///
+    /// The original engine is only thread-safe "through a library-wide
+    /// scope mutex" (§2): every `isend`/`irecv`/`swait` iteration takes
+    /// the big lock, so concurrent threads serialize and burn this much
+    /// CPU per failed acquisition. The PIOMAN engine does not use it
+    /// (per-event spinlocks are modelled in `PiomanConfig::lock_model`).
+    pub seq_lock_spin: SimDuration,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            engine: EngineKind::Pioman,
+            rdv_threshold: 32 << 10,
+            request_registration: SimDuration::from_nanos(300),
+            poll_pause: SimDuration::from_nanos(300),
+            multirail: false,
+            offload_policy: OffloadPolicy::Always,
+            adaptive_min_cost: SimDuration::from_micros(2),
+            credit_bytes_per_peer: 16 << 20,
+            seq_lock_spin: SimDuration::from_nanos(200),
+        }
+    }
+}
+
+/// Cumulative session counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NmCounters {
+    /// `isend` calls.
+    pub sends: u64,
+    /// `irecv` calls.
+    pub recvs: u64,
+    /// Eager frames transmitted (after aggregation).
+    pub eager_frames_tx: u64,
+    /// Eager messages transmitted (before aggregation).
+    pub eager_msgs_tx: u64,
+    /// Messages that arrived before their receive was posted.
+    pub unexpected: u64,
+    /// Rendezvous transfers started (RTS sent).
+    pub rdv_started: u64,
+    /// Rendezvous transfers completed on the receive side.
+    pub rdv_completed: u64,
+    /// Intra-node messages through the shared-memory channel.
+    pub shm_msgs: u64,
+    /// Deliveries observed out of sequence order (expected only under the
+    /// shortest-first reordering strategy).
+    pub ooo_deliveries: u64,
+    /// Failed acquisitions of the sequential engine's library-wide mutex.
+    pub seq_lock_contentions: u64,
+    /// Eager sends demoted to rendezvous for lack of flow-control credits.
+    pub credit_fallbacks: u64,
+    /// Credit-return frames transmitted.
+    pub credits_returned: u64,
+    /// Productive progress steps executed by the network-rail drivers
+    /// (submissions plus received frames handled).
+    pub net_progress: u64,
+    /// Productive progress steps executed by the shared-memory driver.
+    pub shm_progress: u64,
+}

@@ -28,18 +28,48 @@
 //!   registers the request and notifies PIOMAN; submission, polling and
 //!   rendezvous progression run on idle cores, at timer ticks, or from the
 //!   blocking-call watcher.
+//!
+//! # Sharded progression
+//!
+//! Under the PIOMAN engine the session registers **one progression driver
+//! per transport** with the server's driver registry: one per NIC rail and
+//! one for the shared-memory channel. Each driver exposes its own pending
+//! state and hardware trigger, so the registry polls only the transports
+//! that actually have work, multirail rails progress independently, and
+//! the blocking-call watcher arms the union of the per-rail interrupts.
+//! Waiting packs live in per-transport lists; a session-wide enqueue rank
+//! ([`Pack::seq`]) lets the registry replay the global FIFO submission
+//! order across those lists, so FIFO and aggregation behave exactly as
+//! they did with a single list. The one intentional deviation: the
+//! shortest-first strategy reorders only *within* a transport, so mixed
+//! intra/inter-node traffic is no longer globally shortest-first.
+//!
+//! Internally the crate splits the protocol machinery by concern:
+//! `matching` (posted/unexpected state and the pack lists), `eager`
+//! (delivery, unexpected pool, credit flow control), `rendezvous`
+//! (RTS/CTS/data handshake), and `progress` (the per-transport drivers
+//! and the submission engine); `session` keeps the public API, with the
+//! tuning knobs in `config` and the request handles in `handles`.
 
 #![warn(missing_docs)]
 
+mod config;
+mod eager;
+mod handles;
+mod matching;
 mod msg;
+mod progress;
+mod rendezvous;
 mod session;
 mod strategy;
 
 #[cfg(test)]
 mod tests;
 
+pub use config::{EngineKind, NmCounters, OffloadPolicy, SessionConfig};
+pub use handles::{RecvHandle, SendHandle};
 pub use msg::{EagerPart, ShmMsg, Tag, WireMsg, EAGER_HEADER_BYTES, RDV_HEADER_BYTES};
-pub use session::{
-    EngineKind, NmCounters, OffloadPolicy, RecvHandle, SendHandle, Session, SessionConfig,
+pub use session::Session;
+pub use strategy::{
+    AggregStrategy, FifoStrategy, Pack, ShortestFirstStrategy, Strategy, Submission,
 };
-pub use strategy::{AggregStrategy, FifoStrategy, Pack, ShortestFirstStrategy, Strategy, Submission};

@@ -1,0 +1,130 @@
+//! Matching state: posted receives, the unexpected pool, sequence/credit
+//! bookkeeping, and the per-transport pack lists.
+//!
+//! Extracted from the session monolith: this module owns [`NmState`] (the
+//! data every protocol path mutates) and the pure matching helpers; the
+//! protocol logic itself lives in `eager`, `rendezvous` and `progress`.
+
+use crate::config::NmCounters;
+use crate::rendezvous::{RdvRecv, RdvSend};
+use crate::strategy::{Pack, PackKind};
+use pioman::PiomReq;
+use pm2_topo::NodeId;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use crate::msg::Tag;
+
+/// A receive posted by the application, waiting for a match.
+pub(crate) struct PostedRecv {
+    pub(crate) src: Option<NodeId>,
+    pub(crate) tag: Tag,
+    pub(crate) req: PiomReq,
+    pub(crate) out: Rc<RefCell<Option<Vec<u8>>>>,
+}
+
+/// An eager message that arrived before its receive was posted (§2.2's
+/// unexpected path: it sits in the library pool until matched).
+pub(crate) struct UnexpectedMsg {
+    pub(crate) src: NodeId,
+    pub(crate) tag: Tag,
+    pub(crate) seq: u32,
+    pub(crate) data: Vec<u8>,
+}
+
+/// A rendezvous announcement (RTS) with no posted receive yet.
+pub(crate) struct UnexpectedRts {
+    pub(crate) src: NodeId,
+    pub(crate) tag: Tag,
+    #[allow(dead_code)]
+    pub(crate) seq: u32,
+    pub(crate) len: usize,
+    pub(crate) rdv: u64,
+}
+
+/// All mutable session state behind the `RefCell`.
+pub(crate) struct NmState {
+    /// Waiting packs bound for the network rails (Figure 3's send list,
+    /// one per transport since the progression split).
+    pub(crate) net_packs: VecDeque<Pack>,
+    /// Waiting packs bound for the intra-node shared-memory channel.
+    pub(crate) shm_packs: VecDeque<Pack>,
+    /// Global enqueue stamp shared by both lists (see [`Pack::seq`]).
+    pub(crate) pack_seq: u64,
+    pub(crate) posted: VecDeque<PostedRecv>,
+    pub(crate) unexpected: Vec<UnexpectedMsg>,
+    pub(crate) unexpected_rts: Vec<UnexpectedRts>,
+    pub(crate) rdv_sends: HashMap<u64, RdvSend>,
+    pub(crate) rdv_recvs: HashMap<(NodeId, u64), RdvRecv>,
+    /// CTS frames that matched before their RdvSend found (never in-order
+    /// fabric, but kept for robustness under jitter): none expected.
+    pub(crate) send_seq: HashMap<(NodeId, Tag), u32>,
+    pub(crate) last_delivered: HashMap<(NodeId, Tag), u32>,
+    /// Sender side: remaining eager credits per destination.
+    pub(crate) credits: HashMap<NodeId, i64>,
+    /// Receiver side: freed pool bytes not yet returned, per source.
+    pub(crate) credit_owed: HashMap<NodeId, usize>,
+    pub(crate) next_rdv: u64,
+    pub(crate) rail_rr: usize,
+    pub(crate) poll_rotor: usize,
+    /// Productive progress steps per driver shard (rails…, then shm).
+    pub(crate) driver_work: Vec<u64>,
+    pub(crate) counters: NmCounters,
+}
+
+impl NmState {
+    pub(crate) fn new(n_rails: usize) -> NmState {
+        NmState {
+            net_packs: VecDeque::new(),
+            shm_packs: VecDeque::new(),
+            pack_seq: 0,
+            posted: VecDeque::new(),
+            unexpected: Vec::new(),
+            unexpected_rts: Vec::new(),
+            rdv_sends: HashMap::new(),
+            rdv_recvs: HashMap::new(),
+            send_seq: HashMap::new(),
+            last_delivered: HashMap::new(),
+            credits: HashMap::new(),
+            credit_owed: HashMap::new(),
+            next_rdv: 1,
+            rail_rr: 0,
+            poll_rotor: 0,
+            driver_work: vec![0; n_rails + 1],
+            counters: NmCounters::default(),
+        }
+    }
+
+    /// Enqueues a pack on the transport list matching its destination
+    /// (`own` node → shared memory, anything else → network), stamping it
+    /// with the next global rank.
+    pub(crate) fn push_pack(&mut self, own: NodeId, dest: NodeId, kind: PackKind) {
+        let seq = self.pack_seq;
+        self.pack_seq += 1;
+        let pack = Pack { dest, seq, kind };
+        if dest == own {
+            self.shm_packs.push_back(pack);
+        } else {
+            self.net_packs.push_back(pack);
+        }
+    }
+
+    /// Index of the first posted receive matching `(src, tag)`.
+    pub(crate) fn match_posted(&self, src: NodeId, tag: Tag) -> Option<usize> {
+        self.posted
+            .iter()
+            .position(|p| p.tag == tag && p.src.is_none_or(|s| s == src))
+    }
+
+    /// Tracks delivery order per flow (detects reordering introduced by
+    /// non-FIFO strategies).
+    pub(crate) fn note_delivery(&mut self, src: NodeId, tag: Tag, seq: u32) {
+        let last = self.last_delivered.entry((src, tag)).or_insert(0);
+        if seq < *last {
+            self.counters.ooo_deliveries += 1;
+        } else {
+            *last = seq;
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! The rendezvous protocol (§2.3): RTS → match + register → CTS →
+//! zero-copy data chunks over the rails (extracted from the session
+//! monolith).
+
+use crate::matching::UnexpectedRts;
+use crate::msg::{Tag, WireMsg};
+use crate::session::Session;
+use crate::strategy::PackKind;
+use pioman::PiomReq;
+use pm2_sim::SimDuration;
+use pm2_topo::NodeId;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Sender-side record of an in-flight rendezvous (RTS sent, payload
+/// parked until the CTS arrives).
+pub(crate) struct RdvSend {
+    pub(crate) dest: NodeId,
+    pub(crate) tag: Tag,
+    pub(crate) data: Option<Vec<u8>>,
+    pub(crate) req: PiomReq,
+    pub(crate) cts_received: bool,
+}
+
+/// Receiver-side record of an in-flight rendezvous (CTS sent, chunks
+/// being assembled).
+pub(crate) struct RdvRecv {
+    pub(crate) req: PiomReq,
+    pub(crate) out: Rc<RefCell<Option<Vec<u8>>>>,
+    pub(crate) chunks: Vec<Option<Vec<u8>>>,
+    pub(crate) received: u32,
+}
+
+impl Session {
+    /// RTS arrival: if the receive is posted, register the buffer and
+    /// queue the CTS; otherwise park the RTS.
+    pub(crate) fn handle_rts(
+        &self,
+        src: NodeId,
+        tag: Tag,
+        seq: u32,
+        len: usize,
+        rdv: u64,
+    ) -> SimDuration {
+        let mut st = self.inner.state.borrow_mut();
+        match st.match_posted(src, tag) {
+            Some(i) => {
+                let posted = st.posted.remove(i).expect("index in bounds");
+                st.note_delivery(src, tag, seq);
+                st.rdv_recvs.insert(
+                    (src, rdv),
+                    RdvRecv {
+                        req: posted.req,
+                        out: posted.out,
+                        chunks: Vec::new(),
+                        received: 0,
+                    },
+                );
+                st.push_pack(self.inner.node, src, PackKind::Cts { rdv });
+                drop(st);
+                self.trace(|| format!("rts {tag} matched, CTS queued"));
+                self.inner.registry.register(tag.0 | 1 << 63, len)
+            }
+            None => {
+                st.counters.unexpected += 1;
+                st.unexpected_rts.push(UnexpectedRts {
+                    src,
+                    tag,
+                    seq,
+                    len,
+                    rdv,
+                });
+                SimDuration::ZERO
+            }
+        }
+    }
+
+    /// CTS arrival at the sender: register the send buffer and queue the
+    /// zero-copy data chunks.
+    pub(crate) fn handle_cts(&self, rdv: u64) -> SimDuration {
+        let mut st = self.inner.state.borrow_mut();
+        let Some(send) = st.rdv_sends.get_mut(&rdv) else {
+            debug_assert!(false, "CTS for unknown rendezvous {rdv}");
+            return SimDuration::ZERO;
+        };
+        debug_assert!(!send.cts_received, "duplicate CTS");
+        send.cts_received = true;
+        let data = send.data.take().expect("rendezvous payload present");
+        let dest = send.dest;
+        let tag = send.tag;
+        let req = send.req.clone();
+        st.rdv_sends.remove(&rdv);
+        drop(st);
+
+        let reg = self.inner.registry.register(tag.0, data.len());
+        // Split over the rails (multirail distribution).
+        let n_chunks = if self.inner.cfg.multirail && self.inner.rails.len() > 1 {
+            self.inner.rails.len()
+        } else {
+            1
+        };
+        let chunk_size = data.len().div_ceil(n_chunks);
+        let mut cost = reg;
+        let mut last_egress = self.inner.sim.now();
+        let chunks: Vec<Vec<u8>> = data.chunks(chunk_size.max(1)).map(<[u8]>::to_vec).collect();
+        let total = chunks.len() as u32;
+        for (i, chunk) in chunks.into_iter().enumerate() {
+            let rail = &self.inner.rails[i % self.inner.rails.len()];
+            cost += rail.params().dma_setup;
+            let wire = crate::msg::RDV_HEADER_BYTES + chunk.len();
+            // Each descriptor post takes CPU time before the DMA starts.
+            let info = rail.tx_after(
+                dest,
+                wire,
+                WireMsg::RdvData {
+                    rdv,
+                    chunk: i as u32,
+                    chunks: total,
+                    data: chunk,
+                },
+                cost,
+            );
+            last_egress = last_egress.max(info.egress_end);
+        }
+        // The send completes when the NIC finishes reading the buffer.
+        let sim2 = self.inner.sim.clone();
+        self.inner
+            .sim
+            .schedule_at(last_egress, move |_| req.complete(&sim2));
+        self.trace(|| format!("cts {rdv}: {total} chunk(s) queued to {dest}"));
+        cost
+    }
+
+    /// Rendezvous data arrival: zero-copy into the application buffer.
+    pub(crate) fn handle_rdv_data(
+        &self,
+        src: NodeId,
+        rdv: u64,
+        chunk: u32,
+        chunks: u32,
+        data: Vec<u8>,
+    ) -> SimDuration {
+        let mut st = self.inner.state.borrow_mut();
+        let Some(recv) = st.rdv_recvs.get_mut(&(src, rdv)) else {
+            debug_assert!(false, "RdvData for unknown rendezvous {rdv}");
+            return SimDuration::ZERO;
+        };
+        if recv.chunks.is_empty() {
+            recv.chunks.resize(chunks as usize, None);
+        }
+        debug_assert!(recv.chunks[chunk as usize].is_none(), "duplicate chunk");
+        recv.chunks[chunk as usize] = Some(data);
+        recv.received += 1;
+        if recv.received == chunks {
+            let recv = st.rdv_recvs.remove(&(src, rdv)).expect("present");
+            st.counters.rdv_completed += 1;
+            drop(st);
+            let mut assembled = Vec::new();
+            for c in recv.chunks {
+                assembled.extend_from_slice(&c.expect("all chunks received"));
+            }
+            *recv.out.borrow_mut() = Some(assembled);
+            recv.req.complete(&self.inner.sim);
+            self.trace(|| format!("rdv {rdv} from {src} complete"));
+        }
+        SimDuration::ZERO
+    }
+}

@@ -1,270 +1,48 @@
-//! The per-node NewMadeleine session: gates, matching, protocols, engines.
+//! The per-node NewMadeleine session: public API, configuration, and gate
+//! bookkeeping.
+//!
+//! The protocol machinery lives in sibling modules since the sharded
+//! progression refactor: matching state in [`crate::matching`], the eager
+//! receive path in `eager`, the rendezvous protocol in `rendezvous`, and
+//! the per-transport PIOMAN drivers plus the submission engine in
+//! `progress`.
 
+use crate::config::{EngineKind, NmCounters, OffloadPolicy, SessionConfig};
+use crate::handles::{RecvHandle, SendHandle};
+use crate::matching::{NmState, PostedRecv};
 use crate::msg::{EagerPart, ShmMsg, Tag, WireMsg};
-use crate::strategy::{Pack, PackKind, Strategy, Submission};
-use pioman::{DriverPending, Pioman, PiomReq, Progress, ProgressDriver};
+use crate::progress::{RailDriver, ShmDriver};
+use crate::rendezvous::{RdvRecv, RdvSend};
+use crate::strategy::{PackKind, Strategy, Submission};
+use pioman::{PiomReq, Pioman};
 use pm2_fabric::{MemoryRegistry, Nic, ShmChannel};
 use pm2_marcel::{Marcel, ThreadCtx};
 use pm2_sim::trace::Category;
-use pm2_sim::{Sim, SimDuration, Trigger};
+use pm2_sim::{Sim, SimDuration};
 use pm2_topo::NodeId;
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
-use std::rc::{Rc, Weak};
+use std::rc::Rc;
 
-/// When does an eager submission run in the background vs. inline?
-///
-/// The paper's §5 lists "an adaptive strategy to choose whether to offload
-/// communication or not" as future work; this implements it. Offloading a
-/// submission costs the ≈2 µs cross-CPU tasklet invocation measured in
-/// §4.1, which is only worth paying when the submission itself is
-/// expensive and an idle core actually exists.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum OffloadPolicy {
-    /// Always defer to the background engine (the paper's evaluated
-    /// design).
-    Always,
-    /// Always submit inline on the calling thread (classical eager
-    /// behaviour, but still PIOMAN-driven for receives).
-    Never,
-    /// Offload only when an idle core exists *and* the submission cost
-    /// exceeds [`SessionConfig::adaptive_min_cost`].
-    Adaptive,
-}
-
-/// Which progression engine drives the session (the paper's comparison).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum EngineKind {
-    /// Original NewMadeleine: progress only inside library calls, on the
-    /// calling thread. `swait` busy-polls and never releases the core.
-    Sequential,
-    /// PIOMAN-enabled NewMadeleine: progress on idle cores / timer ticks /
-    /// blocking calls; `swait` blocks and frees the core.
-    Pioman,
-}
-
-/// Session tuning knobs.
-#[derive(Debug, Clone)]
-pub struct SessionConfig {
-    /// Progression engine.
-    pub engine: EngineKind,
-    /// Messages above this use the rendezvous protocol (MX: 32 kB).
-    pub rdv_threshold: usize,
-    /// CPU cost of registering a request in `isend`/`irecv`.
-    pub request_registration: SimDuration,
-    /// Busy-poll pause of the sequential `swait`.
-    pub poll_pause: SimDuration,
-    /// Distribute traffic over all rails (multirail) instead of rail 0.
-    pub multirail: bool,
-    /// Offload-or-inline decision for eager submissions (PIOMAN engine).
-    pub offload_policy: OffloadPolicy,
-    /// Credit-based flow control: bytes of unexpected-pool space each
-    /// peer may consume at this node before its eager sends fall back to
-    /// rendezvous. Protects the bounded pool behind §2.2's unexpected
-    /// path (MX-style).
-    pub credit_bytes_per_peer: usize,
-    /// Minimum submission cost worth offloading under
-    /// [`OffloadPolicy::Adaptive`] (≈ the cross-CPU tasklet overhead).
-    pub adaptive_min_cost: SimDuration,
-    /// Spin granularity on the sequential engine's library-wide mutex.
-    ///
-    /// The original engine is only thread-safe "through a library-wide
-    /// scope mutex" (§2): every `isend`/`irecv`/`swait` iteration takes
-    /// the big lock, so concurrent threads serialize and burn this much
-    /// CPU per failed acquisition. The PIOMAN engine does not use it
-    /// (per-event spinlocks are modelled in `PiomanConfig::lock_model`).
-    pub seq_lock_spin: SimDuration,
-}
-
-impl Default for SessionConfig {
-    fn default() -> Self {
-        SessionConfig {
-            engine: EngineKind::Pioman,
-            rdv_threshold: 32 << 10,
-            request_registration: SimDuration::from_nanos(300),
-            poll_pause: SimDuration::from_nanos(300),
-            multirail: false,
-            offload_policy: OffloadPolicy::Always,
-            adaptive_min_cost: SimDuration::from_micros(2),
-            credit_bytes_per_peer: 16 << 20,
-            seq_lock_spin: SimDuration::from_nanos(200),
-        }
-    }
-}
-
-/// Cumulative session counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct NmCounters {
-    /// `isend` calls.
-    pub sends: u64,
-    /// `irecv` calls.
-    pub recvs: u64,
-    /// Eager frames transmitted (after aggregation).
-    pub eager_frames_tx: u64,
-    /// Eager messages transmitted (before aggregation).
-    pub eager_msgs_tx: u64,
-    /// Messages that arrived before their receive was posted.
-    pub unexpected: u64,
-    /// Rendezvous transfers started (RTS sent).
-    pub rdv_started: u64,
-    /// Rendezvous transfers completed on the receive side.
-    pub rdv_completed: u64,
-    /// Intra-node messages through the shared-memory channel.
-    pub shm_msgs: u64,
-    /// Deliveries observed out of sequence order (expected only under the
-    /// shortest-first reordering strategy).
-    pub ooo_deliveries: u64,
-    /// Failed acquisitions of the sequential engine's library-wide mutex.
-    pub seq_lock_contentions: u64,
-    /// Eager sends demoted to rendezvous for lack of flow-control credits.
-    pub credit_fallbacks: u64,
-    /// Credit-return frames transmitted.
-    pub credits_returned: u64,
-}
-
-struct PostedRecv {
-    src: Option<NodeId>,
-    tag: Tag,
-    req: PiomReq,
-    out: Rc<RefCell<Option<Vec<u8>>>>,
-}
-
-struct UnexpectedMsg {
-    src: NodeId,
-    tag: Tag,
-    seq: u32,
-    data: Vec<u8>,
-}
-
-struct UnexpectedRts {
-    src: NodeId,
-    tag: Tag,
-    #[allow(dead_code)]
-    seq: u32,
-    len: usize,
-    rdv: u64,
-}
-
-struct RdvSend {
-    dest: NodeId,
-    tag: Tag,
-    data: Option<Vec<u8>>,
-    req: PiomReq,
-    cts_received: bool,
-}
-
-struct RdvRecv {
-    req: PiomReq,
-    out: Rc<RefCell<Option<Vec<u8>>>>,
-    chunks: Vec<Option<Vec<u8>>>,
-    received: u32,
-}
-
-struct NmState {
-    packs: VecDeque<Pack>,
-    posted: VecDeque<PostedRecv>,
-    unexpected: Vec<UnexpectedMsg>,
-    unexpected_rts: Vec<UnexpectedRts>,
-    rdv_sends: HashMap<u64, RdvSend>,
-    rdv_recvs: HashMap<(NodeId, u64), RdvRecv>,
-    /// CTS frames that matched before their RdvSend found (never in-order
-    /// fabric, but kept for robustness under jitter): none expected.
-    send_seq: HashMap<(NodeId, Tag), u32>,
-    last_delivered: HashMap<(NodeId, Tag), u32>,
-    /// Sender side: remaining eager credits per destination.
-    credits: HashMap<NodeId, i64>,
-    /// Receiver side: freed pool bytes not yet returned, per source.
-    credit_owed: HashMap<NodeId, usize>,
-    next_rdv: u64,
-    rail_rr: usize,
-    poll_rotor: usize,
-    counters: NmCounters,
-}
-
-struct SessionInner {
-    sim: Sim,
-    marcel: Marcel,
-    node: NodeId,
-    rails: Vec<Rc<Nic<WireMsg>>>,
-    shm: Rc<ShmChannel<ShmMsg>>,
-    strategy: Rc<dyn Strategy>,
-    pioman: Option<Pioman>,
-    registry: MemoryRegistry,
-    cfg: SessionConfig,
+pub(crate) struct SessionInner {
+    pub(crate) sim: Sim,
+    pub(crate) marcel: Marcel,
+    pub(crate) node: NodeId,
+    pub(crate) rails: Vec<Rc<Nic<WireMsg>>>,
+    pub(crate) shm: Rc<ShmChannel<ShmMsg>>,
+    pub(crate) strategy: Rc<dyn Strategy>,
+    pub(crate) pioman: Option<Pioman>,
+    pub(crate) registry: MemoryRegistry,
+    pub(crate) cfg: SessionConfig,
     /// Virtual time until which the sequential engine's library-wide
     /// mutex is held.
-    seq_lock_until: std::cell::Cell<pm2_sim::SimTime>,
-    state: RefCell<NmState>,
+    pub(crate) seq_lock_until: std::cell::Cell<pm2_sim::SimTime>,
+    pub(crate) state: RefCell<NmState>,
 }
 
 /// Handle to one node's communication session (cheap to clone).
 #[derive(Clone)]
 pub struct Session {
-    inner: Rc<SessionInner>,
-}
-
-/// Handle of an asynchronous send.
-#[derive(Clone, Debug)]
-pub struct SendHandle {
-    req: PiomReq,
-}
-
-impl SendHandle {
-    /// The underlying request.
-    pub fn req(&self) -> &PiomReq {
-        &self.req
-    }
-    /// True once the send buffer is reusable.
-    pub fn is_complete(&self) -> bool {
-        self.req.is_complete()
-    }
-}
-
-/// Handle of an asynchronous receive.
-#[derive(Clone, Debug)]
-pub struct RecvHandle {
-    req: PiomReq,
-    out: Rc<RefCell<Option<Vec<u8>>>>,
-}
-
-impl RecvHandle {
-    /// The underlying request.
-    pub fn req(&self) -> &PiomReq {
-        &self.req
-    }
-    /// True once the message is in the application buffer.
-    pub fn is_complete(&self) -> bool {
-        self.req.is_complete()
-    }
-    /// Takes the received payload (after completion).
-    pub fn take_data(&self) -> Option<Vec<u8>> {
-        self.out.borrow_mut().take()
-    }
-}
-
-/// PIOMAN driver adapter: routes progress callbacks into the session.
-struct NmDriver {
-    session: Weak<SessionInner>,
-}
-
-impl ProgressDriver for NmDriver {
-    fn progress(&self) -> Progress {
-        match self.session.upgrade() {
-            Some(inner) => Session { inner }.progress_unit(),
-            None => Progress::NONE,
-        }
-    }
-    fn pending(&self) -> DriverPending {
-        match self.session.upgrade() {
-            Some(inner) => Session { inner }.pending(),
-            None => DriverPending::default(),
-        }
-    }
-    fn hw_trigger(&self) -> Option<Trigger> {
-        self.session
-            .upgrade()
-            .map(|inner| Session { inner }.combined_hw_trigger())
-    }
+    pub(crate) inner: Rc<SessionInner>,
 }
 
 impl Session {
@@ -273,6 +51,11 @@ impl Session {
     /// `rails` are the node's NICs (one per physical network);
     /// `shm` is the node's intra-node channel; `pioman` must be given for
     /// [`EngineKind::Pioman`] and is ignored by the sequential engine.
+    ///
+    /// Under the PIOMAN engine each transport registers its own driver
+    /// with the progression registry: one per rail, then one for the
+    /// shared-memory channel. Multirail rails therefore progress
+    /// independently — an idle core draining rail 0 never blocks rail 1.
     pub fn new(
         marcel: &Marcel,
         rails: Vec<Rc<Nic<WireMsg>>>,
@@ -289,6 +72,7 @@ impl Session {
             );
         }
         let params = rails[0].params().clone();
+        let n_rails = rails.len();
         let inner = Rc::new(SessionInner {
             sim: marcel.sim().clone(),
             marcel: marcel.clone(),
@@ -300,28 +84,19 @@ impl Session {
             registry: MemoryRegistry::new(params),
             cfg,
             seq_lock_until: std::cell::Cell::new(pm2_sim::SimTime::ZERO),
-            state: RefCell::new(NmState {
-                packs: VecDeque::new(),
-                posted: VecDeque::new(),
-                unexpected: Vec::new(),
-                unexpected_rts: Vec::new(),
-                rdv_sends: HashMap::new(),
-                rdv_recvs: HashMap::new(),
-                send_seq: HashMap::new(),
-                last_delivered: HashMap::new(),
-                credits: HashMap::new(),
-                credit_owed: HashMap::new(),
-                next_rdv: 1,
-                rail_rr: 0,
-                poll_rotor: 0,
-                counters: NmCounters::default(),
-            }),
+            state: RefCell::new(NmState::new(n_rails)),
         });
         let session = Session {
             inner: Rc::clone(&inner),
         };
         if let Some(p) = &pioman {
-            p.attach_driver(Rc::new(NmDriver {
+            for rail in 0..n_rails {
+                p.attach_driver(Rc::new(RailDriver {
+                    session: Rc::downgrade(&inner),
+                    rail,
+                }));
+            }
+            p.attach_driver(Rc::new(ShmDriver {
                 session: Rc::downgrade(&inner),
             }));
         }
@@ -334,10 +109,10 @@ impl Session {
         };
         for rail in &inner.rails {
             let kick = marcel_weak.clone();
-            rail.set_rx_callback(move || kick());
+            rail.set_rx_callback(kick);
         }
         let kick = marcel_weak;
-        inner.shm.set_callback(move || kick());
+        inner.shm.set_callback(kick);
         session
     }
 
@@ -401,10 +176,10 @@ impl Session {
                     } else {
                         self.inner.rails[0].submit_cost(len)
                     };
-                    !(self.inner.marcel.has_idle_core()
-                        && cost >= self.inner.cfg.adaptive_min_cost)
+                    !(self.inner.marcel.has_idle_core() && cost >= self.inner.cfg.adaptive_min_cost)
                 }
             };
+        let own = self.inner.node;
         let inline_submission = {
             let mut st = self.inner.state.borrow_mut();
             st.counters.sends += 1;
@@ -440,15 +215,16 @@ impl Session {
                         cts_received: false,
                     },
                 );
-                st.packs.push_back(Pack {
+                st.push_pack(
+                    own,
                     dest,
-                    kind: PackKind::Rts {
+                    PackKind::Rts {
                         tag,
                         seq: this_seq,
                         len,
                         rdv,
                     },
-                });
+                );
                 st.counters.rdv_started += 1;
                 None
             } else {
@@ -464,13 +240,14 @@ impl Session {
                         reqs: vec![req.clone()],
                     })
                 } else {
-                    st.packs.push_back(Pack {
+                    st.push_pack(
+                        own,
                         dest,
-                        kind: PackKind::Eager {
+                        PackKind::Eager {
                             part,
                             req: req.clone(),
                         },
-                    });
+                    );
                     None
                 }
             }
@@ -496,16 +273,17 @@ impl Session {
         let out: Rc<RefCell<Option<Vec<u8>>>> = Rc::new(RefCell::new(None));
         // Unexpected eager message already here? Copy it out (the §2.2
         // unexpected path: one extra copy).
+        let own = self.inner.node;
         let copy_cost = {
             let mut st = self.inner.state.borrow_mut();
             st.counters.recvs += 1;
             if let Some(pos) = st
                 .unexpected
                 .iter()
-                .position(|u| u.tag == tag && src.map_or(true, |s| s == u.src))
+                .position(|u| u.tag == tag && src.is_none_or(|s| s == u.src))
             {
                 let u = st.unexpected.remove(pos);
-                Self::note_delivery(&mut st, u.src, tag, u.seq);
+                st.note_delivery(u.src, tag, u.seq);
                 let wire = crate::msg::EAGER_HEADER_BYTES + u.data.len();
                 let src_node = u.src;
                 let cost = self.inner.rails[0].params().memcpy_cost(u.data.len());
@@ -515,7 +293,7 @@ impl Session {
             } else if let Some(pos) = st
                 .unexpected_rts
                 .iter()
-                .position(|u| u.tag == tag && src.map_or(true, |s| s == u.src))
+                .position(|u| u.tag == tag && src.is_none_or(|s| s == u.src))
             {
                 // A rendezvous was waiting for us: answer it.
                 let u = st.unexpected_rts.remove(pos);
@@ -529,10 +307,7 @@ impl Session {
                         received: 0,
                     },
                 );
-                st.packs.push_back(Pack {
-                    dest: u.src,
-                    kind: PackKind::Cts { rdv: u.rdv },
-                });
+                st.push_pack(own, u.src, PackKind::Cts { rdv: u.rdv });
                 Some(reg)
             } else {
                 st.posted.push_back(PostedRecv {
@@ -650,12 +425,12 @@ impl Session {
         let st = self.inner.state.borrow();
         st.unexpected
             .iter()
-            .find(|u| u.tag == tag && src.map_or(true, |s| s == u.src))
+            .find(|u| u.tag == tag && src.is_none_or(|s| s == u.src))
             .map(|u| u.data.len())
             .or_else(|| {
                 st.unexpected_rts
                     .iter()
-                    .find(|u| u.tag == tag && src.map_or(true, |s| s == u.src))
+                    .find(|u| u.tag == tag && src.is_none_or(|s| s == u.src))
                     .map(|u| u.len)
             })
     }
@@ -709,9 +484,7 @@ impl Session {
     /// Holds the library-wide mutex for `cost` starting now.
     fn seq_hold(&self, cost: SimDuration) {
         if self.inner.cfg.engine == EngineKind::Sequential {
-            self.inner
-                .seq_lock_until
-                .set(self.inner.sim.now() + cost);
+            self.inner.seq_lock_until.set(self.inner.sim.now() + cost);
         }
     }
 
@@ -723,450 +496,10 @@ impl Session {
         }
     }
 
-    // ----- progress -------------------------------------------------------
-
-    /// What the session has outstanding (drives PIOMAN's polling).
-    fn pending(&self) -> DriverPending {
-        let st = self.inner.state.borrow();
-        DriverPending {
-            submissions: !st.packs.is_empty(),
-            armed: !st.posted.is_empty()
-                || !st.rdv_sends.is_empty()
-                || !st.rdv_recvs.is_empty()
-                // Unsolicited traffic (unexpected messages, incoming RTS)
-                // must be drained even with nothing posted.
-                || self.inner.rails.iter().any(|r| r.rx_pending())
-                || self.inner.shm.pending(),
-        }
-    }
-
-    /// A trigger firing when any rail or the shm channel has input.
-    fn combined_hw_trigger(&self) -> Trigger {
-        let sources: Vec<Trigger> = self
-            .inner
-            .rails
-            .iter()
-            .map(|r| r.rx_trigger())
-            .chain(std::iter::once(self.inner.shm.trigger()))
-            .collect();
-        if sources.iter().any(|t| t.is_fired()) {
-            let t = Trigger::new();
-            t.fire();
-            return t;
-        }
-        if sources.len() == 1 {
-            return sources.into_iter().next().expect("one source");
-        }
-        let combined = Trigger::new();
-        for s in sources {
-            let c = combined.clone();
-            self.inner.sim.spawn(async move {
-                s.wait().await;
-                c.fire();
-            });
-        }
-        combined
-    }
-
-    /// One unit of progress: submit one frame or poll one source.
-    ///
-    /// This is the callback PIOMAN executes "within tasklets in order to
-    /// avoid simultaneous access to NewMadeleine data structures" (§3.2);
-    /// the sequential engine calls it inline from `swait`.
-    pub fn progress_unit(&self) -> Progress {
-        // 1. Feed the network: pop one submission via the strategy.
-        let submission = {
-            let mut st = self.inner.state.borrow_mut();
-            let st = &mut *st;
-            self.inner.strategy.pop(&mut st.packs)
-        };
-        if let Some(sub) = submission {
-            let cost = self.submit(sub);
-            return Progress {
-                cost,
-                did_work: true,
-            };
-        }
-        // 2. Poll one input source (rails and shm in rotation).
-        let n_sources = self.inner.rails.len() + 1;
-        for _ in 0..n_sources {
-            let rotor = {
-                let mut st = self.inner.state.borrow_mut();
-                let r = st.poll_rotor;
-                st.poll_rotor = (st.poll_rotor + 1) % n_sources;
-                r
-            };
-            if rotor < self.inner.rails.len() {
-                let rail = &self.inner.rails[rotor];
-                if let Some(frame) = rail.rx_poll() {
-                    let handling = self.handle_wire(frame.src, frame.payload);
-                    return Progress {
-                        cost: rail.poll_cost() + handling,
-                        did_work: true,
-                    };
-                }
-            } else if let Some(msg) = self.inner.shm.poll() {
-                let cost = self.handle_shm(msg);
-                return Progress {
-                    cost,
-                    did_work: true,
-                };
-            }
-        }
-        // 3. Nothing arrived: an unproductive poll if something is armed.
-        if self.pending().armed {
-            Progress {
-                cost: self.inner.rails[0].poll_cost(),
-                did_work: false,
-            }
-        } else {
-            Progress::NONE
-        }
-    }
-
-    /// Executes one submission; returns host CPU cost.
-    fn submit(&self, sub: Submission) -> Progress0 {
-        let sim = &self.inner.sim;
-        let intra = sub.dest == self.inner.node;
-        if intra {
-            // Shared-memory channel: copy-in cost, completion immediate
-            // (the message now lives in the channel).
-            let parts = match sub.msg {
-                WireMsg::Eager(p) => vec![p],
-                WireMsg::Packed(ps) => ps,
-                other => unreachable!("intra-node control frame {other:?}"),
-            };
-            let mut cost = SimDuration::ZERO;
-            {
-                let mut st = self.inner.state.borrow_mut();
-                st.counters.shm_msgs += parts.len() as u64;
-            }
-            for p in parts {
-                let copy = self.inner.shm.copy_cost(p.data.len());
-                // The message becomes visible once its copy-in completes.
-                self.inner.shm.push_after(
-                    ShmMsg {
-                        tag: p.tag,
-                        seq: p.seq,
-                        data: p.data,
-                    },
-                    cost + copy,
-                );
-                cost += copy;
-            }
-            let sim2 = sim.clone();
-            let done = sim.now() + cost;
-            sim.schedule_at(done, move |_| {
-                for req in sub.reqs {
-                    req.complete(&sim2);
-                }
-            });
-            return cost;
-        }
-        // Pick a rail.
-        let rail_idx = if self.inner.cfg.multirail && self.inner.rails.len() > 1 {
-            let mut st = self.inner.state.borrow_mut();
-            st.rail_rr = (st.rail_rr + 1) % self.inner.rails.len();
-            st.rail_rr
-        } else {
-            0
-        };
-        let rail = &self.inner.rails[rail_idx];
-        let cost = match &sub.msg {
-            WireMsg::Eager(_) | WireMsg::Packed(_) => rail.submit_cost(sub.msg.app_bytes()),
-            WireMsg::Rts { .. } | WireMsg::Cts { .. } | WireMsg::Credit { .. } => {
-                rail.submit_cost(64)
-            }
-            WireMsg::RdvData { .. } => rail.params().dma_setup,
-        };
-        {
-            let mut st = self.inner.state.borrow_mut();
-            match &sub.msg {
-                WireMsg::Eager(_) => {
-                    st.counters.eager_frames_tx += 1;
-                    st.counters.eager_msgs_tx += 1;
-                }
-                WireMsg::Packed(ps) => {
-                    st.counters.eager_frames_tx += 1;
-                    st.counters.eager_msgs_tx += ps.len() as u64;
-                }
-                _ => {}
-            }
-        }
-        let wire_bytes = sub.msg.wire_bytes();
-        // The frame reaches the NIC only after the submission work
-        // (PIO/copy/descriptor post) completes on the submitting core.
-        let info = rail.tx_after(sub.dest, wire_bytes, sub.msg, cost);
-        // Eager sends complete when the NIC has consumed the buffer.
-        for req in sub.reqs {
-            let sim2 = sim.clone();
-            sim.schedule_at(info.egress_end, move |_| req.complete(&sim2));
-        }
-        self.trace(|| format!("submit {}B to {}", wire_bytes, sub.dest));
-        cost
-    }
-
-    /// Handles one frame from a NIC; returns handling CPU cost.
-    fn handle_wire(&self, src: NodeId, msg: WireMsg) -> SimDuration {
-        match msg {
-            WireMsg::Eager(part) => self.deliver_eager(src, part),
-            WireMsg::Packed(parts) => {
-                let mut cost = SimDuration::ZERO;
-                for p in parts {
-                    cost += self.deliver_eager(src, p);
-                }
-                cost
-            }
-            WireMsg::Rts { tag, seq, len, rdv } => self.handle_rts(src, tag, seq, len, rdv),
-            WireMsg::Cts { rdv } => self.handle_cts(rdv),
-            WireMsg::Credit { bytes } => {
-                let limit = self.inner.cfg.credit_bytes_per_peer as i64;
-                let mut st = self.inner.state.borrow_mut();
-                *st.credits.entry(src).or_insert(limit) += bytes as i64;
-                SimDuration::ZERO
-            }
-            WireMsg::RdvData {
-                rdv,
-                chunk,
-                chunks,
-                data,
-            } => self.handle_rdv_data(src, rdv, chunk, chunks, data),
-        }
-    }
-
-    /// Records that `wire_bytes` of a peer's unexpected-pool allowance
-    /// were freed; returns credits in batches of a quarter pool.
-    fn credit_freed(&self, st: &mut NmState, src: NodeId, wire_bytes: usize) {
-        if src == self.inner.node {
-            return;
-        }
-        let owed = st.credit_owed.entry(src).or_insert(0);
-        *owed += wire_bytes;
-        let batch = (self.inner.cfg.credit_bytes_per_peer / 4).max(1);
-        if *owed >= batch {
-            let bytes = std::mem::take(owed);
-            st.packs.push_back(Pack {
-                dest: src,
-                kind: PackKind::Credit { bytes },
-            });
-            st.counters.credits_returned += 1;
-        }
-    }
-
-    fn note_delivery(st: &mut NmState, src: NodeId, tag: Tag, seq: u32) {
-        let last = st.last_delivered.entry((src, tag)).or_insert(0);
-        if seq < *last {
-            st.counters.ooo_deliveries += 1;
-        } else {
-            *last = seq;
-        }
-    }
-
-    /// Eager arrival: deliver to a posted receive (zero copy — the NIC
-    /// DMA'd straight to the application buffer) or park as unexpected.
-    fn deliver_eager(&self, src: NodeId, part: EagerPart) -> SimDuration {
-        let mut st = self.inner.state.borrow_mut();
-        let pos = st
-            .posted
-            .iter()
-            .position(|p| p.tag == part.tag && p.src.map_or(true, |s| s == src));
-        match pos {
-            Some(i) => {
-                let posted = st.posted.remove(i).expect("index in bounds");
-                Self::note_delivery(&mut st, src, part.tag, part.seq);
-                let wire = crate::msg::EAGER_HEADER_BYTES + part.data.len();
-                self.credit_freed(&mut st, src, wire);
-                drop(st);
-                *posted.out.borrow_mut() = Some(part.data);
-                posted.req.complete(&self.inner.sim);
-                self.trace(|| format!("eager {} from {} matched", part.tag, src));
-                SimDuration::ZERO
-            }
-            None => {
-                st.counters.unexpected += 1;
-                st.unexpected.push(UnexpectedMsg {
-                    src,
-                    tag: part.tag,
-                    seq: part.seq,
-                    data: part.data,
-                });
-                SimDuration::ZERO
-            }
-        }
-    }
-
-    /// RTS arrival: if the receive is posted, register the buffer and
-    /// queue the CTS; otherwise park the RTS.
-    fn handle_rts(&self, src: NodeId, tag: Tag, seq: u32, len: usize, rdv: u64) -> SimDuration {
-        let mut st = self.inner.state.borrow_mut();
-        let pos = st
-            .posted
-            .iter()
-            .position(|p| p.tag == tag && p.src.map_or(true, |s| s == src));
-        match pos {
-            Some(i) => {
-                let posted = st.posted.remove(i).expect("index in bounds");
-                Self::note_delivery(&mut st, src, tag, seq);
-                st.rdv_recvs.insert(
-                    (src, rdv),
-                    RdvRecv {
-                        req: posted.req,
-                        out: posted.out,
-                        chunks: Vec::new(),
-                        received: 0,
-                    },
-                );
-                st.packs.push_back(Pack {
-                    dest: src,
-                    kind: PackKind::Cts { rdv },
-                });
-                drop(st);
-                self.trace(|| format!("rts {tag} matched, CTS queued"));
-                self.inner.registry.register(tag.0 | 1 << 63, len)
-            }
-            None => {
-                st.counters.unexpected += 1;
-                st.unexpected_rts.push(UnexpectedRts {
-                    src,
-                    tag,
-                    seq,
-                    len,
-                    rdv,
-                });
-                SimDuration::ZERO
-            }
-        }
-    }
-
-    /// CTS arrival at the sender: register the send buffer and queue the
-    /// zero-copy data chunks.
-    fn handle_cts(&self, rdv: u64) -> SimDuration {
-        let mut st = self.inner.state.borrow_mut();
-        let Some(send) = st.rdv_sends.get_mut(&rdv) else {
-            debug_assert!(false, "CTS for unknown rendezvous {rdv}");
-            return SimDuration::ZERO;
-        };
-        debug_assert!(!send.cts_received, "duplicate CTS");
-        send.cts_received = true;
-        let data = send.data.take().expect("rendezvous payload present");
-        let dest = send.dest;
-        let tag = send.tag;
-        let req = send.req.clone();
-        st.rdv_sends.remove(&rdv);
-        drop(st);
-
-        let reg = self.inner.registry.register(tag.0, data.len());
-        // Split over the rails (multirail distribution).
-        let n_chunks = if self.inner.cfg.multirail && self.inner.rails.len() > 1 {
-            self.inner.rails.len()
-        } else {
-            1
-        };
-        let chunk_size = data.len().div_ceil(n_chunks);
-        let mut cost = reg;
-        let mut last_egress = self.inner.sim.now();
-        let chunks: Vec<Vec<u8>> = data.chunks(chunk_size.max(1)).map(<[u8]>::to_vec).collect();
-        let total = chunks.len() as u32;
-        for (i, chunk) in chunks.into_iter().enumerate() {
-            let rail = &self.inner.rails[i % self.inner.rails.len()];
-            cost += rail.params().dma_setup;
-            let wire = crate::msg::RDV_HEADER_BYTES + chunk.len();
-            // Each descriptor post takes CPU time before the DMA starts.
-            let info = rail.tx_after(
-                dest,
-                wire,
-                WireMsg::RdvData {
-                    rdv,
-                    chunk: i as u32,
-                    chunks: total,
-                    data: chunk,
-                },
-                cost,
-            );
-            last_egress = last_egress.max(info.egress_end);
-        }
-        // The send completes when the NIC finishes reading the buffer.
-        let sim2 = self.inner.sim.clone();
-        self.inner
-            .sim
-            .schedule_at(last_egress, move |_| req.complete(&sim2));
-        self.trace(|| format!("cts {rdv}: {total} chunk(s) queued to {dest}"));
-        cost
-    }
-
-    /// Rendezvous data arrival: zero-copy into the application buffer.
-    fn handle_rdv_data(
-        &self,
-        src: NodeId,
-        rdv: u64,
-        chunk: u32,
-        chunks: u32,
-        data: Vec<u8>,
-    ) -> SimDuration {
-        let mut st = self.inner.state.borrow_mut();
-        let Some(recv) = st.rdv_recvs.get_mut(&(src, rdv)) else {
-            debug_assert!(false, "RdvData for unknown rendezvous {rdv}");
-            return SimDuration::ZERO;
-        };
-        if recv.chunks.is_empty() {
-            recv.chunks.resize(chunks as usize, None);
-        }
-        debug_assert!(recv.chunks[chunk as usize].is_none(), "duplicate chunk");
-        recv.chunks[chunk as usize] = Some(data);
-        recv.received += 1;
-        if recv.received == chunks {
-            let recv = st.rdv_recvs.remove(&(src, rdv)).expect("present");
-            st.counters.rdv_completed += 1;
-            drop(st);
-            let mut assembled = Vec::new();
-            for c in recv.chunks {
-                assembled.extend_from_slice(&c.expect("all chunks received"));
-            }
-            *recv.out.borrow_mut() = Some(assembled);
-            recv.req.complete(&self.inner.sim);
-            self.trace(|| format!("rdv {rdv} from {src} complete"));
-        }
-        SimDuration::ZERO
-    }
-
-    /// Intra-node message: deliver (copy-out cost) or park as unexpected.
-    fn handle_shm(&self, msg: ShmMsg) -> SimDuration {
-        let own = self.inner.node;
-        let mut st = self.inner.state.borrow_mut();
-        let pos = st
-            .posted
-            .iter()
-            .position(|p| p.tag == msg.tag && p.src.map_or(true, |s| s == own));
-        match pos {
-            Some(i) => {
-                let posted = st.posted.remove(i).expect("index in bounds");
-                Self::note_delivery(&mut st, own, msg.tag, msg.seq);
-                drop(st);
-                let cost = self.inner.shm.copy_cost(msg.data.len());
-                *posted.out.borrow_mut() = Some(msg.data);
-                posted.req.complete(&self.inner.sim);
-                cost
-            }
-            None => {
-                st.counters.unexpected += 1;
-                st.unexpected.push(UnexpectedMsg {
-                    src: own,
-                    tag: msg.tag,
-                    seq: msg.seq,
-                    data: msg.data,
-                });
-                SimDuration::ZERO
-            }
-        }
-    }
-
-    fn trace(&self, f: impl FnOnce() -> String) {
+    pub(crate) fn trace(&self, f: impl FnOnce() -> String) {
         self.inner
             .sim
             .trace()
             .emit_with(self.inner.sim.now(), Category::Proto, f);
     }
 }
-
-/// Type alias to keep `submit`'s signature honest about what it returns.
-type Progress0 = SimDuration;

@@ -15,6 +15,11 @@ use std::collections::VecDeque;
 pub struct Pack {
     /// Destination node.
     pub dest: NodeId,
+    /// Session-wide enqueue rank (monotonically increasing). The session
+    /// keeps one pack list per transport; this stamp lets the PIOMAN
+    /// driver registry replay the global FIFO submission order across
+    /// those lists.
+    pub seq: u64,
     /// What to send.
     pub kind: PackKind,
 }
@@ -147,7 +152,7 @@ impl Strategy for AggregStrategy {
         while i < list.len() && parts.len() < self.max_msgs {
             let eligible = matches!(
                 &list[i],
-                Pack { dest: d, kind: PackKind::Eager { part, .. } }
+                Pack { dest: d, kind: PackKind::Eager { part, .. }, .. }
                     if *d == dest && bytes + part.data.len() <= self.max_bytes
             );
             if eligible {
@@ -234,6 +239,7 @@ mod tests {
     fn eager(dest: usize, tag: u64, len: usize, sim: &Sim) -> Pack {
         Pack {
             dest: NodeId(dest),
+            seq: tag,
             kind: PackKind::Eager {
                 part: EagerPart {
                     tag: Tag(tag),
@@ -249,6 +255,7 @@ mod tests {
         let _ = sim;
         Pack {
             dest: NodeId(dest),
+            seq: 0,
             kind: PackKind::Rts {
                 tag: Tag(9),
                 seq: 0,
@@ -261,8 +268,7 @@ mod tests {
     #[test]
     fn fifo_preserves_order() {
         let sim = Sim::new(0);
-        let mut list: VecDeque<Pack> =
-            [eager(1, 1, 10, &sim), eager(1, 2, 10, &sim)].into();
+        let mut list: VecDeque<Pack> = [eager(1, 1, 10, &sim), eager(1, 2, 10, &sim)].into();
         let s = FifoStrategy;
         let a = s.pop(&mut list).unwrap();
         let b = s.pop(&mut list).unwrap();
@@ -325,12 +331,8 @@ mod tests {
     #[test]
     fn shortest_first_picks_smallest_and_prioritizes_control() {
         let sim = Sim::new(0);
-        let mut list: VecDeque<Pack> = [
-            eager(1, 1, 500, &sim),
-            eager(1, 2, 50, &sim),
-            rts(1, &sim),
-        ]
-        .into();
+        let mut list: VecDeque<Pack> =
+            [eager(1, 1, 500, &sim), eager(1, 2, 50, &sim), rts(1, &sim)].into();
         let s = ShortestFirstStrategy;
         assert!(matches!(s.pop(&mut list).unwrap().msg, WireMsg::Rts { .. }));
         match s.pop(&mut list).unwrap().msg {

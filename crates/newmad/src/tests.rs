@@ -48,10 +48,7 @@ pub(crate) fn build_world(cfg: WorldCfg) -> World {
     build_world_with(cfg, |_| {})
 }
 
-pub(crate) fn build_world_with(
-    cfg: WorldCfg,
-    tweak: impl Fn(&mut SessionConfig),
-) -> World {
+pub(crate) fn build_world_with(cfg: WorldCfg, tweak: impl Fn(&mut SessionConfig)) -> World {
     let sim = Sim::new(42);
     let topo = Rc::new(Topology::new(cfg.nodes, 1, cfg.cores));
     let fabrics: Vec<Rc<Fabric<WireMsg>>> = (0..cfg.rails)
@@ -73,22 +70,15 @@ pub(crate) fn build_world_with(
         let rails = fabrics.iter().map(|f| f.nic(NodeId(n))).collect();
         let shm: Rc<ShmChannel<ShmMsg>> =
             ShmChannel::new(sim.clone(), NodeId(n), FabricParams::myri10g());
-        let session = Session::new(
-            &marcel,
-            rails,
-            shm,
-            Rc::clone(&cfg.strategy),
-            pioman,
-            {
-                let mut sc = SessionConfig {
-                    engine: cfg.engine,
-                    multirail: cfg.multirail,
-                    ..SessionConfig::default()
-                };
-                tweak(&mut sc);
-                sc
-            },
-        );
+        let session = Session::new(&marcel, rails, shm, Rc::clone(&cfg.strategy), pioman, {
+            let mut sc = SessionConfig {
+                engine: cfg.engine,
+                multirail: cfg.multirail,
+                ..SessionConfig::default()
+            };
+            tweak(&mut sc);
+            sc
+        });
         marcels.push(marcel);
         sessions.push(session);
     }
@@ -101,14 +91,24 @@ pub(crate) fn build_world_with(
 }
 
 fn payload(len: usize, seed: u8) -> Vec<u8> {
-    (0..len).map(|i| (i as u8).wrapping_mul(31) ^ seed).collect()
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(31) ^ seed)
+        .collect()
 }
 
 /// Runs sender/receiver bodies on two nodes and returns the final time.
 fn run_pair<FS, FR>(world: &World, send_body: FS, recv_body: FR) -> u64
 where
-    FS: FnOnce(Session, pm2_marcel::ThreadCtx) -> std::pin::Pin<Box<dyn std::future::Future<Output = ()>>> + 'static,
-    FR: FnOnce(Session, pm2_marcel::ThreadCtx) -> std::pin::Pin<Box<dyn std::future::Future<Output = ()>>> + 'static,
+    FS: FnOnce(
+            Session,
+            pm2_marcel::ThreadCtx,
+        ) -> std::pin::Pin<Box<dyn std::future::Future<Output = ()>>>
+        + 'static,
+    FR: FnOnce(
+            Session,
+            pm2_marcel::ThreadCtx,
+        ) -> std::pin::Pin<Box<dyn std::future::Future<Output = ()>>>
+        + 'static,
 {
     let s0 = world.sessions[0].clone();
     let s1 = world.sessions[1].clone();
@@ -607,7 +607,8 @@ fn registry_hits_on_repeated_rendezvous() {
         world.marcels[0].spawn("tx", Priority::Normal, None, move |ctx| async move {
             for i in 0..N {
                 // Same tag every iteration models a reused buffer.
-                s.send(&ctx, NodeId(1), Tag(1), vec![i as u8; 64 << 10]).await;
+                s.send(&ctx, NodeId(1), Tag(1), vec![i as u8; 64 << 10])
+                    .await;
             }
         });
     }
@@ -634,8 +635,10 @@ fn flow_control_demotes_to_rendezvous_and_recovers() {
     // rest must fall back to rendezvous until the receiver posts and
     // credits flow back.
     let world = {
-        let mut w = WorldCfg::default();
-        w.cores = 4;
+        let w = WorldCfg {
+            cores: 4,
+            ..Default::default()
+        };
         build_world_with(w, |sc| sc.credit_bytes_per_peer = 10 << 10)
     };
     const N: u64 = 12;

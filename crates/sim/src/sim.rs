@@ -250,7 +250,9 @@ impl Sim {
                     }
                 }
             };
-            let Some(entry) = entry else { return self.now() };
+            let Some(entry) = entry else {
+                return self.now();
+            };
             debug_assert!(entry.at >= self.now(), "time went backwards");
             self.inner.clock.set(entry.at);
             if !entry.cancelled.get() {

@@ -125,7 +125,13 @@ impl Trace {
         use std::fmt::Write;
         let mut out = String::new();
         for r in self.inner.borrow().records.iter() {
-            let _ = writeln!(out, "[{:>12}] {:?}: {}", r.at.to_string(), r.category, r.message);
+            let _ = writeln!(
+                out,
+                "[{:>12}] {:?}: {}",
+                r.at.to_string(),
+                r.category,
+                r.message
+            );
         }
         out
     }

@@ -1,16 +1,20 @@
-//! Property-based tests of the DES kernel: temporal ordering,
-//! determinism, slab/model equivalence, RNG bounds.
+//! Randomized tests of the DES kernel: temporal ordering, determinism,
+//! slab/model equivalence, RNG bounds. Cases are generated with the
+//! kernel's own seeded RNG, so every run replays identically.
 
+use pm2_sim::rng::Xoshiro256;
 use pm2_sim::{Sim, SimDuration, Slab};
-use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
 
-proptest! {
-    /// Events always fire in non-decreasing time order, with ties broken
-    /// by insertion order.
-    #[test]
-    fn events_fire_in_time_order(delays in prop::collection::vec(0u64..10_000, 1..200)) {
+/// Events always fire in non-decreasing time order, with ties broken by
+/// insertion order.
+#[test]
+fn events_fire_in_time_order() {
+    for seed in 0..32u64 {
+        let mut rng = Xoshiro256::new(seed);
+        let n = 1 + rng.gen_below(199) as usize;
+        let delays: Vec<u64> = (0..n).map(|_| rng.gen_below(10_000)).collect();
         let sim = Sim::new(0);
         let log: Rc<RefCell<Vec<(u64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
         for (i, &d) in delays.iter().enumerate() {
@@ -21,43 +25,52 @@ proptest! {
         }
         sim.run();
         let log = log.borrow();
-        prop_assert_eq!(log.len(), delays.len());
+        assert_eq!(log.len(), delays.len());
         for w in log.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+            assert!(w[0].0 <= w[1].0, "time went backwards (seed {seed})");
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "tie not broken by insertion order");
+                assert!(w[0].1 < w[1].1, "tie not broken by insertion order");
             }
         }
         for (at, i) in log.iter() {
-            prop_assert_eq!(*at, delays[*i]);
+            assert_eq!(*at, delays[*i]);
         }
     }
+}
 
-    /// The same seed and the same program produce the identical event
-    /// trace, including through RNG-dependent decisions.
-    #[test]
-    fn runs_are_deterministic(seed in any::<u64>(), n in 1usize..50) {
-        fn run(seed: u64, n: usize) -> Vec<u64> {
-            let sim = Sim::new(seed);
-            let out = Rc::new(RefCell::new(Vec::new()));
-            for _ in 0..n {
-                let d = sim.with_rng(|r| r.gen_range(1, 1_000));
-                let out = Rc::clone(&out);
-                let sim2 = sim.clone();
-                sim.spawn(async move {
-                    sim2.sleep(SimDuration::from_nanos(d)).await;
-                    out.borrow_mut().push(sim2.now().as_nanos());
-                });
-            }
-            sim.run();
-            Rc::try_unwrap(out).unwrap().into_inner()
+/// The same seed and the same program produce the identical event trace,
+/// including through RNG-dependent decisions.
+#[test]
+fn runs_are_deterministic() {
+    fn run(seed: u64, n: usize) -> Vec<u64> {
+        let sim = Sim::new(seed);
+        let out = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..n {
+            let d = sim.with_rng(|r| r.gen_range(1, 1_000));
+            let out = Rc::clone(&out);
+            let sim2 = sim.clone();
+            sim.spawn(async move {
+                sim2.sleep(SimDuration::from_nanos(d)).await;
+                out.borrow_mut().push(sim2.now().as_nanos());
+            });
         }
-        prop_assert_eq!(run(seed, n), run(seed, n));
+        sim.run();
+        Rc::try_unwrap(out).unwrap().into_inner()
     }
+    for seed in [0u64, 1, 42, 0xDEAD_BEEF, u64::MAX] {
+        for n in [1usize, 7, 49] {
+            assert_eq!(run(seed, n), run(seed, n), "seed {seed}, n {n}");
+        }
+    }
+}
 
-    /// Sleeping tasks accumulate exactly the requested virtual time.
-    #[test]
-    fn sleep_durations_accumulate(durs in prop::collection::vec(0u64..5_000, 1..40)) {
+/// Sleeping tasks accumulate exactly the requested virtual time.
+#[test]
+fn sleep_durations_accumulate() {
+    for seed in 0..16u64 {
+        let mut rng = Xoshiro256::new(seed);
+        let n = 1 + rng.gen_below(39) as usize;
+        let durs: Vec<u64> = (0..n).map(|_| rng.gen_below(5_000)).collect();
         let sim = Sim::new(0);
         let total: u64 = durs.iter().sum();
         let sim2 = sim.clone();
@@ -70,52 +83,68 @@ proptest! {
             *end2.borrow_mut() = sim2.now().as_nanos();
         });
         sim.run();
-        prop_assert_eq!(*end.borrow(), total);
+        assert_eq!(*end.borrow(), total, "seed {seed}");
     }
+}
 
-    /// The slab agrees with a HashMap model under arbitrary operations.
-    #[test]
-    fn slab_matches_model(ops in prop::collection::vec((any::<bool>(), 0usize..64), 0..300)) {
+/// The slab agrees with a HashMap model under arbitrary operations.
+#[test]
+fn slab_matches_model() {
+    for seed in 0..32u64 {
+        let mut rng = Xoshiro256::new(seed);
+        let n = rng.gen_below(300) as usize;
         let mut slab = Slab::new();
         let mut model = std::collections::HashMap::new();
         let mut keys: Vec<usize> = Vec::new();
-        for (insert, x) in ops {
+        for _ in 0..n {
+            let insert = rng.gen_below(2) == 0;
+            let x = rng.gen_below(64) as usize;
             if insert || keys.is_empty() {
                 let k = slab.insert(x);
-                prop_assert!(model.insert(k, x).is_none(), "key reused while occupied");
+                assert!(model.insert(k, x).is_none(), "key reused while occupied");
                 keys.push(k);
             } else {
                 let k = keys.remove(x % keys.len());
-                prop_assert_eq!(slab.remove(k), model.remove(&k));
+                assert_eq!(slab.remove(k), model.remove(&k));
             }
-            prop_assert_eq!(slab.len(), model.len());
+            assert_eq!(slab.len(), model.len());
         }
         for (k, v) in &model {
-            prop_assert_eq!(slab.get(*k), Some(v));
+            assert_eq!(slab.get(*k), Some(v));
         }
     }
+}
 
-    /// RNG ranges are respected for arbitrary bounds.
-    #[test]
-    fn rng_ranges_hold(seed in any::<u64>(), lo in 0u64..1000, width in 1u64..1000) {
-        let mut rng = pm2_sim::rng::Xoshiro256::new(seed);
+/// RNG ranges are respected for arbitrary bounds.
+#[test]
+fn rng_ranges_hold() {
+    let mut meta = Xoshiro256::new(7);
+    for _ in 0..32 {
+        let seed = meta.next_u64();
+        let lo = meta.gen_below(1000);
+        let width = 1 + meta.gen_below(999);
+        let mut rng = Xoshiro256::new(seed);
         for _ in 0..100 {
             let v = rng.gen_range(lo, lo + width);
-            prop_assert!(v >= lo && v < lo + width);
+            assert!(v >= lo && v < lo + width);
         }
     }
+}
 
-    /// Histogram percentiles are monotone in p.
-    #[test]
-    fn histogram_percentiles_monotone(samples in prop::collection::vec(0.0f64..100.0, 1..200)) {
+/// Histogram percentiles are monotone in p.
+#[test]
+fn histogram_percentiles_monotone() {
+    for seed in 0..16u64 {
+        let mut rng = Xoshiro256::new(seed);
+        let n = 1 + rng.gen_below(199) as usize;
         let mut h = pm2_sim::stats::Histogram::new(1.0, 128);
-        for s in &samples {
-            h.record(*s);
+        for _ in 0..n {
+            h.record(rng.gen_below(100_000) as f64 / 1000.0);
         }
         let mut last = 0.0;
         for p in [1.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
             let v = h.percentile(p);
-            prop_assert!(v >= last, "percentile({p}) = {v} < {last}");
+            assert!(v >= last, "percentile({p}) = {v} < {last} (seed {seed})");
             last = v;
         }
     }

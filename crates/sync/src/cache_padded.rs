@@ -15,10 +15,7 @@ use std::ops::{Deref, DerefMut};
 /// prefetchers effectively couple pairs of 64-byte lines; 64 bytes is used
 /// elsewhere.
 #[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
-#[cfg_attr(
-    any(target_arch = "x86_64", target_arch = "aarch64"),
-    repr(align(128))
-)]
+#[cfg_attr(any(target_arch = "x86_64", target_arch = "aarch64"), repr(align(128)))]
 #[cfg_attr(
     not(any(target_arch = "x86_64", target_arch = "aarch64")),
     repr(align(64))

@@ -1,8 +1,8 @@
 //! Event count: spin-then-park completion waiting.
 
 use crate::Backoff;
-use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// A monotonically increasing event counter with efficient waiting.
 ///
@@ -56,7 +56,7 @@ impl EventCount {
         self.count.fetch_add(1, Ordering::Release);
         // Only take the lock if somebody might be parked; the load pairs
         // with the increment in `wait_past` (performed under the lock).
-        let waiters = self.waiters.lock();
+        let waiters = self.waiters.lock().expect("event count lock poisoned");
         if *waiters > 0 {
             self.condvar.notify_all();
         }
@@ -76,13 +76,16 @@ impl EventCount {
             backoff.snooze();
         }
         // Phase 2: park.
-        let mut waiters = self.waiters.lock();
+        let mut waiters = self.waiters.lock().expect("event count lock poisoned");
         *waiters += 1;
         // Re-check under the lock: a signal between phase 1 and here took
         // the same lock, so it either saw our registration or bumped the
         // counter before we re-check.
         while self.count.load(Ordering::Acquire) <= seen {
-            self.condvar.wait(&mut waiters);
+            waiters = self
+                .condvar
+                .wait(waiters)
+                .expect("event count lock poisoned");
         }
         *waiters -= 1;
     }

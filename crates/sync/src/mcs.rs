@@ -94,7 +94,10 @@ impl<T: ?Sized> McsLock<T> {
                 std::hint::spin_loop();
             }
         }
-        McsGuard { lock: self, node: node_ptr }
+        McsGuard {
+            lock: self,
+            node: node_ptr,
+        }
     }
 
     /// True if some thread holds or waits for the lock (racy hint).

@@ -27,7 +27,7 @@ use std::sync::atomic::{AtomicPtr, Ordering};
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct MpscQueue<T> {
-    head: AtomicPtr<Node<T>>, // producers swap here
+    head: AtomicPtr<Node<T>>,       // producers swap here
     tail: UnsafeCell<*mut Node<T>>, // consumer-only
 }
 
@@ -197,7 +197,7 @@ mod tests {
             })
             .collect();
 
-        let mut last_seen = vec![None::<u64>; PRODUCERS];
+        let mut last_seen = [None::<u64>; PRODUCERS];
         let mut count = 0;
         while count < PRODUCERS as u64 * PER {
             if let Some(v) = q.pop() {

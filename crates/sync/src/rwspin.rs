@@ -95,8 +95,8 @@ impl<T: ?Sized> RwSpinLock<T> {
         loop {
             // Take the lock once no readers remain and no writer holds.
             let s = self.state.load(Ordering::Relaxed);
-            if s & (WRITER | READER_MASK) == 0 {
-                if self
+            if s & (WRITER | READER_MASK) == 0
+                && self
                     .state
                     .compare_exchange_weak(
                         s,
@@ -105,9 +105,8 @@ impl<T: ?Sized> RwSpinLock<T> {
                         Ordering::Relaxed,
                     )
                     .is_ok()
-                {
-                    return RwWriteGuard { lock: self };
-                }
+            {
+                return RwWriteGuard { lock: self };
             }
             backoff.snooze();
         }

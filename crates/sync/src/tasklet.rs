@@ -372,7 +372,8 @@ mod tests {
         };
         // First schedule starts running and blocks on the gate.
         h.schedule();
-        assert!(wait_until(2000, || h.tasklet().state() == TaskletState::Running
+        assert!(wait_until(2000, || h.tasklet().state()
+            == TaskletState::Running
             || h.tasklet().state() == TaskletState::RunningScheduled));
         // While it runs, many schedules coalesce into exactly one more run.
         for _ in 0..10 {

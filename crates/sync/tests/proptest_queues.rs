@@ -1,11 +1,34 @@
-//! Property-based tests: the lock-free queues behave like their
-//! sequential models under arbitrary operation sequences, and survive
-//! randomized multi-threaded interleavings.
+//! Randomized model tests: the lock-free queues behave like their
+//! sequential models under generated operation sequences, and survive
+//! multi-threaded interleavings.
+//!
+//! The generator is a small seeded xorshift so every run replays the same
+//! cases — failures reproduce with the printed seed and no external
+//! property-testing machinery is needed.
 
-use proptest::prelude::*;
 use pm2_sync::{MpmcQueue, MpscQueue, SeqLock, SpinLock, TicketLock};
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// Minimal deterministic PRNG (xorshift64*), enough to drive op mixes.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -13,65 +36,77 @@ enum Op {
     Pop,
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u32..1000).prop_map(Op::Push),
-            Just(Op::Pop),
-        ],
-        0..200,
-    )
+fn ops(rng: &mut Rng, max_len: u64) -> Vec<Op> {
+    let len = rng.below(max_len) as usize;
+    (0..len)
+        .map(|_| {
+            if rng.below(2) == 0 {
+                Op::Push(rng.below(1000) as u32)
+            } else {
+                Op::Pop
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    /// Single-threaded MPSC behaves exactly like a VecDeque.
-    #[test]
-    fn mpsc_matches_model(ops in ops()) {
+/// Single-threaded MPSC behaves exactly like a VecDeque.
+#[test]
+fn mpsc_matches_model() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed);
         let q = MpscQueue::new();
         let mut model = VecDeque::new();
-        for op in ops {
+        for op in ops(&mut rng, 200) {
             match op {
                 Op::Push(v) => {
                     q.push(v);
                     model.push_back(v);
                 }
                 Op::Pop => {
-                    prop_assert_eq!(q.pop(), model.pop_front());
+                    assert_eq!(q.pop(), model.pop_front(), "seed {seed}");
                 }
             }
-            prop_assert_eq!(q.is_empty(), model.is_empty());
+            assert_eq!(q.is_empty(), model.is_empty(), "seed {seed}");
         }
-        prop_assert_eq!(q.drain(), Vec::from(model));
+        assert_eq!(q.drain(), Vec::from(model), "seed {seed}");
     }
+}
 
-    /// Single-threaded bounded MPMC behaves like a bounded VecDeque.
-    #[test]
-    fn mpmc_matches_model(ops in ops(), cap_pow in 1u32..6) {
-        let cap = 1usize << cap_pow;
+/// Single-threaded bounded MPMC behaves like a bounded VecDeque.
+#[test]
+fn mpmc_matches_model() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed);
+        let cap = 1usize << (1 + rng.below(5) as u32);
         let q = MpmcQueue::with_capacity(cap);
         let mut model: VecDeque<u32> = VecDeque::new();
-        for op in ops {
+        for op in ops(&mut rng, 200) {
             match op {
                 Op::Push(v) => {
                     let r = q.push(v);
                     if model.len() < cap {
-                        prop_assert_eq!(r, Ok(()));
+                        assert_eq!(r, Ok(()), "seed {seed}");
                         model.push_back(v);
                     } else {
-                        prop_assert_eq!(r, Err(v));
+                        assert_eq!(r, Err(v), "seed {seed}");
                     }
                 }
                 Op::Pop => {
-                    prop_assert_eq!(q.pop(), model.pop_front());
+                    assert_eq!(q.pop(), model.pop_front(), "seed {seed}");
                 }
             }
         }
     }
+}
 
-    /// Values pushed by concurrent producers are all received exactly
-    /// once, in per-producer order.
-    #[test]
-    fn mpsc_concurrent_no_loss_no_dup(per_producer in 1usize..300, producers in 1usize..4) {
+/// Values pushed by concurrent producers are all received exactly once,
+/// in per-producer order.
+#[test]
+fn mpsc_concurrent_no_loss_no_dup() {
+    for seed in 0..8u64 {
+        let mut rng = Rng::new(seed);
+        let per_producer = 1 + rng.below(299) as usize;
+        let producers = 1 + rng.below(3) as usize;
         let q = Arc::new(MpscQueue::new());
         let handles: Vec<_> = (0..producers)
             .map(|p| {
@@ -89,7 +124,7 @@ proptest! {
             if let Some(v) = q.pop() {
                 let p = v as usize / per_producer;
                 let i = (v as usize % per_producer) as i64;
-                prop_assert!(i > last[p], "per-producer order violated");
+                assert!(i > last[p], "per-producer order violated (seed {seed})");
                 last[p] = i;
                 count += 1;
             }
@@ -97,44 +132,58 @@ proptest! {
         for h in handles {
             h.join().unwrap();
         }
-        prop_assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
     }
+}
 
-    /// Spinlock-protected counter increments are never lost.
-    #[test]
-    fn spinlock_counter_exact(threads in 1usize..4, iters in 1usize..2000) {
+/// Spinlock-protected counter increments are never lost.
+#[test]
+fn spinlock_counter_exact() {
+    for (threads, iters) in [(1usize, 1999usize), (2, 500), (3, 1500)] {
         let lock = Arc::new(SpinLock::new(0usize));
-        let hs: Vec<_> = (0..threads).map(|_| {
-            let lock = Arc::clone(&lock);
-            std::thread::spawn(move || {
-                for _ in 0..iters {
-                    *lock.lock() += 1;
-                }
+        let hs: Vec<_> = (0..threads)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                std::thread::spawn(move || {
+                    for _ in 0..iters {
+                        *lock.lock() += 1;
+                    }
+                })
             })
-        }).collect();
-        for h in hs { h.join().unwrap(); }
-        prop_assert_eq!(*lock.lock(), threads * iters);
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(*lock.lock(), threads * iters);
     }
+}
 
-    /// Ticket lock is exact too.
-    #[test]
-    fn ticketlock_counter_exact(threads in 1usize..4, iters in 1usize..2000) {
+/// Ticket lock is exact too.
+#[test]
+fn ticketlock_counter_exact() {
+    for (threads, iters) in [(1usize, 1999usize), (2, 500), (3, 1500)] {
         let lock = Arc::new(TicketLock::new(0usize));
-        let hs: Vec<_> = (0..threads).map(|_| {
-            let lock = Arc::clone(&lock);
-            std::thread::spawn(move || {
-                for _ in 0..iters {
-                    *lock.lock() += 1;
-                }
+        let hs: Vec<_> = (0..threads)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                std::thread::spawn(move || {
+                    for _ in 0..iters {
+                        *lock.lock() += 1;
+                    }
+                })
             })
-        }).collect();
-        for h in hs { h.join().unwrap(); }
-        prop_assert_eq!(*lock.lock(), threads * iters);
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(*lock.lock(), threads * iters);
     }
+}
 
-    /// SeqLock readers never observe an inconsistent pair.
-    #[test]
-    fn seqlock_never_tears(writes in 1u64..3000) {
+/// SeqLock readers never observe an inconsistent pair.
+#[test]
+fn seqlock_never_tears() {
+    for writes in [1u64, 77, 2999] {
         let l = Arc::new(SeqLock::new((0u64, 0u64)));
         let writer = {
             let l = Arc::clone(&l);
@@ -146,10 +195,10 @@ proptest! {
         };
         for _ in 0..2000 {
             let (a, b) = l.read();
-            prop_assert_eq!(b, a.wrapping_mul(3));
+            assert_eq!(b, a.wrapping_mul(3));
         }
         writer.join().unwrap();
         let (a, b) = l.read();
-        prop_assert_eq!((a, b), (writes, writes.wrapping_mul(3)));
+        assert_eq!((a, b), (writes, writes.wrapping_mul(3)));
     }
 }

@@ -257,7 +257,7 @@ mod tests {
         let t = Topology::paper_testbed();
         let n = t.neighbours_by_distance(CoreId(1));
         assert_eq!(n.len(), 7); // other cores of node 0 only
-        // First neighbours share socket 0.
+                                // First neighbours share socket 0.
         assert_eq!(t.socket_of(n[0]).socket, 0);
         assert_eq!(t.socket_of(n[1]).socket, 0);
         assert_eq!(t.socket_of(n[2]).socket, 0);

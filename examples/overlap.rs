@@ -37,8 +37,14 @@ fn main() {
     let s = sequential.half_round_us.mean();
     let o = pioman.half_round_us.mean();
     println!("communication alone (reference): {r:6.2} µs");
-    println!("sequential engine (no overlap):  {s:6.2} µs  ≈ comm + comp = {:.2}", r + 20.0);
-    println!("PIOMAN engine (overlapped):      {o:6.2} µs  ≈ max(comm, comp) = {:.2}", r.max(20.0));
+    println!(
+        "sequential engine (no overlap):  {s:6.2} µs  ≈ comm + comp = {:.2}",
+        r + 20.0
+    );
+    println!(
+        "PIOMAN engine (overlapped):      {o:6.2} µs  ≈ max(comm, comp) = {:.2}",
+        r.max(20.0)
+    );
     println!();
     println!(
         "overlap recovered {:.0}% of the communication time",

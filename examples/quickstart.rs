@@ -29,10 +29,7 @@ fn main() {
             // idle core meanwhile.
             ctx.compute(SimDuration::from_micros(20)).await;
             session.swait_send(&handle, &ctx).await;
-            println!(
-                "[{}] sender: buffer reusable",
-                ctx.marcel().sim().now()
-            );
+            println!("[{}] sender: buffer reusable", ctx.marcel().sim().now());
         });
     }
 
@@ -52,10 +49,7 @@ fn main() {
     }
 
     let end = cluster.run();
-    println!(
-        "message: {:?}",
-        String::from_utf8_lossy(&received.borrow())
-    );
+    println!("message: {:?}", String::from_utf8_lossy(&received.borrow()));
     println!("simulation finished at {end}");
     println!(
         "sender-node PIOMAN stats: {:?}",

@@ -82,7 +82,10 @@ fn fig6_shape_holds() {
 fn table1_shape_holds() {
     let mut seq = Vec::new();
     let mut pio = Vec::new();
-    for p in [StencilParams::four_threads(), StencilParams::sixteen_threads()] {
+    for p in [
+        StencilParams::four_threads(),
+        StencilParams::sixteen_threads(),
+    ] {
         seq.push(run_stencil(ClusterConfig::paper_testbed(EngineKind::Sequential), &p).total_us);
         pio.push(run_stencil(ClusterConfig::paper_testbed(EngineKind::Pioman), &p).total_us);
     }
@@ -157,7 +160,9 @@ fn collectives_and_p2p_compose() {
         let sums = Rc::clone(&sums);
         cluster.spawn_on(rank, format!("r{rank}"), move |ctx| async move {
             for round in 0..3u64 {
-                let s = comm.allreduce_sum(&ctx, (comm.rank() as u64 + 1) * (round + 1)).await;
+                let s = comm
+                    .allreduce_sum(&ctx, (comm.rank() as u64 + 1) * (round + 1))
+                    .await;
                 sums.borrow_mut().push(s);
                 comm.barrier(&ctx).await;
                 // Ring exchange after each barrier.
@@ -200,7 +205,10 @@ fn aggregation_end_to_end() {
         cluster.spawn_on(0, "tx", move |ctx| async move {
             let mut hs = Vec::new();
             for i in 0..N {
-                hs.push(s.isend(&ctx, NodeId(1), Tag(i as u64), vec![i as u8; 256]).await);
+                hs.push(
+                    s.isend(&ctx, NodeId(1), Tag(i as u64), vec![i as u8; 256])
+                        .await,
+                );
             }
             ctx.compute(SimDuration::from_micros(40)).await;
             for h in &hs {
@@ -267,5 +275,9 @@ fn full_stack_determinism() {
         t
     }
     assert_eq!(run(7, 0.3), run(7, 0.3));
-    assert_ne!(run(7, 0.3), run(8, 0.3), "jitter should differ across seeds");
+    assert_ne!(
+        run(7, 0.3),
+        run(8, 0.3),
+        "jitter should differ across seeds"
+    );
 }

@@ -101,9 +101,7 @@ fn wildcard_receivers_consume_each_message_once() {
         cluster.spawn_on(sender, format!("tx{sender}"), move |ctx| async move {
             for m in 0..PER_SENDER {
                 let uid = (sender - 1) * PER_SENDER + m;
-                let h = s
-                    .isend(&ctx, NodeId(0), Tag(7), vec![uid as u8; 512])
-                    .await;
+                let h = s.isend(&ctx, NodeId(0), Tag(7), vec![uid as u8; 512]).await;
                 s.swait_send(&h, &ctx).await;
             }
         });
