@@ -16,4 +16,22 @@ cargo build --release
 echo "== cargo test"
 cargo test -q
 
+echo "== fault-scenario matrix (seeds 1 7 42)"
+for seed in 1 7 42; do
+  PM2_FAULT_SEED=$seed cargo test -q --release -p pm2-bench --test faults
+done
+
+echo "== zero-fault baseline guard (byte-identical figures)"
+for b in fig5 fig6 table1 bandwidth; do
+  ./target/release/$b | diff -u "tests/baselines/$b.txt" - \
+    || { echo "$b deviates from tests/baselines/$b.txt"; exit 1; }
+done
+
+# Long soak (~10^6 messages at 1% loss, both engines); run locally with
+# PM2_SOAK=1 ./ci.sh, tune the volume via PM2_SOAK_MSGS.
+if [ "${PM2_SOAK:-0}" = "1" ]; then
+  echo "== 1%-loss soak"
+  cargo test --release -p pm2-bench --test faults -- --ignored --nocapture
+fi
+
 echo "CI OK"

@@ -47,6 +47,18 @@
 //! Progress-site counters are kept per driver ([`Pioman::driver_stats`])
 //! as well as globally, so workloads can see *which* shard (which rail,
 //! or shared memory) the idle cores actually progressed.
+//!
+//! # Driver health and quarantine
+//!
+//! On fault-prone fabrics a stalled NIC can pin every idle core on
+//! unproductive polls. The opt-in health valve
+//! ([`PiomanConfig::quarantine_after`]) counts consecutive unproductive
+//! completion polls per driver and, past the threshold, *quarantines*
+//! the driver: its polling is paused for an exponentially growing
+//! back-off window (submissions are still served), a probe re-polls it
+//! at expiry, and any productive step re-arms it to full health.
+//! [`Pioman::driver_health`] and [`Pioman::degraded_drivers`] report the
+//! degraded state gracefully instead of wedging.
 
 #![warn(missing_docs)]
 
@@ -56,4 +68,6 @@ mod server;
 
 pub use config::{LockModel, PiomanConfig};
 pub use req::PiomReq;
-pub use server::{DriverId, DriverPending, Pioman, PiomanStats, Progress, ProgressDriver};
+pub use server::{
+    DriverHealthReport, DriverId, DriverPending, Pioman, PiomanStats, Progress, ProgressDriver,
+};

@@ -61,6 +61,32 @@ impl DriverPending {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DriverId(pub usize);
 
+/// Health snapshot of one driver (see
+/// [`PiomanConfig::quarantine_after`]): how the registry's degraded-mode
+/// valve currently sees it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DriverHealthReport {
+    /// Consecutive unproductive completion polls since the last
+    /// productive step (resets to zero whenever the driver does work).
+    pub consecutive_unproductive: u32,
+    /// Current back-off level: each quarantine without an intervening
+    /// productive step doubles the next window.
+    pub quarantine_level: u32,
+    /// End of the active quarantine window, if one is in force.
+    pub quarantined_until: Option<SimTime>,
+    /// Total quarantine windows entered over the driver's lifetime.
+    pub quarantines: u64,
+}
+
+/// Internal per-driver health state, parallel to the driver slots.
+#[derive(Debug, Clone, Copy, Default)]
+struct DriverHealth {
+    consecutive_unproductive: u32,
+    quarantine_level: u32,
+    quarantined_until: Option<SimTime>,
+    quarantines: u64,
+}
+
 /// The callbacks a communication library registers with PIOMAN.
 ///
 /// "The use of callbacks in PIOMAN makes it generic: the network-dependent
@@ -112,6 +138,8 @@ struct Inner {
     drivers: RefCell<Vec<Option<Rc<dyn ProgressDriver>>>>,
     /// Per-driver progress-site counters, parallel to `drivers`.
     driver_stats: RefCell<Vec<PiomanStats>>,
+    /// Per-driver health/quarantine state, parallel to `drivers`.
+    driver_health: RefCell<Vec<DriverHealth>>,
     /// Completion-poll rotor: the slot the next poll sweep starts from.
     rotor: Cell<usize>,
     /// Tie-break rotor between equally-old submitters.
@@ -151,6 +179,7 @@ impl Pioman {
             cfg,
             drivers: RefCell::new(Vec::new()),
             driver_stats: RefCell::new(Vec::new()),
+            driver_health: RefCell::new(Vec::new()),
             rotor: Cell::new(0),
             sub_rotor: Cell::new(0),
             submission_burst: Cell::new(0),
@@ -242,6 +271,10 @@ impl Pioman {
             .driver_stats
             .borrow_mut()
             .push(PiomanStats::default());
+        self.inner
+            .driver_health
+            .borrow_mut()
+            .push(DriverHealth::default());
         DriverId(drivers.len() - 1)
     }
 
@@ -278,6 +311,122 @@ impl Pioman {
             .get(id.0)
             .copied()
             .unwrap_or_default()
+    }
+
+    /// Health snapshot of one driver (all-zero for unknown ids). An
+    /// expired quarantine window reads as healthy: `quarantined_until`
+    /// is only reported while the window is still in force.
+    pub fn driver_health(&self, id: DriverId) -> DriverHealthReport {
+        let now = self.inner.sim.now();
+        self.inner
+            .driver_health
+            .borrow()
+            .get(id.0)
+            .map(|h| DriverHealthReport {
+                consecutive_unproductive: h.consecutive_unproductive,
+                quarantine_level: h.quarantine_level,
+                quarantined_until: h.quarantined_until.filter(|&t| t > now),
+                quarantines: h.quarantines,
+            })
+            .unwrap_or_default()
+    }
+
+    /// The drivers currently in a quarantine window (degraded mode):
+    /// their completion polling is paused until the window expires, but
+    /// submissions are still served. Empty when health tracking is
+    /// disabled.
+    pub fn degraded_drivers(&self) -> Vec<DriverId> {
+        let now = self.inner.sim.now();
+        let drivers = self.inner.drivers.borrow();
+        self.inner
+            .driver_health
+            .borrow()
+            .iter()
+            .enumerate()
+            .filter(|(i, h)| {
+                drivers.get(*i).is_some_and(Option::is_some)
+                    && h.quarantined_until.is_some_and(|t| t > now)
+            })
+            .map(|(i, _)| DriverId(i))
+            .collect()
+    }
+
+    /// Health bookkeeping after a productive step by driver `pos`: the
+    /// driver is alive, so any quarantine state is re-armed from scratch.
+    fn note_driver_work(&self, pos: usize) {
+        if self.inner.cfg.quarantine_after.is_none() {
+            return;
+        }
+        if let Some(h) = self.inner.driver_health.borrow_mut().get_mut(pos) {
+            h.consecutive_unproductive = 0;
+            h.quarantine_level = 0;
+            h.quarantined_until = None;
+        }
+    }
+
+    /// Health bookkeeping after an unproductive completion poll of driver
+    /// `pos`: count it, and once the configured threshold is hit open a
+    /// quarantine window (doubling per consecutive quarantine) with a
+    /// probe scheduled at expiry so the driver is re-polled even on an
+    /// otherwise idle node.
+    fn note_driver_timeout(&self, pos: usize) {
+        let Some(threshold) = self.inner.cfg.quarantine_after else {
+            return;
+        };
+        let now = self.inner.sim.now();
+        let until = {
+            let mut health = self.inner.driver_health.borrow_mut();
+            let Some(h) = health.get_mut(pos) else { return };
+            h.consecutive_unproductive += 1;
+            if h.consecutive_unproductive < threshold {
+                return;
+            }
+            let shift = h
+                .quarantine_level
+                .min(self.inner.cfg.quarantine_max_shift)
+                .min(63);
+            let window = SimDuration::from_nanos(
+                self.inner
+                    .cfg
+                    .quarantine_backoff
+                    .as_nanos()
+                    .saturating_mul(1u64 << shift),
+            );
+            let until = now + window;
+            h.quarantined_until = Some(until);
+            h.quarantine_level += 1;
+            h.quarantines += 1;
+            h.consecutive_unproductive = 0;
+            until
+        };
+        self.inner.sim.trace().emit_with(now, Category::Pioman, || {
+            format!("driver {pos} quarantined until {until}")
+        });
+        // The expiry probe: without it a fully idle node would never
+        // notice the window has passed and the driver would stay
+        // effectively dead.
+        let weak = Rc::downgrade(&self.inner);
+        self.inner.sim.schedule_at(until, move |_| {
+            if let Some(inner) = weak.upgrade() {
+                let pioman = Pioman { inner };
+                if pioman.drivers_pending().any() {
+                    pioman.notify_work(None);
+                }
+            }
+        });
+    }
+
+    /// True while driver `pos` sits in an unexpired quarantine window.
+    fn driver_quarantined(&self, pos: usize) -> bool {
+        if self.inner.cfg.quarantine_after.is_none() {
+            return false;
+        }
+        let now = self.inner.sim.now();
+        self.inner
+            .driver_health
+            .borrow()
+            .get(pos)
+            .is_some_and(|h| h.quarantined_until.is_some_and(|t| t > now))
     }
 
     /// The scheduler this server is attached to.
@@ -366,6 +515,9 @@ impl Pioman {
             }
             if let Some((_, pos)) = best {
                 let p = drivers[pos].as_ref().unwrap().progress();
+                if p.did_work {
+                    self.note_driver_work(pos);
+                }
                 let burst = burst + 1;
                 self.inner.submission_burst.set(burst);
                 let mut st = self.inner.stats.borrow_mut();
@@ -386,11 +538,19 @@ impl Pioman {
             if !pendings[pos].armed {
                 continue;
             }
+            // Degraded mode: a quarantined driver's polling is paused
+            // until its back-off window expires (submissions above are
+            // unaffected).
+            if self.driver_quarantined(pos) {
+                continue;
+            }
             let p = drivers[pos].as_ref().unwrap().progress();
             if p.did_work {
+                self.note_driver_work(pos);
                 self.inner.rotor.set((pos + 1) % n);
                 return (p, Some(DriverId(pos)));
             }
+            self.note_driver_timeout(pos);
             if p.cost > worst {
                 worst = p.cost;
                 worst_pos = Some(pos);
@@ -1119,6 +1279,134 @@ mod tests {
         assert_eq!(sum(pioman.driver_stats(ids[1])), 3);
         // Global counters keep counting every call, attributed or not.
         assert!(sum(pioman.stats()) >= 5);
+    }
+
+    // ---- driver health / quarantine ----
+
+    #[test]
+    fn health_tracking_disabled_by_default() {
+        let (sim, marcel, pioman, driver) = setup(1, PiomanConfig::default());
+        let req = PiomReq::new(&sim, "recv");
+        driver.arm(SimTime::from_micros(100), req.clone());
+        let pioman2 = pioman.clone();
+        let req2 = req.clone();
+        marcel.spawn("app", Priority::Normal, None, move |ctx| async move {
+            pioman2.wait(&req2, &ctx).await;
+        });
+        sim.run();
+        assert!(req.is_complete());
+        // Hundreds of unproductive polls happened, but with the valve off
+        // nothing was counted and nobody was quarantined.
+        let h = pioman.driver_health(DriverId(0));
+        assert_eq!(h.quarantines, 0);
+        assert_eq!(h.consecutive_unproductive, 0);
+        assert!(pioman.degraded_drivers().is_empty());
+    }
+
+    #[test]
+    fn stalled_driver_is_quarantined_then_recovers() {
+        let cfg = PiomanConfig {
+            quarantine_after: Some(8),
+            quarantine_backoff: SimDuration::from_micros(20),
+            ..PiomanConfig::default()
+        };
+        let (sim, marcel, pioman, driver) = setup(1, cfg);
+        let req = PiomReq::new(&sim, "recv");
+        // The event only becomes detectable at 500µs: plenty of polls
+        // time out first, so the driver cycles through quarantine.
+        driver.arm(SimTime::from_micros(500), req.clone());
+        let done = Rc::new(Cell::new(0u64));
+        let done2 = Rc::clone(&done);
+        let pioman2 = pioman.clone();
+        let req2 = req.clone();
+        marcel.spawn("app", Priority::Normal, None, move |ctx| async move {
+            pioman2.wait(&req2, &ctx).await;
+            done2.set(ctx.marcel().sim().now().as_micros());
+        });
+        sim.run();
+        assert!(req.is_complete());
+        let h = pioman.driver_health(DriverId(0));
+        assert!(h.quarantines >= 1, "expected quarantine windows: {h:?}");
+        // The productive poll at detection re-armed the driver.
+        assert_eq!(h.quarantine_level, 0, "recovery must reset: {h:?}");
+        assert!(h.quarantined_until.is_none());
+        assert!(pioman.degraded_drivers().is_empty());
+        // The expiry probes bound the detection delay: even with the
+        // back-off capped at 20µs × 2⁶ = 1.28ms, the 500µs event is seen
+        // within one window of its deadline.
+        assert!(done.get() <= 2000, "detected too late: t={}µs", done.get());
+    }
+
+    #[test]
+    fn quarantine_windows_back_off_exponentially() {
+        let cfg = PiomanConfig {
+            quarantine_after: Some(4),
+            quarantine_backoff: SimDuration::from_micros(10),
+            quarantine_max_shift: 3,
+            ..PiomanConfig::default()
+        };
+        let (sim, marcel, pioman, driver) = setup(1, cfg);
+        let req = PiomReq::new(&sim, "recv");
+        driver.arm(SimTime::from_micros(400), req.clone());
+        let pioman2 = pioman.clone();
+        let req2 = req.clone();
+        marcel.spawn("app", Priority::Normal, None, move |ctx| async move {
+            pioman2.wait(&req2, &ctx).await;
+        });
+        // Sample the quarantine level while the driver is still stalled.
+        let pioman3 = pioman.clone();
+        let level_mid = Rc::new(Cell::new(0u32));
+        let level_mid2 = Rc::clone(&level_mid);
+        sim.schedule_at(SimTime::from_micros(350), move |_| {
+            level_mid2.set(pioman3.driver_health(DriverId(0)).quarantine_level);
+        });
+        sim.run();
+        assert!(req.is_complete());
+        // By 350µs several windows (10, 20, 40, 80 = capped…) have
+        // elapsed, so the level climbed past 1.
+        assert!(level_mid.get() >= 2, "level={}", level_mid.get());
+        let h = pioman.driver_health(DriverId(0));
+        assert!(h.quarantines >= 3, "expected repeated windows: {h:?}");
+    }
+
+    #[test]
+    fn quarantined_driver_still_serves_submissions() {
+        let cfg = PiomanConfig {
+            quarantine_after: Some(4),
+            quarantine_backoff: SimDuration::from_micros(200),
+            ..PiomanConfig::default()
+        };
+        let (sim, marcel, pioman, driver) = setup(1, cfg);
+        let stalled = PiomReq::new(&sim, "recv");
+        driver.arm(SimTime::from_micros(500), stalled.clone());
+        // Once the driver sits in a (long) quarantine window, post a
+        // submission: it must be served promptly anyway.
+        let sub = PiomReq::new(&sim, "send");
+        let driver2 = driver.clone();
+        let pioman2 = pioman.clone();
+        let sub2 = sub.clone();
+        sim.schedule_at(SimTime::from_micros(50), move |_| {
+            assert!(
+                !pioman2.degraded_drivers().is_empty(),
+                "driver should be quarantined by 50µs"
+            );
+            driver2.push_work(SimDuration::from_micros(1), Some(sub2.clone()));
+            pioman2.notify_work(None);
+        });
+        let pioman3 = pioman.clone();
+        let stalled2 = stalled.clone();
+        marcel.spawn("app", Priority::Normal, None, move |ctx| async move {
+            pioman3.wait(&stalled2, &ctx).await;
+        });
+        sim.run();
+        assert!(stalled.is_complete());
+        let sub_done = sub.completed_at().expect("submission served").as_micros();
+        assert!(
+            sub_done < 60,
+            "submission stuck behind quarantine: {sub_done}µs"
+        );
+        // …and the productive submission re-armed the driver's health.
+        assert_eq!(pioman.driver_health(DriverId(0)).quarantine_level, 0);
     }
 
     #[test]

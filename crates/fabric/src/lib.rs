@@ -36,5 +36,5 @@ mod shm;
 
 pub use memory::{MemoryRegistry, RegistryStats};
 pub use nic::{Fabric, Frame, Nic, NicCounters, TxInfo};
-pub use params::FabricParams;
+pub use params::{FabricParams, FaultPlan, StallWindow};
 pub use shm::ShmChannel;

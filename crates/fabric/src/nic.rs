@@ -1,6 +1,7 @@
 //! The MX-like NIC and the inter-node links.
 
-use crate::params::FabricParams;
+use crate::params::{FabricParams, FaultPlan};
+use pm2_sim::rng::Xoshiro256;
 use pm2_sim::trace::Category;
 use pm2_sim::{Sim, SimDuration, SimTime, Trigger};
 use pm2_topo::{NodeId, Topology};
@@ -42,6 +43,16 @@ pub struct NicCounters {
     pub rx_bytes: u64,
     /// Host polls performed against this NIC.
     pub polls: u64,
+    /// Inbound frames dropped on the wire by fault injection.
+    pub faults_dropped: u64,
+    /// Inbound frames duplicated by fault injection.
+    pub faults_duplicated: u64,
+    /// Inbound frames reorder-delayed by fault injection.
+    pub faults_delayed: u64,
+    /// Inbound frames discarded by the CRC check (corruption injection).
+    pub faults_corrupted: u64,
+    /// Inbound frames held back by a rail stall window.
+    pub faults_stalled: u64,
 }
 
 /// Per-ordered-pair link bookkeeping for in-order delivery.
@@ -55,6 +66,15 @@ struct FabricState {
     egress_free: Vec<SimTime>,
     /// In-order delivery horizon per (src, dst).
     links: Vec<LinkState>, // index = src * nodes + dst
+    /// Fabric-global transmission index (targets for `FaultPlan`).
+    tx_count: u64,
+}
+
+/// What fault injection decided for one frame.
+struct Fate {
+    deliver_at: Option<SimTime>,
+    dup_at: Option<SimTime>,
+    corrupt: bool,
 }
 
 /// The cluster interconnect: one [`Nic`] per node plus the links.
@@ -78,6 +98,9 @@ pub struct Fabric<P: 'static> {
     topo: Rc<Topology>,
     params: FabricParams,
     state: RefCell<FabricState>,
+    /// Fault stream, seeded by the plan: disjoint from the simulation RNG
+    /// so an active plan never shifts happy-path jitter draws.
+    fault_rng: RefCell<Xoshiro256>,
     nics: RefCell<Vec<Rc<Nic<P>>>>,
 }
 
@@ -92,7 +115,9 @@ impl<P: 'static> Fabric<P> {
             state: RefCell::new(FabricState {
                 egress_free: vec![SimTime::ZERO; nodes],
                 links: vec![LinkState::default(); nodes * nodes],
+                tx_count: 0,
             }),
+            fault_rng: RefCell::new(Xoshiro256::new(params.fault.seed)),
             nics: RefCell::new(Vec::new()),
         });
         let nics = (0..nodes)
@@ -140,7 +165,10 @@ impl<P: 'static> Fabric<P> {
         wire_bytes: usize,
         payload: P,
         delay: SimDuration,
-    ) -> TxInfo {
+    ) -> TxInfo
+    where
+        P: Clone,
+    {
         assert_ne!(src, dst, "intra-node traffic must use the shm channel");
         let now = self.sim.now() + delay;
         let mut tx_time = self.params.wire_time(wire_bytes);
@@ -149,7 +177,7 @@ impl<P: 'static> Fabric<P> {
             let f = self.sim.with_rng(|r| 1.0 + j * (2.0 * r.gen_f64() - 1.0));
             tx_time = SimDuration::from_micros_f64(tx_time.as_micros_f64() * f);
         }
-        let (egress_end, arrival) = {
+        let (egress_end, arrival, frame_idx) = {
             let mut st = self.state.borrow_mut();
             // NIC egress serializes frames of the same sender.
             let start = st.egress_free[src.0].max(now);
@@ -159,7 +187,9 @@ impl<P: 'static> Fabric<P> {
             // In-order delivery per (src, dst) even under jitter.
             let arrival = (end + self.params.wire_latency).max(link.last_arrival);
             link.last_arrival = arrival;
-            (end, arrival)
+            let idx = st.tx_count;
+            st.tx_count += 1;
+            (end, arrival, idx)
         };
         let nic = self.nic(dst);
         let frame = Frame {
@@ -167,7 +197,11 @@ impl<P: 'static> Fabric<P> {
             wire_bytes,
             payload,
         };
-        self.sim.schedule_at(arrival, move |_| nic.deliver(frame));
+        if self.params.fault.is_active() {
+            self.deliver_with_faults(frame, nic, frame_idx, arrival);
+        } else {
+            self.sim.schedule_at(arrival, move |_| nic.deliver(frame));
+        }
         self.sim
             .trace()
             .emit_with(self.sim.now(), Category::Hw, || {
@@ -177,6 +211,124 @@ impl<P: 'static> Fabric<P> {
             egress_end,
             arrival,
         }
+    }
+
+    /// Runs the frame through the fault plan and schedules the surviving
+    /// deliveries. The sender's `TxInfo` is untouched — a dropped frame
+    /// looks exactly like a sent one from the source host's perspective.
+    fn deliver_with_faults(&self, frame: Frame<P>, nic: Rc<Nic<P>>, idx: u64, arrival: SimTime)
+    where
+        P: Clone,
+    {
+        let plan = &self.params.fault;
+        let fate = self.frame_fate(plan, &nic, idx, arrival, frame.wire_bytes);
+        if fate.corrupt {
+            // The frame crosses the wire but fails the destination CRC:
+            // the NIC discards it without enqueuing, so to the protocol it
+            // is indistinguishable from a loss (but separately counted).
+            if let Some(at) = fate.deliver_at {
+                let wire_bytes = frame.wire_bytes;
+                self.sim.schedule_at(at, move |_| {
+                    nic.note_corrupt_discard(wire_bytes);
+                });
+            }
+            return;
+        }
+        if let Some(at) = fate.dup_at {
+            let nic2 = Rc::clone(&nic);
+            let copy = frame.clone();
+            self.sim.schedule_at(at, move |_| nic2.deliver(copy));
+        }
+        if let Some(at) = fate.deliver_at {
+            self.sim.schedule_at(at, move |_| nic.deliver(frame));
+        }
+    }
+
+    /// Decides drop/dup/delay/corrupt/stall for one frame. Draw order is
+    /// fixed (drop, dup, delay, corrupt) and each draw happens only when
+    /// its rate is non-zero, so scenarios stay reproducible per seed.
+    fn frame_fate(
+        &self,
+        plan: &FaultPlan,
+        nic: &Nic<P>,
+        idx: u64,
+        arrival: SimTime,
+        wire_bytes: usize,
+    ) -> Fate {
+        let sent_at = self.sim.now();
+        let in_window = plan
+            .window
+            .map(|(from, until)| sent_at >= from && sent_at < until)
+            .unwrap_or(true);
+        let mut rng = self.fault_rng.borrow_mut();
+        let mut draw = |rate: f64| rate > 0.0 && in_window && rng.gen_bool(rate);
+        let dropped = plan.drop_frames.contains(&idx) || draw(plan.drop_rate);
+        let duplicated = plan.dup_frames.contains(&idx) || draw(plan.dup_rate);
+        let delayed = plan.delay_frames.contains(&idx) || draw(plan.delay_rate);
+        let corrupt = plan.corrupt_frames.contains(&idx) || draw(plan.corrupt_rate);
+        drop(rng);
+        let mut c = nic.counters.borrow_mut();
+        if dropped {
+            c.faults_dropped += 1;
+            return Fate {
+                deliver_at: None,
+                dup_at: None,
+                corrupt: false,
+            };
+        }
+        // The link horizon already advanced to the nominal arrival, so a
+        // delayed frame is overtaken by its successors: true reordering.
+        let mut deliver_at = arrival;
+        if delayed {
+            c.faults_delayed += 1;
+            deliver_at += plan.delay;
+        }
+        let stalled = self.stall_release(plan, nic.node, deliver_at);
+        if let Some(release) = stalled {
+            c.faults_stalled += 1;
+            deliver_at = release;
+        }
+        let dup_at = if duplicated {
+            c.faults_duplicated += 1;
+            // The copy tails the original by one frame time, like a
+            // back-to-back hardware retransmission.
+            let mut at = deliver_at + self.params.wire_time(wire_bytes);
+            if let Some(release) = self.stall_release(plan, nic.node, at) {
+                at = release;
+            }
+            Some(at)
+        } else {
+            None
+        };
+        Fate {
+            deliver_at: Some(deliver_at),
+            dup_at,
+            corrupt,
+        }
+    }
+
+    /// If `t` falls inside a stall window covering `dst`, returns the
+    /// release time (chaining across overlapping windows).
+    fn stall_release(&self, plan: &FaultPlan, dst: NodeId, t: SimTime) -> Option<SimTime> {
+        let mut at = t;
+        let mut hit = false;
+        // Windows may chain (release into a later window); bounded passes.
+        for _ in 0..=plan.stalls.len() {
+            let next = plan
+                .stalls
+                .iter()
+                .filter(|w| w.node.is_none_or(|n| n == dst.0))
+                .find(|w| at >= w.from && at < w.until)
+                .map(|w| w.until);
+            match next {
+                Some(u) if u > at => {
+                    at = u;
+                    hit = true;
+                }
+                _ => break,
+            }
+        }
+        hit.then_some(at)
     }
 }
 
@@ -212,20 +364,20 @@ impl<P: 'static> Nic<P> {
 
     /// Hands a frame to the wire immediately. Returns when the buffer is
     /// reusable and when the frame lands.
-    pub fn tx(&self, dst: NodeId, wire_bytes: usize, payload: P) -> TxInfo {
+    pub fn tx(&self, dst: NodeId, wire_bytes: usize, payload: P) -> TxInfo
+    where
+        P: Clone,
+    {
         self.tx_after(dst, wire_bytes, payload, SimDuration::ZERO)
     }
 
     /// Hands a frame to the wire once `delay` of host work (the PIO/copy
     /// submission the caller is charging to a core) has elapsed; the
     /// egress cannot start before then.
-    pub fn tx_after(
-        &self,
-        dst: NodeId,
-        wire_bytes: usize,
-        payload: P,
-        delay: SimDuration,
-    ) -> TxInfo {
+    pub fn tx_after(&self, dst: NodeId, wire_bytes: usize, payload: P, delay: SimDuration) -> TxInfo
+    where
+        P: Clone,
+    {
         {
             let mut c = self.counters.borrow_mut();
             c.tx_frames += 1;
@@ -235,6 +387,12 @@ impl<P: 'static> Nic<P> {
             .upgrade()
             .expect("fabric dropped")
             .transmit(self.node, dst, wire_bytes, payload, delay)
+    }
+
+    /// A corrupted frame reached this NIC and failed the CRC check: it is
+    /// discarded without entering the receive queue (fabric-internal).
+    fn note_corrupt_discard(&self, _wire_bytes: usize) {
+        self.counters.borrow_mut().faults_corrupted += 1;
     }
 
     /// Delivers an arrived frame into the receive queue (fabric-internal).
@@ -464,6 +622,126 @@ mod tests {
         n0.tx(NodeId(1), 64, 2);
         sim.run();
         assert_eq!(hits.get(), 2);
+    }
+
+    fn faulty(plan: crate::params::FaultPlan) -> (Sim, Rc<Fabric<u32>>) {
+        let sim = Sim::new(3);
+        let topo = Rc::new(Topology::new(2, 1, 1));
+        let mut params = FabricParams::myri10g();
+        params.fault = plan;
+        let fabric = Fabric::new(sim.clone(), topo, params);
+        (sim, fabric)
+    }
+
+    #[test]
+    fn targeted_drop_suppresses_delivery() {
+        let plan = crate::params::FaultPlan {
+            drop_frames: vec![0],
+            ..Default::default()
+        };
+        let (sim, fabric) = faulty(plan);
+        let n0 = fabric.nic(NodeId(0));
+        n0.tx(NodeId(1), 64, 1);
+        n0.tx(NodeId(1), 64, 2);
+        sim.run();
+        let n1 = fabric.nic(NodeId(1));
+        assert_eq!(n1.rx_poll().unwrap().payload, 2);
+        assert!(n1.rx_poll().is_none());
+        assert_eq!(n1.counters().faults_dropped, 1);
+        // The sender saw both frames leave.
+        assert_eq!(n0.counters().tx_frames, 2);
+    }
+
+    #[test]
+    fn targeted_duplicate_delivers_twice() {
+        let plan = crate::params::FaultPlan {
+            dup_frames: vec![0],
+            ..Default::default()
+        };
+        let (sim, fabric) = faulty(plan);
+        fabric.nic(NodeId(0)).tx(NodeId(1), 64, 7);
+        sim.run();
+        let n1 = fabric.nic(NodeId(1));
+        assert_eq!(n1.rx_poll().unwrap().payload, 7);
+        assert_eq!(n1.rx_poll().unwrap().payload, 7);
+        assert_eq!(n1.counters().faults_duplicated, 1);
+        assert_eq!(n1.counters().rx_frames, 2);
+    }
+
+    #[test]
+    fn targeted_delay_reorders_the_link() {
+        let plan = crate::params::FaultPlan {
+            delay_frames: vec![0],
+            delay: SimDuration::from_micros(20),
+            ..Default::default()
+        };
+        let (sim, fabric) = faulty(plan);
+        let n0 = fabric.nic(NodeId(0));
+        n0.tx(NodeId(1), 64, 1);
+        n0.tx(NodeId(1), 64, 2);
+        sim.run();
+        let n1 = fabric.nic(NodeId(1));
+        // The delayed first frame is overtaken by the second.
+        assert_eq!(n1.rx_poll().unwrap().payload, 2);
+        assert_eq!(n1.rx_poll().unwrap().payload, 1);
+        assert_eq!(n1.counters().faults_delayed, 1);
+    }
+
+    #[test]
+    fn corrupt_frames_fail_crc_and_vanish() {
+        let plan = crate::params::FaultPlan {
+            corrupt_frames: vec![0],
+            ..Default::default()
+        };
+        let (sim, fabric) = faulty(plan);
+        fabric.nic(NodeId(0)).tx(NodeId(1), 64, 9);
+        sim.run();
+        let n1 = fabric.nic(NodeId(1));
+        assert!(n1.rx_poll().is_none());
+        assert_eq!(n1.counters().faults_corrupted, 1);
+        assert_eq!(n1.counters().rx_frames, 0);
+    }
+
+    #[test]
+    fn stall_window_holds_frames_until_release() {
+        let plan = crate::params::FaultPlan {
+            stalls: vec![crate::params::StallWindow {
+                node: Some(1),
+                from: SimTime::ZERO,
+                until: SimTime::ZERO + SimDuration::from_micros(50),
+            }],
+            ..Default::default()
+        };
+        let (sim, fabric) = faulty(plan);
+        fabric.nic(NodeId(0)).tx(NodeId(1), 64, 4);
+        sim.run();
+        assert_eq!(sim.now().as_micros(), 50);
+        let n1 = fabric.nic(NodeId(1));
+        assert_eq!(n1.rx_poll().unwrap().payload, 4);
+        assert_eq!(n1.counters().faults_stalled, 1);
+    }
+
+    #[test]
+    fn rate_faults_replay_identically_per_seed() {
+        fn run(seed: u64) -> NicCounters {
+            let plan = crate::params::FaultPlan {
+                seed,
+                drop_rate: 0.3,
+                dup_rate: 0.2,
+                ..Default::default()
+            };
+            let (sim, fabric) = faulty(plan);
+            let n0 = fabric.nic(NodeId(0));
+            for i in 0..50 {
+                n0.tx(NodeId(1), 64, i);
+            }
+            sim.run();
+            fabric.nic(NodeId(1)).counters()
+        }
+        let a = run(17);
+        assert_eq!(a, run(17));
+        assert!(a.faults_dropped > 0 && a.faults_duplicated > 0);
+        assert_ne!(a, run(18));
     }
 
     #[test]

@@ -1,6 +1,90 @@
 //! Interconnect cost model, calibrated to the paper's MYRI-10G testbed.
 
-use pm2_sim::SimDuration;
+use pm2_sim::{SimDuration, SimTime};
+
+/// A rail going dark: frames bound for `node` (or for every node when
+/// `node` is `None`) whose delivery would land inside `[from, until)` are
+/// held in the switch and released at `until`, in their original order.
+#[derive(Debug, Clone)]
+pub struct StallWindow {
+    /// Destination node affected, or `None` for the whole rail.
+    pub node: Option<usize>,
+    /// Start of the dark period.
+    pub from: SimTime,
+    /// End of the dark period (frames are released here).
+    pub until: SimTime,
+}
+
+/// Seeded, deterministic fault-injection plan for one fabric (rail).
+///
+/// Faults come in two flavours that compose freely:
+///
+/// * **rate-based**: each transmitted frame independently draws from the
+///   plan's own [`Xoshiro256`](pm2_sim::rng::Xoshiro256) stream (seeded by
+///   [`FaultPlan::seed`], disjoint from the simulation RNG so enabling
+///   faults never perturbs happy-path timing) and may be dropped,
+///   duplicated, reorder-delayed or corrupted; `window` restricts the
+///   draws to frames *sent* inside the interval;
+/// * **targeted**: `drop_frames` & friends name exact frame indices in the
+///   fabric-global transmission order, which is how the scenario tests hit
+///   "the CTS of this rendezvous" deterministically.
+///
+/// An empty (default) plan is inert: the fabric takes the exact same code
+/// path as before the reliability work, byte-identical timing included.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Seed of the fault stream (independent of the simulation seed).
+    pub seed: u64,
+    /// Probability that a frame is silently dropped on the wire.
+    pub drop_rate: f64,
+    /// Probability that a frame is delivered twice.
+    pub dup_rate: f64,
+    /// Probability that a frame is held back by [`FaultPlan::delay`],
+    /// letting later frames of the same link overtake it (reordering).
+    pub delay_rate: f64,
+    /// Probability that a frame arrives corrupted: the NIC verifies the
+    /// CRC and discards it, so the protocol sees it as a loss.
+    pub corrupt_rate: f64,
+    /// Extra in-flight time for delayed frames.
+    pub delay: SimDuration,
+    /// If set, rate faults only apply to frames sent within the window.
+    pub window: Option<(SimTime, SimTime)>,
+    /// Exact fabric-global frame indices to drop.
+    pub drop_frames: Vec<u64>,
+    /// Exact frame indices to duplicate.
+    pub dup_frames: Vec<u64>,
+    /// Exact frame indices to reorder-delay by [`FaultPlan::delay`].
+    pub delay_frames: Vec<u64>,
+    /// Exact frame indices to corrupt (CRC-discarded at the receiver).
+    pub corrupt_frames: Vec<u64>,
+    /// Dark periods during which a rail buffers instead of delivering.
+    pub stalls: Vec<StallWindow>,
+}
+
+impl FaultPlan {
+    /// Uniform loss plan: every frame dropped with probability `rate`.
+    pub fn loss(seed: u64, rate: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop_rate: rate,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// True if the plan can affect any frame. Inactive plans cost nothing
+    /// and leave fabric timing bit-identical to a build without faults.
+    pub fn is_active(&self) -> bool {
+        self.drop_rate > 0.0
+            || self.dup_rate > 0.0
+            || self.delay_rate > 0.0
+            || self.corrupt_rate > 0.0
+            || !self.drop_frames.is_empty()
+            || !self.dup_frames.is_empty()
+            || !self.delay_frames.is_empty()
+            || !self.corrupt_frames.is_empty()
+            || !self.stalls.is_empty()
+    }
+}
 
 /// All virtual-time and CPU-cost parameters of the simulated fabric.
 ///
@@ -68,6 +152,10 @@ pub struct FabricParams {
     // -- protocol constants -----------------------------------------------------
     /// Wire size of a control frame (RTS/CTS/acks).
     pub ctrl_frame_bytes: usize,
+
+    // -- fault injection ---------------------------------------------------------
+    /// Deterministic fault-injection plan (inert by default).
+    pub fault: FaultPlan,
 }
 
 impl FabricParams {
@@ -94,6 +182,7 @@ impl FabricParams {
             shm_bytes_per_us: 6_000.0,
             shm_base: SimDuration::from_nanos(150),
             ctrl_frame_bytes: 64,
+            fault: FaultPlan::default(),
         }
     }
 

@@ -217,6 +217,12 @@ impl Cluster {
         &self.sessions[node]
     }
 
+    /// Traffic and fault counters of `node`'s NIC on `rail` (the
+    /// fault-scenario tests read injection tallies through this).
+    pub fn nic_counters(&self, node: usize, rail: usize) -> pm2_fabric::NicCounters {
+        self.fabrics[rail].nic(NodeId(node)).counters()
+    }
+
     /// Spawns a thread on `node` running `body`.
     pub fn spawn_on<F, Fut>(&self, node: usize, name: impl Into<String>, body: F) -> ThreadId
     where
@@ -229,6 +235,23 @@ impl Cluster {
     /// Runs the simulation to quiescence; returns the final virtual time.
     pub fn run(&self) -> SimTime {
         self.sim.run()
+    }
+
+    /// Runs to quiescence like [`Cluster::run`], but panics if the run
+    /// has not converged by virtual time `deadline` — the CI-friendly way
+    /// to execute workloads that *should* finish (a wedged protocol fails
+    /// the test with a clear message instead of spinning forever).
+    /// Cancelled timers past the deadline don't count as pending work
+    /// (see [`Sim::run_bounded`]).
+    pub fn run_deadline(&self, deadline: SimTime) -> SimTime {
+        match self.sim.run_bounded(deadline) {
+            Ok(end) => end,
+            Err(_) => panic!(
+                "simulation still busy at the {deadline} deadline: \
+                 protocol wedged (live events pending at t={})",
+                self.sim.now()
+            ),
+        }
     }
 }
 

@@ -3,10 +3,16 @@
 use crate::cluster::{Cluster, ClusterConfig};
 use pm2_newmad::{NmCounters, Tag};
 use pm2_sim::stats::OnlineStats;
-use pm2_sim::SimDuration;
+use pm2_sim::{SimDuration, SimTime};
 use pm2_topo::NodeId;
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
+
+/// CI guard for every workload driver: no benchmark program here should
+/// need anywhere near a minute of virtual time (the 16 MB rendezvous
+/// takes ~15 ms), so a run still busy at this horizon is a wedged
+/// protocol and fails loudly instead of spinning the host CPU forever.
+const WORKLOAD_DEADLINE: SimTime = SimTime::from_secs(60);
 
 /// Parameters of the Figure 4 overlap microbenchmark.
 #[derive(Debug, Clone)]
@@ -102,7 +108,7 @@ pub fn run_overlap(cfg: ClusterConfig, p: &OverlapParams) -> OverlapResult {
             }
         });
     }
-    cluster.run();
+    cluster.run_deadline(WORKLOAD_DEADLINE);
     OverlapResult {
         half_round_us: Rc::try_unwrap(stats).expect("sole owner").into_inner(),
         counters: cluster.session(0).counters(),
@@ -161,7 +167,7 @@ pub fn run_pingpong(cfg: ClusterConfig, msg_len: usize, iters: usize) -> PingPon
             }
         });
     }
-    cluster.run();
+    cluster.run_deadline(WORKLOAD_DEADLINE);
     let driver_progress = cluster.session(0).driver_progress();
     let latency_us = Rc::try_unwrap(stats).expect("sole owner").into_inner();
     let mean = latency_us.mean();
@@ -307,7 +313,7 @@ pub fn run_stencil(cfg: ClusterConfig, p: &StencilParams) -> StencilResult {
             });
         }
     }
-    cluster.run();
+    cluster.run_deadline(WORKLOAD_DEADLINE);
     StencilResult {
         total_us: end_max.get() as f64 / 1_000.0,
         counters: (0..cluster.ranks())

@@ -64,6 +64,20 @@ pub struct SessionConfig {
     /// CPU per failed acquisition. The PIOMAN engine does not use it
     /// (per-event spinlocks are modelled in `PiomanConfig::lock_model`).
     pub seq_lock_spin: SimDuration,
+    /// Ack/retransmit reliability layer: `Some(true)` forces it on,
+    /// `Some(false)` forces it off, `None` (the default) enables it
+    /// exactly when a rail carries an active
+    /// [`FaultPlan`](pm2_fabric::FaultPlan) — so the happy path stays
+    /// byte-identical to a build without the reliability machinery.
+    pub reliability: Option<bool>,
+    /// Base retransmit timeout for an unacknowledged envelope, on top of
+    /// twice the frame's nominal wire time. Retries back off
+    /// exponentially from here (`pm2_sync::exp_factor`).
+    pub retransmit_timeout: SimDuration,
+    /// Retry budget per envelope: after this many unacknowledged
+    /// retransmissions the frame is abandoned and counted in
+    /// [`NmCounters::retries_exhausted`] (the rail is presumed dead).
+    pub max_retries: u32,
 }
 
 impl Default for SessionConfig {
@@ -78,6 +92,9 @@ impl Default for SessionConfig {
             adaptive_min_cost: SimDuration::from_micros(2),
             credit_bytes_per_peer: 16 << 20,
             seq_lock_spin: SimDuration::from_nanos(200),
+            reliability: None,
+            retransmit_timeout: SimDuration::from_micros(100),
+            max_retries: 16,
         }
     }
 }
@@ -115,4 +132,16 @@ pub struct NmCounters {
     pub net_progress: u64,
     /// Productive progress steps executed by the shared-memory driver.
     pub shm_progress: u64,
+    /// Reliability envelopes retransmitted after an ack timeout.
+    pub retransmits: u64,
+    /// Retransmissions whose protected frame was a rendezvous RTS or CTS
+    /// (the handshake re-issue path).
+    pub rts_reissues: u64,
+    /// Acknowledgement frames queued for received envelopes.
+    pub acks_sent: u64,
+    /// Duplicate envelopes (or rendezvous chunks) suppressed before they
+    /// could reach matching — exactly-once delivery to the app.
+    pub dup_suppressed: u64,
+    /// Envelopes abandoned after the retry budget ran out.
+    pub retries_exhausted: u64,
 }

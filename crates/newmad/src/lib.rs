@@ -59,6 +59,7 @@ mod handles;
 mod matching;
 mod msg;
 mod progress;
+mod reliability;
 mod rendezvous;
 mod session;
 mod strategy;
@@ -69,7 +70,7 @@ mod tests;
 pub use config::{EngineKind, NmCounters, OffloadPolicy, SessionConfig};
 pub use handles::{RecvHandle, SendHandle};
 pub use msg::{EagerPart, ShmMsg, Tag, WireMsg, EAGER_HEADER_BYTES, RDV_HEADER_BYTES};
-pub use session::Session;
+pub use session::{Session, SessionDebugState};
 pub use strategy::{
     AggregStrategy, FifoStrategy, Pack, ShortestFirstStrategy, Strategy, Submission,
 };

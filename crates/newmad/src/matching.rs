@@ -6,12 +6,13 @@
 //! protocol logic itself lives in `eager`, `rendezvous` and `progress`.
 
 use crate::config::NmCounters;
+use crate::reliability::RelPending;
 use crate::rendezvous::{RdvRecv, RdvSend};
 use crate::strategy::{Pack, PackKind};
 use pioman::PiomReq;
 use pm2_topo::NodeId;
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::rc::Rc;
 
 use crate::msg::Tag;
@@ -43,6 +44,32 @@ pub(crate) struct UnexpectedRts {
     pub(crate) rdv: u64,
 }
 
+/// Duplicate-suppression window over one peer's envelope sequence stream.
+///
+/// Tracks the seen set as a cumulative prefix (`cum` = next expected seq)
+/// plus the out-of-order stragglers beyond it, so memory stays bounded by
+/// the reorder depth rather than the message count — a 10⁶-message soak
+/// keeps this at a handful of entries.
+#[derive(Debug, Default)]
+pub(crate) struct SeqWindow {
+    cum: u64,
+    beyond: BTreeSet<u64>,
+}
+
+impl SeqWindow {
+    /// Records `seq` as seen; returns `true` if it was fresh (first
+    /// sighting), `false` for a duplicate.
+    pub(crate) fn insert(&mut self, seq: u64) -> bool {
+        if seq < self.cum || !self.beyond.insert(seq) {
+            return false;
+        }
+        while self.beyond.remove(&self.cum) {
+            self.cum += 1;
+        }
+        true
+    }
+}
+
 /// All mutable session state behind the `RefCell`.
 pub(crate) struct NmState {
     /// Waiting packs bound for the network rails (Figure 3's send list,
@@ -66,6 +93,13 @@ pub(crate) struct NmState {
     /// Receiver side: freed pool bytes not yet returned, per source.
     pub(crate) credit_owed: HashMap<NodeId, usize>,
     pub(crate) next_rdv: u64,
+    /// Reliability: next envelope sequence per destination.
+    pub(crate) rel_next_tx: HashMap<NodeId, u64>,
+    /// Reliability: unacked envelopes awaiting retransmit, keyed by
+    /// (destination, envelope seq).
+    pub(crate) rel_pending: HashMap<(NodeId, u64), RelPending>,
+    /// Reliability: per-source duplicate-suppression windows.
+    pub(crate) rel_rx: HashMap<NodeId, SeqWindow>,
     pub(crate) rail_rr: usize,
     pub(crate) poll_rotor: usize,
     /// Productive progress steps per driver shard (rails…, then shm).
@@ -89,6 +123,9 @@ impl NmState {
             credits: HashMap::new(),
             credit_owed: HashMap::new(),
             next_rdv: 1,
+            rel_next_tx: HashMap::new(),
+            rel_pending: HashMap::new(),
+            rel_rx: HashMap::new(),
             rail_rr: 0,
             poll_rotor: 0,
             driver_work: vec![0; n_rails + 1],

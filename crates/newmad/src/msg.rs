@@ -6,6 +6,8 @@ use std::fmt;
 pub const EAGER_HEADER_BYTES: usize = 32;
 /// Framing overhead for rendezvous data frames.
 pub const RDV_HEADER_BYTES: usize = 48;
+/// Extra wire bytes of the reliability envelope (sequence number).
+pub const REL_HEADER_BYTES: usize = 8;
 
 /// Application-level message tag used for matching.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -71,6 +73,23 @@ pub enum WireMsg {
         /// Chunk payload.
         data: Vec<u8>,
     },
+    /// Reliability envelope: wraps any other frame with a per-(sender,
+    /// destination) sequence number when the lossy-fabric mode is active.
+    /// The receiver acks every envelope and suppresses duplicates; the
+    /// sender retransmits unacked envelopes with exponential backoff.
+    Rel {
+        /// Envelope sequence number in the (sender → destination) flow.
+        rel: u64,
+        /// The protected frame.
+        inner: Box<WireMsg>,
+    },
+    /// Acknowledgement of a reliability envelope (never itself wrapped:
+    /// a lost ack is recovered by the sender's retransmit, which the
+    /// receiver re-acks).
+    Ack {
+        /// The acknowledged envelope sequence number.
+        rel: u64,
+    },
 }
 
 impl WireMsg {
@@ -84,6 +103,8 @@ impl WireMsg {
                 .sum::<usize>(),
             WireMsg::Rts { .. } | WireMsg::Cts { .. } | WireMsg::Credit { .. } => 64,
             WireMsg::RdvData { data, .. } => RDV_HEADER_BYTES + data.len(),
+            WireMsg::Rel { inner, .. } => REL_HEADER_BYTES + inner.wire_bytes(),
+            WireMsg::Ack { .. } => 64,
         }
     }
 
@@ -94,6 +115,8 @@ impl WireMsg {
             WireMsg::Packed(parts) => parts.iter().map(|p| p.data.len()).sum(),
             WireMsg::Rts { .. } | WireMsg::Cts { .. } | WireMsg::Credit { .. } => 0,
             WireMsg::RdvData { data, .. } => data.len(),
+            WireMsg::Rel { inner, .. } => inner.app_bytes(),
+            WireMsg::Ack { .. } => 0,
         }
     }
 }
@@ -147,5 +170,21 @@ mod tests {
         assert_eq!(rts.wire_bytes(), 64);
         assert_eq!(rts.app_bytes(), 0);
         assert_eq!(WireMsg::Cts { rdv: 1 }.wire_bytes(), 64);
+    }
+
+    #[test]
+    fn reliability_envelope_adds_fixed_header() {
+        let m = WireMsg::Rel {
+            rel: 3,
+            inner: Box::new(WireMsg::Eager(EagerPart {
+                tag: Tag(1),
+                seq: 0,
+                data: vec![0; 100],
+            })),
+        };
+        assert_eq!(m.wire_bytes(), REL_HEADER_BYTES + EAGER_HEADER_BYTES + 100);
+        assert_eq!(m.app_bytes(), 100);
+        assert_eq!(WireMsg::Ack { rel: 3 }.wire_bytes(), 64);
+        assert_eq!(WireMsg::Ack { rel: 3 }.app_bytes(), 0);
     }
 }

@@ -87,6 +87,8 @@ impl Session {
             armed: !st.posted.is_empty()
                 || !st.rdv_sends.is_empty()
                 || !st.rdv_recvs.is_empty()
+                // Unacked reliability envelopes wait for their acks.
+                || !st.rel_pending.is_empty()
                 // Unsolicited traffic (unexpected messages, incoming RTS)
                 // must be drained even with nothing posted.
                 || self.inner.rails[idx].rx_pending(),
@@ -114,6 +116,7 @@ impl Session {
             armed: !st.posted.is_empty()
                 || !st.rdv_sends.is_empty()
                 || !st.rdv_recvs.is_empty()
+                || !st.rel_pending.is_empty()
                 || self.inner.rails.iter().any(|r| r.rx_pending())
                 || self.inner.shm.pending(),
             oldest_submission: match (
@@ -320,13 +323,7 @@ impl Session {
             0
         };
         let rail = &self.inner.rails[rail_idx];
-        let cost = match &sub.msg {
-            WireMsg::Eager(_) | WireMsg::Packed(_) => rail.submit_cost(sub.msg.app_bytes()),
-            WireMsg::Rts { .. } | WireMsg::Cts { .. } | WireMsg::Credit { .. } => {
-                rail.submit_cost(64)
-            }
-            WireMsg::RdvData { .. } => rail.params().dma_setup,
-        };
+        let cost = submit_cost_for(rail, &sub.msg);
         {
             let mut st = self.inner.state.borrow_mut();
             match &sub.msg {
@@ -341,10 +338,24 @@ impl Session {
                 _ => {}
             }
         }
-        let wire_bytes = sub.msg.wire_bytes();
+        // Lossy-fabric mode: wrap the frame in a reliability envelope
+        // (retransmitted frames are already wrapped; acks never are).
+        let (msg, rel) = if self.inner.reliability
+            && !matches!(sub.msg, WireMsg::Rel { .. } | WireMsg::Ack { .. })
+        {
+            let (msg, rel) = self.wrap_rel(sub.dest, sub.msg);
+            (msg, Some(rel))
+        } else {
+            (sub.msg, None)
+        };
+        let wire_bytes = msg.wire_bytes();
+        let retained = rel.map(|_| msg.clone());
         // The frame reaches the NIC only after the submission work
         // (PIO/copy/descriptor post) completes on the submitting core.
-        let info = rail.tx_after(sub.dest, wire_bytes, sub.msg, cost);
+        let info = rail.tx_after(sub.dest, wire_bytes, msg, cost);
+        if let (Some(rel), Some(retained)) = (rel, retained) {
+            self.track_rel(sub.dest, rel, retained, info.arrival);
+        }
         // Eager sends complete when the NIC has consumed the buffer.
         for req in sub.reqs {
             let sim2 = sim.clone();
@@ -380,6 +391,24 @@ impl Session {
                 chunks,
                 data,
             } => self.handle_rdv_data(src, rdv, chunk, chunks, data),
+            WireMsg::Rel { rel, inner } => self.handle_rel(src, rel, *inner),
+            WireMsg::Ack { rel } => self.handle_ack(src, rel),
         }
+    }
+}
+
+/// Host CPU cost of submitting `msg`: PIO/copy for eager payloads, a
+/// fixed control-frame submission for the handshake traffic, a DMA
+/// descriptor post for zero-copy chunks. The reliability envelope adds
+/// nothing — it is part of the frame header.
+fn submit_cost_for(rail: &pm2_fabric::Nic<WireMsg>, msg: &WireMsg) -> SimDuration {
+    match msg {
+        WireMsg::Eager(_) | WireMsg::Packed(_) => rail.submit_cost(msg.app_bytes()),
+        WireMsg::Rts { .. }
+        | WireMsg::Cts { .. }
+        | WireMsg::Credit { .. }
+        | WireMsg::Ack { .. } => rail.submit_cost(64),
+        WireMsg::RdvData { .. } => rail.params().dma_setup,
+        WireMsg::Rel { inner, .. } => submit_cost_for(rail, inner),
     }
 }

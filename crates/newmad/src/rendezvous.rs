@@ -43,6 +43,17 @@ impl Session {
         rdv: u64,
     ) -> SimDuration {
         let mut st = self.inner.state.borrow_mut();
+        // A duplicate RTS (late-delivered copy of a handshake we already
+        // answered or parked) must not spawn a second transfer.
+        if st.rdv_recvs.contains_key(&(src, rdv))
+            || st
+                .unexpected_rts
+                .iter()
+                .any(|u| u.src == src && u.rdv == rdv)
+        {
+            st.counters.dup_suppressed += 1;
+            return SimDuration::ZERO;
+        }
         match st.match_posted(src, tag) {
             Some(i) => {
                 let posted = st.posted.remove(i).expect("index in bounds");
@@ -80,10 +91,19 @@ impl Session {
     pub(crate) fn handle_cts(&self, rdv: u64) -> SimDuration {
         let mut st = self.inner.state.borrow_mut();
         let Some(send) = st.rdv_sends.get_mut(&rdv) else {
-            debug_assert!(false, "CTS for unknown rendezvous {rdv}");
+            // Unknown rendezvous: a stale CTS (e.g. for an envelope we
+            // abandoned after the retry budget). Ignore it gracefully —
+            // under a lossy fabric this is survivable, not a bug.
+            drop(st);
+            self.trace(|| format!("stale CTS for rendezvous {rdv} ignored"));
             return SimDuration::ZERO;
         };
-        debug_assert!(!send.cts_received, "duplicate CTS");
+        if send.cts_received {
+            // Duplicate CTS that slipped past the envelope window: the
+            // transfer is already in flight, do not restart it.
+            st.counters.dup_suppressed += 1;
+            return SimDuration::ZERO;
+        }
         send.cts_received = true;
         let data = send.data.take().expect("rendezvous payload present");
         let dest = send.dest;
@@ -107,19 +127,27 @@ impl Session {
         for (i, chunk) in chunks.into_iter().enumerate() {
             let rail = &self.inner.rails[i % self.inner.rails.len()];
             cost += rail.params().dma_setup;
-            let wire = crate::msg::RDV_HEADER_BYTES + chunk.len();
+            let msg = WireMsg::RdvData {
+                rdv,
+                chunk: i as u32,
+                chunks: total,
+                data: chunk,
+            };
+            // Under the reliability layer each chunk travels in its own
+            // envelope; the retained clone backs its retransmit timer.
+            let (msg, rel) = if self.inner.reliability {
+                let (msg, rel) = self.wrap_rel(dest, msg);
+                (msg, Some(rel))
+            } else {
+                (msg, None)
+            };
+            let wire = msg.wire_bytes();
+            let retained = rel.map(|_| msg.clone());
             // Each descriptor post takes CPU time before the DMA starts.
-            let info = rail.tx_after(
-                dest,
-                wire,
-                WireMsg::RdvData {
-                    rdv,
-                    chunk: i as u32,
-                    chunks: total,
-                    data: chunk,
-                },
-                cost,
-            );
+            let info = rail.tx_after(dest, wire, msg, cost);
+            if let (Some(rel), Some(retained)) = (rel, retained) {
+                self.track_rel(dest, rel, retained, info.arrival);
+            }
             last_egress = last_egress.max(info.egress_end);
         }
         // The send completes when the NIC finishes reading the buffer.
@@ -142,13 +170,21 @@ impl Session {
     ) -> SimDuration {
         let mut st = self.inner.state.borrow_mut();
         let Some(recv) = st.rdv_recvs.get_mut(&(src, rdv)) else {
-            debug_assert!(false, "RdvData for unknown rendezvous {rdv}");
+            // Data for a rendezvous we no longer track: a late retransmit
+            // that raced the completing original. Safe to drop — the
+            // payload was already assembled and delivered.
+            drop(st);
+            self.trace(|| format!("stale RdvData for rendezvous {rdv} ignored"));
             return SimDuration::ZERO;
         };
         if recv.chunks.is_empty() {
             recv.chunks.resize(chunks as usize, None);
         }
-        debug_assert!(recv.chunks[chunk as usize].is_none(), "duplicate chunk");
+        if recv.chunks[chunk as usize].is_some() {
+            // Duplicate chunk delivery (retransmit raced the ack).
+            st.counters.dup_suppressed += 1;
+            return SimDuration::ZERO;
+        }
         recv.chunks[chunk as usize] = Some(data);
         recv.received += 1;
         if recv.received == chunks {

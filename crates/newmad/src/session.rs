@@ -33,6 +33,9 @@ pub(crate) struct SessionInner {
     pub(crate) pioman: Option<Pioman>,
     pub(crate) registry: MemoryRegistry,
     pub(crate) cfg: SessionConfig,
+    /// Whether the ack/retransmit reliability layer is active (resolved
+    /// from [`SessionConfig::reliability`] and the rails' fault plans).
+    pub(crate) reliability: bool,
     /// Virtual time until which the sequential engine's library-wide
     /// mutex is held.
     pub(crate) seq_lock_until: std::cell::Cell<pm2_sim::SimTime>,
@@ -43,6 +46,36 @@ pub(crate) struct SessionInner {
 #[derive(Clone)]
 pub struct Session {
     pub(crate) inner: Rc<SessionInner>,
+}
+
+/// Snapshot of a session's internal queue depths, for leak checks in
+/// fault-injection tests: after a quiesced run everything here should be
+/// zero (no parked request, no unacked envelope, no queued pack).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionDebugState {
+    /// Posted receives still waiting for a match.
+    pub posted: usize,
+    /// Unexpected eager messages parked in the library pool.
+    pub unexpected: usize,
+    /// Rendezvous announcements (RTS) with no posted receive.
+    pub unexpected_rts: usize,
+    /// Sender-side rendezvous still waiting for a CTS.
+    pub rdv_sends: usize,
+    /// Receiver-side rendezvous still assembling chunks.
+    pub rdv_recvs: usize,
+    /// Unacked reliability envelopes awaiting retransmit.
+    pub rel_pending: usize,
+    /// Packs queued for the network rails.
+    pub net_packs: usize,
+    /// Packs queued for the shared-memory channel.
+    pub shm_packs: usize,
+}
+
+impl SessionDebugState {
+    /// `true` when no request, envelope or pack is outstanding.
+    pub fn is_clean(&self) -> bool {
+        *self == SessionDebugState::default()
+    }
 }
 
 impl Session {
@@ -73,6 +106,11 @@ impl Session {
         }
         let params = rails[0].params().clone();
         let n_rails = rails.len();
+        // Reliability defaults to "on iff some rail can actually lose
+        // frames", so fault-free runs keep the original wire format.
+        let reliability = cfg
+            .reliability
+            .unwrap_or_else(|| rails.iter().any(|r| r.params().fault.is_active()));
         let inner = Rc::new(SessionInner {
             sim: marcel.sim().clone(),
             marcel: marcel.clone(),
@@ -83,6 +121,7 @@ impl Session {
             pioman: pioman.clone(),
             registry: MemoryRegistry::new(params),
             cfg,
+            reliability,
             seq_lock_until: std::cell::Cell::new(pm2_sim::SimTime::ZERO),
             state: RefCell::new(NmState::new(n_rails)),
         });
@@ -129,6 +168,27 @@ impl Session {
     /// Counter snapshot.
     pub fn counters(&self) -> NmCounters {
         self.inner.state.borrow().counters
+    }
+
+    /// Whether the ack/retransmit reliability layer is active.
+    pub fn reliability_enabled(&self) -> bool {
+        self.inner.reliability
+    }
+
+    /// Queue-depth snapshot for post-run leak checks (see
+    /// [`SessionDebugState`]).
+    pub fn debug_state(&self) -> SessionDebugState {
+        let st = self.inner.state.borrow();
+        SessionDebugState {
+            posted: st.posted.len(),
+            unexpected: st.unexpected.len(),
+            unexpected_rts: st.unexpected_rts.len(),
+            rdv_sends: st.rdv_sends.len(),
+            rdv_recvs: st.rdv_recvs.len(),
+            rel_pending: st.rel_pending.len(),
+            net_packs: st.net_packs.len(),
+            shm_packs: st.shm_packs.len(),
+        }
     }
 
     /// The registration cache (rendezvous ablations inspect its stats).

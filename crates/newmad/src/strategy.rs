@@ -56,6 +56,13 @@ pub enum PackKind {
         /// Unexpected-pool bytes freed at the receiver.
         bytes: usize,
     },
+    /// A pre-built wire frame re-queued by the reliability layer
+    /// (retransmissions and acks). Strategies pass it through verbatim:
+    /// it was already scheduled once and must not be re-aggregated.
+    Wire {
+        /// The frame to transmit as-is.
+        msg: WireMsg,
+    },
 }
 
 /// A unit of work produced by a strategy: one frame for one destination.
@@ -97,6 +104,11 @@ fn single(pack: Pack) -> Submission {
         PackKind::Credit { bytes } => Submission {
             dest: pack.dest,
             msg: WireMsg::Credit { bytes },
+            reqs: Vec::new(),
+        },
+        PackKind::Wire { msg } => Submission {
+            dest: pack.dest,
+            msg,
             reqs: Vec::new(),
         },
     }

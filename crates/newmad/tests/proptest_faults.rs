@@ -1,0 +1,179 @@
+//! Randomized reliability tests: random fault plans crossed with random
+//! message mixes still deliver every message exactly once, byte-identical,
+//! with no request leaked. Cases come from the kernel's seeded RNG, so
+//! every run replays identically — a failing case is reproduced by its
+//! printed case number alone.
+//!
+//! Fault windows close before a late fault-free flush exchange. That is
+//! deliberate: the sequential engine can only submit retransmissions from
+//! inside the library, so the flush is what guarantees convergence (see
+//! tests/faults.rs for the engine caveat); rate faults stay free to hit
+//! the whole main phase, including retransmitted frames.
+
+use pioman::{Pioman, PiomanConfig};
+use pm2_fabric::{Fabric, FabricParams, FaultPlan, ShmChannel};
+use pm2_marcel::{Marcel, MarcelConfig, Priority};
+use pm2_newmad::{EngineKind, FifoStrategy, Session, SessionConfig, ShmMsg, Tag, WireMsg};
+use pm2_sim::rng::Xoshiro256;
+use pm2_sim::{Sim, SimDuration, SimTime};
+use pm2_topo::{NodeId, Topology};
+use std::cell::Cell;
+use std::rc::Rc;
+
+struct World {
+    sim: Sim,
+    marcels: Vec<Marcel>,
+    sessions: Vec<Session>,
+    #[allow(dead_code)]
+    fabrics: Vec<Rc<Fabric<WireMsg>>>,
+}
+
+fn build_world(engine: EngineKind, fault: FaultPlan) -> World {
+    let sim = Sim::new(42);
+    let topo = Rc::new(Topology::new(2, 1, 8));
+    let mut params = FabricParams::myri10g();
+    params.fault = fault;
+    let fabrics = vec![Fabric::new(sim.clone(), Rc::clone(&topo), params.clone())];
+    let mut marcels = Vec::new();
+    let mut sessions = Vec::new();
+    for n in 0..2 {
+        let marcel = Marcel::new(
+            sim.clone(),
+            Rc::clone(&topo),
+            NodeId(n),
+            MarcelConfig::default(),
+        );
+        let pioman = match engine {
+            EngineKind::Pioman => Some(Pioman::new(&marcel, PiomanConfig::default())),
+            EngineKind::Sequential => None,
+        };
+        let rails = fabrics.iter().map(|f| f.nic(NodeId(n))).collect();
+        let shm: Rc<ShmChannel<ShmMsg>> =
+            ShmChannel::new(sim.clone(), NodeId(n), FabricParams::myri10g());
+        let session = Session::new(
+            &marcel,
+            rails,
+            shm,
+            Rc::new(FifoStrategy),
+            pioman,
+            SessionConfig {
+                engine,
+                ..SessionConfig::default()
+            },
+        );
+        marcels.push(marcel);
+        sessions.push(session);
+    }
+    World {
+        sim,
+        marcels,
+        sessions,
+        fabrics,
+    }
+}
+
+/// Rate faults confined to the main phase; the flush exchange afterwards
+/// is fault-free.
+const WINDOW_END_US: u64 = 1_500;
+const FLUSH_PAUSE_US: u64 = 3_000;
+
+fn gen_plan(rng: &mut Xoshiro256) -> FaultPlan {
+    FaultPlan {
+        seed: rng.gen_below(u32::MAX as u64),
+        drop_rate: (10 + rng.gen_below(90)) as f64 / 1000.0, // 1%..10%
+        dup_rate: rng.gen_below(80) as f64 / 1000.0,         // 0..8%
+        delay_rate: rng.gen_below(80) as f64 / 1000.0,
+        corrupt_rate: rng.gen_below(40) as f64 / 1000.0, // 0..4%
+        delay: SimDuration::from_micros(5 + rng.gen_below(45)),
+        window: Some((SimTime::ZERO, SimTime::from_micros(WINDOW_END_US))),
+        ..FaultPlan::default()
+    }
+}
+
+/// Sizes spanning the PIO, eager and rendezvous regimes.
+fn gen_lens(rng: &mut Xoshiro256) -> Vec<usize> {
+    let n = 1 + rng.gen_below(7) as usize;
+    (0..n)
+        .map(|_| match rng.gen_below(3) {
+            0 => rng.gen_range(16, 128),
+            1 => rng.gen_range(128, 32 << 10),
+            _ => rng.gen_range(32 << 10, 128 << 10),
+        } as usize)
+        .collect()
+}
+
+fn payload(i: usize, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|j| (i as u8).wrapping_mul(53) ^ (j as u8))
+        .collect()
+}
+
+fn run_case(case: usize, engine: EngineKind, plan: FaultPlan, lens: Vec<usize>) {
+    let world = build_world(engine, plan);
+    let delivered = Rc::new(Cell::new(0usize));
+    {
+        let s = world.sessions[0].clone();
+        let lens = lens.clone();
+        world.marcels[0].spawn("tx", Priority::Normal, None, move |ctx| async move {
+            for (i, len) in lens.iter().enumerate() {
+                s.send(&ctx, NodeId(1), Tag(i as u64), payload(i, *len))
+                    .await;
+            }
+            ctx.compute(SimDuration::from_micros(FLUSH_PAUSE_US)).await;
+            s.send(&ctx, NodeId(1), Tag(9000), payload(90, 64)).await;
+            let pong = s.recv(&ctx, Some(NodeId(1)), Tag(9001)).await;
+            assert_eq!(pong, payload(91, 64));
+        });
+    }
+    {
+        let s = world.sessions[1].clone();
+        let lens = lens.clone();
+        let delivered = Rc::clone(&delivered);
+        world.marcels[1].spawn("rx", Priority::Normal, None, move |ctx| async move {
+            for (i, len) in lens.iter().enumerate() {
+                let data = s.recv(&ctx, Some(NodeId(0)), Tag(i as u64)).await;
+                assert_eq!(data, payload(i, *len), "case {case}: message {i} bytes");
+                delivered.set(delivered.get() + 1);
+            }
+            let ping = s.recv(&ctx, Some(NodeId(0)), Tag(9000)).await;
+            assert_eq!(ping, payload(90, 64));
+            s.send(&ctx, NodeId(0), Tag(9001), payload(91, 64)).await;
+        });
+    }
+    let end = world
+        .sim
+        .run_bounded(SimTime::from_secs(60))
+        .unwrap_or_else(|d| panic!("case {case} ({engine:?}): wedged at the {d} deadline"));
+    assert_eq!(
+        delivered.get(),
+        lens.len(),
+        "case {case} ({engine:?}): lost messages (end {end})"
+    );
+    for node in 0..2 {
+        let st = world.sessions[node].debug_state();
+        if engine == EngineKind::Pioman {
+            assert!(
+                st.is_clean(),
+                "case {case}: node {node} leaked state: {st:?}"
+            );
+        } else {
+            assert_eq!(
+                (st.posted, st.unexpected, st.rdv_sends, st.rdv_recvs),
+                (0, 0, 0, 0),
+                "case {case}: node {node} leaked a request: {st:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_fault_plans_preserve_exactly_once_delivery() {
+    let mut rng = Xoshiro256::new(0xfa417);
+    for case in 0..16 {
+        let plan = gen_plan(&mut rng);
+        let lens = gen_lens(&mut rng);
+        for engine in [EngineKind::Pioman, EngineKind::Sequential] {
+            run_case(case, engine, plan.clone(), lens.clone());
+        }
+    }
+}

@@ -269,6 +269,46 @@ impl Sim {
         self.run_until(self.now() + d)
     }
 
+    /// Runs to quiescence like [`Sim::run`], but treats `deadline` as a
+    /// wedge detector: `Ok(end)` if the event heap drained with the clock
+    /// at `end ≤ deadline`, `Err(deadline)` if live events remained
+    /// beyond it (a protocol that stopped converging — e.g. a retransmit
+    /// loop that never wins). Unlike [`Sim::run_until`] the clock is
+    /// *not* clamped to the deadline on success, so timing assertions
+    /// keep seeing the real quiescence time; on `Err` the remaining
+    /// events are untouched and a subsequent `run` would resume them.
+    ///
+    /// Cancelled stragglers past the deadline (e.g. already-acked
+    /// retransmit timers) don't count as pending, so a clean protocol
+    /// with long-dated dead timers still reports `Ok`.
+    pub fn run_bounded(&self, deadline: SimTime) -> Result<SimTime, SimTime> {
+        loop {
+            self.drain_microtasks();
+            let entry = {
+                let mut events = self.inner.events.borrow_mut();
+                // Dead (cancelled) entries must not masquerade as pending
+                // work nor advance the clock: drop them eagerly.
+                while events.peek().is_some_and(|e| e.cancelled.get()) {
+                    events.pop();
+                }
+                match events.peek() {
+                    Some(e) if e.at <= deadline => events.pop(),
+                    Some(_) => return Err(deadline),
+                    None => return Ok(self.now()),
+                }
+            };
+            let Some(entry) = entry else {
+                return Ok(self.now());
+            };
+            debug_assert!(entry.at >= self.now(), "time went backwards");
+            self.inner.clock.set(entry.at);
+            self.inner
+                .executed_events
+                .set(self.inner.executed_events.get() + 1);
+            (entry.action)(self);
+        }
+    }
+
     // ----- futures ------------------------------------------------------
 
     /// A future that completes `d` of virtual time from now.
@@ -403,6 +443,46 @@ mod tests {
         assert_eq!(sim.now().as_micros(), 10);
         sim.run();
         assert_eq!(hit.get(), 2);
+    }
+
+    #[test]
+    fn run_bounded_reports_quiescence_time() {
+        let sim = Sim::new(0);
+        sim.schedule_in(SimDuration::from_micros(5), |_| {});
+        let end = sim
+            .run_bounded(SimTime::from_micros(100))
+            .expect("quiesces");
+        // The clock stops at the last event, not at the deadline.
+        assert_eq!(end.as_micros(), 5);
+        assert_eq!(sim.now().as_micros(), 5);
+    }
+
+    #[test]
+    fn run_bounded_detects_wedged_event_chains() {
+        // A self-perpetuating timer chain (like a retransmit loop whose
+        // ack never comes) must trip the deadline instead of hanging.
+        fn rearm(sim: &Sim) {
+            sim.schedule_in(SimDuration::from_micros(10), rearm);
+        }
+        let sim = Sim::new(0);
+        rearm(&sim);
+        let err = sim.run_bounded(SimTime::from_micros(100));
+        assert_eq!(err, Err(SimTime::from_micros(100)));
+        // The pending chain survives: a later run resumes it.
+        assert!(sim.now().as_micros() <= 100);
+    }
+
+    #[test]
+    fn run_bounded_ignores_cancelled_stragglers() {
+        let sim = Sim::new(0);
+        sim.schedule_in(SimDuration::from_micros(5), |_| {});
+        // A long-dated timer that gets cancelled (an acked retransmit)
+        // must not read as a wedge, nor advance the clock.
+        let h = sim.schedule_in(SimDuration::from_secs(30), |_| {});
+        h.cancel();
+        let end = sim.run_bounded(SimTime::from_micros(100)).expect("clean");
+        assert_eq!(end.as_micros(), 5);
+        assert_eq!(sim.now().as_micros(), 5);
     }
 
     #[test]

@@ -27,6 +27,16 @@ impl SimTime {
         SimTime(us * 1_000)
     }
 
+    /// Builds an instant from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Builds an instant from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
     /// Raw nanoseconds since the epoch.
     pub const fn as_nanos(self) -> u64 {
         self.0

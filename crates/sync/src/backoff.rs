@@ -7,6 +7,17 @@ const SPIN_LIMIT: u32 = 6;
 /// Maximum exponent; beyond this the backoff saturates.
 const YIELD_LIMIT: u32 = 10;
 
+/// Bounded exponential growth factor: `2^min(attempt, cap)`.
+///
+/// The schedule shared by every backoff in the engine — [`Backoff`] uses
+/// it (with [`SPIN_LIMIT`]) to pace contended spin loops, and the
+/// reliability layer's retransmit timers use it to space retries of an
+/// unacknowledged frame.
+#[inline]
+pub fn exp_factor(attempt: u32, cap: u32) -> u64 {
+    1u64 << attempt.min(cap).min(63)
+}
+
 /// Exponential backoff helper for contended spin loops.
 ///
 /// Repeatedly failing to acquire a contended atomic wastes inter-core

@@ -43,7 +43,7 @@ mod tasklet;
 mod ticket;
 mod waitgroup;
 
-pub use backoff::Backoff;
+pub use backoff::{exp_factor, Backoff};
 pub use cache_padded::CachePadded;
 pub use event::EventCount;
 pub use mcs::{McsGuard, McsLock, McsNode};

@@ -6,10 +6,15 @@ use pm2_fabric::FabricParams;
 use pm2_mpi::{Cluster, ClusterConfig, Comm, StrategyKind};
 use pm2_newmad::{EngineKind, Tag};
 use pm2_sim::rng::Xoshiro256;
-use pm2_sim::SimDuration;
+use pm2_sim::{SimDuration, SimTime};
 use pm2_topo::NodeId;
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
+
+/// Wedge guard: the heaviest scenario here (the 16 MB rendezvous) ends
+/// around 15 ms of virtual time, so a run still busy at one virtual
+/// minute has stopped converging and should fail instead of hanging CI.
+const STRESS_DEADLINE: SimTime = SimTime::from_secs(60);
 
 /// 6 nodes × 4 threads each, random rings of mixed-size messages under
 /// jitter: everything arrives intact, under both engines.
@@ -61,7 +66,7 @@ fn six_node_random_traffic_with_jitter() {
                 }
             }
         }
-        cluster.run();
+        cluster.run_deadline(STRESS_DEADLINE);
         assert_eq!(delivered.get(), expected, "engine {engine:?}");
     }
 }
@@ -117,7 +122,7 @@ fn wildcard_receivers_consume_each_message_once() {
             }
         });
     }
-    cluster.run();
+    cluster.run_deadline(STRESS_DEADLINE);
     assert!(
         tally.borrow().iter().all(|&c| c == 1),
         "some message lost or duplicated: {:?}",
@@ -161,7 +166,7 @@ fn collectives_at_scale() {
             }
         });
     }
-    cluster.run();
+    cluster.run_deadline(STRESS_DEADLINE);
     assert_eq!(checks.get(), 24);
 }
 
@@ -197,7 +202,7 @@ fn aggregation_under_sustained_load() {
             }
         });
     }
-    cluster.run();
+    cluster.run_deadline(STRESS_DEADLINE);
     assert_eq!(oks.get(), (STREAMS * PER) as u32);
     assert_eq!(cluster.session(1).counters().ooo_deliveries, 0);
 }
@@ -227,7 +232,7 @@ fn sixteen_megabyte_rendezvous() {
             done.set(ctx.marcel().sim().now().as_micros());
         });
     }
-    cluster.run();
+    cluster.run_deadline(STRESS_DEADLINE);
     // 16 MB at 1.25 GB/s ≈ 13.4 ms; allow protocol slack.
     let t = done.get();
     assert!(t > 13_000 && t < 15_000, "16MB transfer took {t}µs");
