@@ -21,6 +21,19 @@ for seed in 1 7 42; do
   PM2_FAULT_SEED=$seed cargo test -q --release -p pm2-bench --test faults
 done
 
+echo "== collective differential matrix (seeds 1 7 42)"
+for seed in 1 7 42; do
+  PM2_FAULT_SEED=$seed cargo test -q --release -p pm2-bench --test coll
+done
+
+echo "== collective sweep smoke (BENCH_coll.json schema)"
+PM2_COLL_SMOKE=1 ./target/release/coll_sweep > /tmp/coll_smoke.json
+for key in allreduce_flat allreduce_auto allreduce_ring allreduce_rd \
+           bcast_flat bcast_tree bcast_auto; do
+  grep -q "\"$key\":" /tmp/coll_smoke.json \
+    || { echo "BENCH_coll smoke output misses series \"$key\""; exit 1; }
+done
+
 echo "== zero-fault baseline guard (byte-identical figures)"
 for b in fig5 fig6 table1 bandwidth; do
   ./target/release/$b | diff -u "tests/baselines/$b.txt" - \

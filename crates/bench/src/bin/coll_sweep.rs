@@ -1,0 +1,69 @@
+//! Collective sweep: allreduce and bcast across payload sizes, rank
+//! counts and algorithms. Emits `BENCH_coll.json` to stdout.
+//!
+//! ```sh
+//! cargo run --release -p pm2-bench --bin coll_sweep > BENCH_coll.json
+//! PM2_COLL_SMOKE=1 cargo run --release -p pm2-bench --bin coll_sweep   # CI
+//! ```
+
+use pm2_bench::collbench::{run_coll, CollOp, CollPoint};
+use pm2_coll::AlgoKind;
+
+fn main() {
+    let smoke = std::env::var("PM2_COLL_SMOKE").is_ok();
+    let (sizes, ranks, iters, warmup): (Vec<usize>, Vec<usize>, usize, usize) = if smoke {
+        (vec![1 << 10, 64 << 10], vec![2, 4], 2, 1)
+    } else {
+        (
+            vec![256, 4 << 10, 32 << 10, 256 << 10, 1 << 20],
+            vec![2, 4, 8],
+            4,
+            1,
+        )
+    };
+
+    let series: Vec<(&str, CollOp, Option<AlgoKind>)> = vec![
+        ("allreduce_flat", CollOp::Allreduce, Some(AlgoKind::Flat)),
+        ("allreduce_auto", CollOp::Allreduce, None),
+        ("allreduce_ring", CollOp::Allreduce, Some(AlgoKind::Ring)),
+        ("allreduce_rd", CollOp::Allreduce, Some(AlgoKind::RecDouble)),
+        ("bcast_flat", CollOp::Bcast, Some(AlgoKind::Flat)),
+        ("bcast_tree", CollOp::Bcast, Some(AlgoKind::Tree)),
+        ("bcast_auto", CollOp::Bcast, None),
+    ];
+
+    let mut out = String::from("{\n  \"schema\": \"pm2-coll-sweep/v1\",\n");
+    out.push_str(&format!("  \"sizes\": {},\n", json_usize(&sizes)));
+    out.push_str(&format!("  \"ranks\": {},\n", json_usize(&ranks)));
+    out.push_str("  \"series\": {\n");
+    for (si, (name, op, algo)) in series.iter().enumerate() {
+        eprintln!("sweeping {name}...");
+        let mut points = Vec::new();
+        for &p in &ranks {
+            for &bytes in &sizes {
+                points.push(run_coll(*op, *algo, p, bytes, iters, warmup));
+            }
+        }
+        out.push_str(&format!("    \"{name}\": [\n"));
+        for (pi, pt) in points.iter().enumerate() {
+            out.push_str(&point_json(pt));
+            out.push_str(if pi + 1 < points.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("    ]");
+        out.push_str(if si + 1 < series.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  }\n}\n");
+    print!("{out}");
+}
+
+fn json_usize(v: &[usize]) -> String {
+    let items: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn point_json(p: &CollPoint) -> String {
+    format!(
+        "      {{\"ranks\": {}, \"bytes\": {}, \"us_per_op\": {:.3}, \"mbps\": {:.3}, \"steps\": {:.2}, \"chunks\": {:.2}}}",
+        p.ranks, p.bytes, p.us_per_op, p.mbps, p.steps, p.chunks
+    )
+}

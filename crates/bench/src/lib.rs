@@ -19,6 +19,8 @@
 
 #![warn(missing_docs)]
 
+pub mod collbench;
+
 use pm2_sim::SimDuration;
 use std::time::Instant;
 

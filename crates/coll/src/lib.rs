@@ -1,0 +1,36 @@
+//! PM2-COLL: a collective-communication engine over NewMadeleine/PIOMAN.
+//!
+//! The paper's thesis is that communication should progress on idle cores
+//! instead of waiting for the application to re-enter the library; nowhere
+//! does that matter more than in collectives, whose point-to-point steps
+//! form long dependency chains. This crate plans each collective as a
+//! **DAG of point-to-point steps** ([`Plan`]) and drives it through the
+//! existing Session/PIOMAN progression, so every step advances from
+//! idle-core tasklets, timer ticks, and blocking waits — not only from
+//! the calling thread.
+//!
+//! * [`plan`] — the step-DAG representation and the buffer/chunk math;
+//! * [`algo`] — the [`Algorithm`] trait and the shipped planners:
+//!   [`FlatAlgo`] (the O(P)-at-root reference), [`TreeAlgo`] (binomial
+//!   bcast/reduce/gather), [`RingAlgo`] (ring allreduce with chunked
+//!   pipelining over the rendezvous path), [`RecDoubleAlgo`]
+//!   (recursive-doubling allreduce, dissemination barrier);
+//! * [`tuning`] — the size×ranks auto-selector ([`CollTuning`]);
+//! * [`tags`] — the checked [`TagAllocator`] namespacing per-collective
+//!   generations inside the reserved tag space;
+//! * [`engine`] — the [`CollEngine`] executor, blocking ([`CollEngine::coll`])
+//!   and nonblocking ([`CollEngine::icoll`] returning a [`CollHandle`]).
+
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod engine;
+pub mod plan;
+pub mod tags;
+pub mod tuning;
+
+pub use algo::{AlgoKind, Algorithm, FlatAlgo, RecDoubleAlgo, RingAlgo, TreeAlgo};
+pub use engine::{CollCounters, CollEngine, CollHandle};
+pub use plan::{CollKind, CollSpec, Plan, ReduceOp, Step, StepOp};
+pub use tags::{TagAllocator, RESERVED_TAG_BASE};
+pub use tuning::CollTuning;

@@ -1,0 +1,139 @@
+//! Checked tag-space management for collectives.
+//!
+//! Collectives need wire tags that can never collide with application
+//! traffic or with each other. Instead of ad-hoc `BASE + (k << n)`
+//! constants, every collective allocates a [`TagSpace`] from the rank's
+//! [`TagAllocator`]: the reserved bit, a per-kind namespace, a
+//! per-collective generation window and a 32-bit flow field are packed
+//! into one `u64` tag. Because every rank issues collectives in the same
+//! order (the usual MPI contract), the generation counters agree across
+//! ranks without any exchange.
+//!
+//! Layout (most significant first):
+//!
+//! ```text
+//! bit 60        : reserved-space marker (RESERVED_TAG_BASE)
+//! bits 56..60   : collective kind (barrier, bcast, …)
+//! bits 32..56   : generation (mod 2^24)
+//! bits  0..32   : flow — a planner-assigned id both endpoints derive
+//!                 from the step's (phase, round, segment, chunk)
+//! ```
+
+use pm2_newmad::Tag;
+use std::cell::Cell;
+
+/// Reserved tag space for collectives; application tags must stay below.
+pub const RESERVED_TAG_BASE: u64 = 1 << 60;
+
+const KIND_SHIFT: u32 = 56;
+const GEN_SHIFT: u32 = 32;
+const GEN_WINDOW: u64 = 1 << 24;
+/// Width of the flow field of a collective tag.
+pub const FLOW_BITS: u32 = 32;
+
+/// Number of distinct collective kinds (see [`crate::plan::CollKind::id`]).
+pub const KINDS: usize = 6;
+
+/// Panics if `tag` intrudes into the reserved collective space.
+///
+/// The panic message contains the word "reserved" — the application-facing
+/// guard tests key on it.
+pub fn assert_app_tag(tag: Tag) {
+    assert!(
+        tag.0 < RESERVED_TAG_BASE,
+        "tag {tag} is reserved for collectives"
+    );
+}
+
+/// Per-rank allocator of collective tag spaces.
+///
+/// One per communicator; kept behind an `Rc` so clones of the same rank's
+/// communicator share the generation counters.
+#[derive(Debug, Default)]
+pub struct TagAllocator {
+    gens: [Cell<u64>; KINDS],
+}
+
+impl TagAllocator {
+    /// A fresh allocator (all generations at zero).
+    pub fn new() -> TagAllocator {
+        TagAllocator::default()
+    }
+
+    /// Allocates the next generation of kind `kind_id`'s namespace.
+    ///
+    /// Every rank must call this in the same order (which follows from
+    /// the MPI collective-ordering contract).
+    pub fn alloc(&self, kind_id: u64) -> TagSpace {
+        let kind = kind_id as usize;
+        assert!(kind < KINDS, "unknown collective kind {kind_id}");
+        let gen = self.gens[kind].get();
+        self.gens[kind].set(gen + 1);
+        TagSpace {
+            base: RESERVED_TAG_BASE | (kind_id << KIND_SHIFT) | ((gen % GEN_WINDOW) << GEN_SHIFT),
+        }
+    }
+
+    /// Generations handed out so far for `kind_id`.
+    pub fn generation(&self, kind_id: u64) -> u64 {
+        self.gens[kind_id as usize].get()
+    }
+}
+
+/// One collective's slice of the reserved tag space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagSpace {
+    base: u64,
+}
+
+impl TagSpace {
+    /// The wire tag of flow `flow` within this collective.
+    ///
+    /// # Panics
+    /// Panics if `flow` overflows the 32-bit flow field.
+    pub fn tag(&self, flow: u64) -> Tag {
+        assert!(flow < 1 << FLOW_BITS, "flow {flow} overflows the tag field");
+        Tag(self.base | flow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generations_do_not_collide() {
+        let a = TagAllocator::new();
+        let s0 = a.alloc(2);
+        let s1 = a.alloc(2);
+        assert_ne!(s0.tag(5), s1.tag(5));
+        assert_eq!(a.generation(2), 2);
+    }
+
+    #[test]
+    fn kinds_do_not_collide() {
+        let a = TagAllocator::new();
+        assert_ne!(a.alloc(0).tag(7), a.alloc(1).tag(7));
+    }
+
+    #[test]
+    fn all_tags_are_reserved_space() {
+        let a = TagAllocator::new();
+        for kind in 0..KINDS as u64 {
+            let t = a.alloc(kind).tag((1 << FLOW_BITS) - 1);
+            assert!(t.0 >= RESERVED_TAG_BASE);
+        }
+    }
+
+    #[test]
+    fn app_tags_below_base_pass() {
+        assert_app_tag(Tag(RESERVED_TAG_BASE - 1));
+        assert_app_tag(Tag(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn reserved_app_tag_panics() {
+        assert_app_tag(Tag(RESERVED_TAG_BASE));
+    }
+}

@@ -1,6 +1,7 @@
 //! Building the whole simulated stack from one configuration.
 
 use pioman::{Pioman, PiomanConfig};
+use pm2_coll::CollTuning;
 use pm2_fabric::{Fabric, FabricParams, ShmChannel};
 use pm2_marcel::{Marcel, MarcelConfig, Priority, ThreadCtx, ThreadId};
 use pm2_newmad::{
@@ -65,6 +66,8 @@ pub struct ClusterConfig {
     pub offload_policy: OffloadPolicy,
     /// Per-peer unexpected-pool credits (flow control).
     pub credit_bytes_per_peer: usize,
+    /// Collective-engine tuning (algorithm selection thresholds).
+    pub coll: CollTuning,
 }
 
 impl ClusterConfig {
@@ -86,6 +89,7 @@ impl ClusterConfig {
             rdv_threshold: 32 << 10,
             offload_policy: OffloadPolicy::Always,
             credit_bytes_per_peer: 16 << 20,
+            coll: CollTuning::default(),
         }
     }
 }
@@ -125,6 +129,7 @@ pub struct Cluster {
     marcels: Vec<Marcel>,
     piomans: Vec<Option<Pioman>>,
     sessions: Vec<Session>,
+    coll: CollTuning,
 }
 
 impl Cluster {
@@ -179,7 +184,13 @@ impl Cluster {
             marcels,
             piomans,
             sessions,
+            coll: cfg.coll,
         }
+    }
+
+    /// Collective-engine tuning this cluster was built with.
+    pub fn coll_tuning(&self) -> &CollTuning {
+        &self.coll
     }
 
     /// The simulation handle.

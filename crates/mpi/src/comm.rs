@@ -1,32 +1,40 @@
 //! Rank-oriented communication: the mini-MPI facade.
+//!
+//! Point-to-point calls go straight to the session; collectives delegate
+//! to the [`pm2_coll`] engine, which plans each one as a DAG of
+//! point-to-point steps (binomial tree, ring, recursive doubling or the
+//! flat reference shape — auto-selected by payload size and rank count,
+//! see [`CollTuning`](pm2_coll::CollTuning)) and drives it through
+//! PIOMAN progression. Every blocking collective has a nonblocking `i*`
+//! twin returning a handle, so communication overlaps application
+//! compute.
 
 use crate::cluster::Cluster;
+use pm2_coll::{AlgoKind, CollCounters, CollEngine, CollHandle, CollKind, ReduceOp};
 use pm2_marcel::ThreadCtx;
 use pm2_newmad::{RecvHandle, SendHandle, Session, Tag};
 use pm2_topo::NodeId;
-use std::cell::Cell;
-use std::rc::Rc;
 
-/// Reserved tag space for collectives; application tags must stay below.
-pub const RESERVED_TAG_BASE: u64 = 1 << 60;
-const BARRIER_TAG: u64 = RESERVED_TAG_BASE;
-const REDUCE_TAG: u64 = RESERVED_TAG_BASE + (1 << 58);
-const BCAST_TAG: u64 = RESERVED_TAG_BASE + (2 << 58);
-const GATHER_TAG: u64 = RESERVED_TAG_BASE + (3 << 58);
-const ALLTOALL_TAG: u64 = RESERVED_TAG_BASE + (1 << 57);
+pub use pm2_coll::RESERVED_TAG_BASE;
 
 /// A per-rank communicator (one MPI process per node).
 ///
 /// Clone one `Comm` per rank from [`Comm::world`]; collectives must be
 /// called by exactly one thread per rank, in the same order on every rank
-/// (the usual MPI contract).
+/// (the usual MPI contract — the collective tag generations rely on it).
+///
+/// Reduction-style collectives additionally require the payload length to
+/// be identical on every rank (the auto-selector and the ring
+/// segmentation key on it). [`Comm::gather`] tolerates ragged lengths,
+/// but then contributions must stay in the same selection size class —
+/// or force one algorithm via
+/// [`CollTuning::force`](pm2_coll::CollTuning::force).
 #[derive(Clone)]
 pub struct Comm {
     rank: usize,
     ranks: usize,
     session: Session,
-    /// Collective generation counter (disambiguates successive barriers).
-    generation: Rc<Cell<u64>>,
+    engine: CollEngine,
 }
 
 impl Comm {
@@ -37,7 +45,12 @@ impl Comm {
                 rank,
                 ranks: cluster.ranks(),
                 session: cluster.session(rank).clone(),
-                generation: Rc::new(Cell::new(0)),
+                engine: CollEngine::new(
+                    cluster.session(rank).clone(),
+                    rank,
+                    cluster.ranks(),
+                    cluster.coll_tuning().clone(),
+                ),
             })
             .collect()
     }
@@ -57,18 +70,29 @@ impl Comm {
         &self.session
     }
 
+    /// The collective engine (algorithm selection, counters).
+    pub fn coll_engine(&self) -> &CollEngine {
+        &self.engine
+    }
+
+    /// Snapshot of this rank's collective counters (steps, chunks, bytes,
+    /// overlap time).
+    pub fn coll_counters(&self) -> CollCounters {
+        self.engine.counters()
+    }
+
     /// Non-blocking send to `dest` rank.
     ///
     /// # Panics
     /// Panics if `tag` intrudes into the reserved collective space.
     pub async fn isend(&self, ctx: &ThreadCtx, dest: usize, tag: Tag, data: Vec<u8>) -> SendHandle {
-        assert!(tag.0 < RESERVED_TAG_BASE, "tag {tag} is reserved");
+        pm2_coll::tags::assert_app_tag(tag);
         self.session.isend(ctx, NodeId(dest), tag, data).await
     }
 
     /// Non-blocking receive from `src` rank (`None`: any source).
     pub async fn irecv(&self, ctx: &ThreadCtx, src: Option<usize>, tag: Tag) -> RecvHandle {
-        assert!(tag.0 < RESERVED_TAG_BASE, "tag {tag} is reserved");
+        pm2_coll::tags::assert_app_tag(tag);
         self.session.irecv(ctx, src.map(NodeId), tag).await
     }
 
@@ -88,66 +112,120 @@ impl Comm {
         self.session.swait_recv(h, ctx).await
     }
 
-    fn next_generation(&self) -> u64 {
-        let g = self.generation.get();
-        self.generation.set(g + 1);
-        g
-    }
+    // ------------------------------------------------------ collectives --
 
-    /// Flat barrier: gather-to-0 then release.
+    /// Barrier (auto-selected algorithm; dissemination by default).
     pub async fn barrier(&self, ctx: &ThreadCtx) {
-        let gen = self.next_generation();
-        let tag = Tag(BARRIER_TAG + gen % (1 << 20));
-        if self.rank == 0 {
-            for _ in 1..self.ranks {
-                let h = self.session.irecv(ctx, None, tag).await;
-                self.session.swait_recv(&h, ctx).await;
-            }
-            for r in 1..self.ranks {
-                let h = self.session.isend(ctx, NodeId(r), tag, vec![0]).await;
-                self.session.swait_send(&h, ctx).await;
-            }
-        } else {
-            let h = self.session.isend(ctx, NodeId(0), tag, vec![0]).await;
-            self.session.swait_send(&h, ctx).await;
-            let h = self.session.irecv(ctx, Some(NodeId(0)), tag).await;
-            self.session.swait_recv(&h, ctx).await;
-        }
+        self.barrier_with(ctx, None).await;
     }
 
-    /// Broadcast from `root`: the root's `data` reaches every rank.
-    ///
-    /// Binomial-tree distribution (log₂ rounds).
-    pub async fn bcast(&self, ctx: &ThreadCtx, root: usize, mut data: Vec<u8>) -> Vec<u8> {
-        let gen = self.next_generation();
-        let tag = Tag(BCAST_TAG + gen % (1 << 20));
-        // Re-number ranks so the root is virtual rank 0.
-        let vrank = (self.rank + self.ranks - root) % self.ranks;
-        let mut mask = 1usize;
-        // Receive phase: wait for our parent in the binomial tree.
-        while mask < self.ranks {
-            if vrank & mask != 0 {
-                let parent = (vrank - mask + root) % self.ranks;
-                let h = self.session.irecv(ctx, Some(NodeId(parent)), tag).await;
-                data = self.session.swait_recv(&h, ctx).await;
-                break;
-            }
-            mask <<= 1;
-        }
-        // Send phase: fan out to our children.
-        mask >>= 1;
-        while mask > 0 {
-            if vrank + mask < self.ranks {
-                let child = (vrank + mask + root) % self.ranks;
-                let h = self
-                    .session
-                    .isend(ctx, NodeId(child), tag, data.clone())
-                    .await;
-                self.session.swait_send(&h, ctx).await;
-            }
-            mask >>= 1;
-        }
-        data
+    /// Barrier through a forced algorithm (`None`: auto-select).
+    pub async fn barrier_with(&self, ctx: &ThreadCtx, algo: Option<AlgoKind>) {
+        self.engine
+            .coll(ctx, CollKind::Barrier, 0, Vec::new(), algo)
+            .await;
+    }
+
+    /// Nonblocking barrier.
+    pub fn ibarrier(&self, ctx: &ThreadCtx) -> IBarrier {
+        IBarrier(
+            self.engine
+                .icoll(ctx, CollKind::Barrier, 0, Vec::new(), None),
+        )
+    }
+
+    /// Broadcast from `root`: the root's `data` reaches every rank
+    /// (binomial tree by default; non-roots may pass an empty buffer).
+    pub async fn bcast(&self, ctx: &ThreadCtx, root: usize, data: Vec<u8>) -> Vec<u8> {
+        self.bcast_with(ctx, root, data, None).await
+    }
+
+    /// Broadcast through a forced algorithm (`None`: auto-select).
+    pub async fn bcast_with(
+        &self,
+        ctx: &ThreadCtx,
+        root: usize,
+        data: Vec<u8>,
+        algo: Option<AlgoKind>,
+    ) -> Vec<u8> {
+        let len = data.len();
+        let mut bufs = self
+            .engine
+            .coll(ctx, CollKind::Bcast { root }, len, vec![data], algo)
+            .await;
+        bufs.swap_remove(0)
+    }
+
+    /// Nonblocking broadcast from `root`.
+    pub fn ibcast(&self, ctx: &ThreadCtx, root: usize, data: Vec<u8>) -> IBcast {
+        let len = data.len();
+        IBcast(
+            self.engine
+                .icoll(ctx, CollKind::Bcast { root }, len, vec![data], None),
+        )
+    }
+
+    /// Reduce to `root` under `op`: returns `Some(result)` on the root,
+    /// `None` elsewhere. `data` must be the same length on every rank.
+    pub async fn reduce(
+        &self,
+        ctx: &ThreadCtx,
+        root: usize,
+        data: Vec<u8>,
+        op: ReduceOp,
+    ) -> Option<Vec<u8>> {
+        let len = data.len();
+        let mut bufs = self
+            .engine
+            .coll(ctx, CollKind::Reduce { root, op }, len, vec![data], None)
+            .await;
+        (self.rank == root).then(|| bufs.swap_remove(0))
+    }
+
+    /// Allreduce under `op`: every rank ends with the element-wise
+    /// reduction of all contributions. `data` must be the same length on
+    /// every rank. Small payloads go through recursive doubling, large
+    /// ones through the chunk-pipelined ring.
+    pub async fn allreduce(&self, ctx: &ThreadCtx, data: Vec<u8>, op: ReduceOp) -> Vec<u8> {
+        self.allreduce_with(ctx, data, op, None).await
+    }
+
+    /// Allreduce through a forced algorithm (`None`: auto-select).
+    pub async fn allreduce_with(
+        &self,
+        ctx: &ThreadCtx,
+        data: Vec<u8>,
+        op: ReduceOp,
+        algo: Option<AlgoKind>,
+    ) -> Vec<u8> {
+        let len = data.len();
+        let mut bufs = self
+            .engine
+            .coll(ctx, CollKind::Allreduce { op }, len, vec![data], algo)
+            .await;
+        bufs.swap_remove(0)
+    }
+
+    /// Nonblocking allreduce under `op`.
+    pub fn iallreduce(&self, ctx: &ThreadCtx, data: Vec<u8>, op: ReduceOp) -> IAllreduce {
+        let len = data.len();
+        IAllreduce(
+            self.engine
+                .icoll(ctx, CollKind::Allreduce { op }, len, vec![data], None),
+        )
+    }
+
+    /// Sum-allreduce of a u64.
+    pub async fn allreduce_sum(&self, ctx: &ThreadCtx, value: u64) -> u64 {
+        let out = self
+            .allreduce(ctx, value.to_le_bytes().to_vec(), ReduceOp::SumU64)
+            .await;
+        u64::from_le_bytes(out.try_into().expect("8-byte payload"))
+    }
+
+    /// Nonblocking sum-allreduce of a u64.
+    pub fn iallreduce_sum(&self, ctx: &ThreadCtx, value: u64) -> IAllreduceSum {
+        IAllreduceSum(self.iallreduce(ctx, value.to_le_bytes().to_vec(), ReduceOp::SumU64))
     }
 
     /// Gather to `root`: returns `Some(vec-of-per-rank-buffers)` on the
@@ -158,25 +236,25 @@ impl Comm {
         root: usize,
         data: Vec<u8>,
     ) -> Option<Vec<Vec<u8>>> {
-        let gen = self.next_generation();
-        if self.rank == root {
-            let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.ranks];
-            out[root] = data;
-            for (r, slot) in out.iter_mut().enumerate() {
-                if r == root {
-                    continue;
-                }
-                let tag = Tag(GATHER_TAG + (gen % (1 << 16)) * 64 + r as u64);
-                let h = self.session.irecv(ctx, Some(NodeId(r)), tag).await;
-                *slot = self.session.swait_recv(&h, ctx).await;
-            }
-            Some(out)
-        } else {
-            let tag = Tag(GATHER_TAG + (gen % (1 << 16)) * 64 + self.rank as u64);
-            let h = self.session.isend(ctx, NodeId(root), tag, data).await;
-            self.session.swait_send(&h, ctx).await;
-            None
-        }
+        self.gather_with(ctx, root, data, None).await
+    }
+
+    /// Gather through a forced algorithm (`None`: auto-select).
+    pub async fn gather_with(
+        &self,
+        ctx: &ThreadCtx,
+        root: usize,
+        data: Vec<u8>,
+        algo: Option<AlgoKind>,
+    ) -> Option<Vec<Vec<u8>>> {
+        let len = data.len();
+        let mut bufs = vec![Vec::new(); self.ranks];
+        bufs[self.rank] = data;
+        let out = self
+            .engine
+            .coll(ctx, CollKind::Gather { root }, len, bufs, algo)
+            .await;
+        (self.rank == root).then_some(out)
     }
 
     /// All-to-all personalized exchange: `data[r]` goes to rank `r`;
@@ -187,75 +265,77 @@ impl Comm {
     /// Panics if `data.len() != self.size()`.
     pub async fn alltoall(&self, ctx: &ThreadCtx, mut data: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
         assert_eq!(data.len(), self.ranks, "alltoall needs one buffer per rank");
-        let gen = self.next_generation();
-        let tag_for = |from: usize, to: usize| {
-            Tag(ALLTOALL_TAG + ((gen % (1 << 12)) * 4096 + (from * 64 + to) as u64))
-        };
-        let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.ranks];
-        out[self.rank] = std::mem::take(&mut data[self.rank]);
-        // Post all receives first, then all sends, then drain.
-        let mut recvs = Vec::new();
-        for r in 0..self.ranks {
-            if r == self.rank {
-                continue;
-            }
-            recvs.push((
-                r,
-                self.session
-                    .irecv(ctx, Some(NodeId(r)), tag_for(r, self.rank))
-                    .await,
-            ));
-        }
-        let mut sends = Vec::new();
-        for (r, buf) in data.into_iter().enumerate() {
-            if r == self.rank {
-                continue;
-            }
-            sends.push(
-                self.session
-                    .isend(ctx, NodeId(r), tag_for(self.rank, r), buf)
-                    .await,
-            );
-        }
-        for h in &sends {
-            self.session.swait_send(h, ctx).await;
-        }
-        for (r, h) in recvs {
-            out[r] = self.session.swait_recv(&h, ctx).await;
-        }
+        let len = data.iter().map(Vec::len).max().unwrap_or(0);
+        let own = std::mem::take(&mut data[self.rank]);
+        data.extend(std::iter::repeat_with(Vec::new).take(self.ranks));
+        let mut bufs = self
+            .engine
+            .coll(ctx, CollKind::Alltoall, len, data, None)
+            .await;
+        let mut out = bufs.split_off(self.ranks);
+        out[self.rank] = own;
         out
     }
+}
 
-    /// Sum-allreduce of a u64 (gather to rank 0, broadcast the total).
-    pub async fn allreduce_sum(&self, ctx: &ThreadCtx, value: u64) -> u64 {
-        let gen = self.next_generation();
-        let tag = Tag(REDUCE_TAG + gen % (1 << 20));
-        let btag = Tag(BCAST_TAG + gen % (1 << 20));
-        if self.rank == 0 {
-            let mut total = value;
-            for _ in 1..self.ranks {
-                let h = self.session.irecv(ctx, None, tag).await;
-                let v = self.session.swait_recv(&h, ctx).await;
-                total += u64::from_le_bytes(v.try_into().expect("8-byte payload"));
-            }
-            for r in 1..self.ranks {
-                let h = self
-                    .session
-                    .isend(ctx, NodeId(r), btag, total.to_le_bytes().to_vec())
-                    .await;
-                self.session.swait_send(&h, ctx).await;
-            }
-            total
-        } else {
-            let h = self
-                .session
-                .isend(ctx, NodeId(0), tag, value.to_le_bytes().to_vec())
-                .await;
-            self.session.swait_send(&h, ctx).await;
-            let h = self.session.irecv(ctx, Some(NodeId(0)), btag).await;
-            let v = self.session.swait_recv(&h, ctx).await;
-            u64::from_le_bytes(v.try_into().expect("8-byte payload"))
-        }
+/// Handle of a nonblocking [`Comm::ibarrier`].
+pub struct IBarrier(CollHandle);
+
+impl IBarrier {
+    /// True once every rank has entered the barrier.
+    pub fn is_complete(&self) -> bool {
+        self.0.is_complete()
+    }
+
+    /// Waits for the barrier to complete.
+    pub async fn wait(&self, ctx: &ThreadCtx) {
+        self.0.wait(ctx).await;
+    }
+}
+
+/// Handle of a nonblocking [`Comm::ibcast`].
+pub struct IBcast(CollHandle);
+
+impl IBcast {
+    /// True once the broadcast payload has arrived.
+    pub fn is_complete(&self) -> bool {
+        self.0.is_complete()
+    }
+
+    /// Waits and returns the broadcast payload.
+    pub async fn wait(&self, ctx: &ThreadCtx) -> Vec<u8> {
+        self.0.wait(ctx).await.swap_remove(0)
+    }
+}
+
+/// Handle of a nonblocking [`Comm::iallreduce`].
+pub struct IAllreduce(CollHandle);
+
+impl IAllreduce {
+    /// True once the reduced buffer is ready.
+    pub fn is_complete(&self) -> bool {
+        self.0.is_complete()
+    }
+
+    /// Waits and returns the reduced buffer.
+    pub async fn wait(&self, ctx: &ThreadCtx) -> Vec<u8> {
+        self.0.wait(ctx).await.swap_remove(0)
+    }
+}
+
+/// Handle of a nonblocking [`Comm::iallreduce_sum`].
+pub struct IAllreduceSum(IAllreduce);
+
+impl IAllreduceSum {
+    /// True once the sum is ready.
+    pub fn is_complete(&self) -> bool {
+        self.0.is_complete()
+    }
+
+    /// Waits and returns the sum.
+    pub async fn wait(&self, ctx: &ThreadCtx) -> u64 {
+        let out = self.0.wait(ctx).await;
+        u64::from_le_bytes(out.try_into().expect("8-byte payload"))
     }
 }
 
@@ -263,7 +343,8 @@ impl Comm {
 mod tests {
     use super::*;
     use crate::cluster::ClusterConfig;
-    use std::cell::RefCell;
+    use std::cell::{Cell, RefCell};
+    use std::rc::Rc;
 
     #[test]
     fn barrier_synchronizes_ranks() {
@@ -420,6 +501,76 @@ mod tests {
             let expected: Vec<u8> = (0..3).map(|from| (from * 10 + me) as u8).collect();
             assert_eq!(got.borrow()[me], expected, "rank {me}");
         }
+    }
+
+    #[test]
+    fn reduce_delivers_only_at_root() {
+        let cluster = Cluster::build(ClusterConfig {
+            nodes: 4,
+            ..ClusterConfig::default()
+        });
+        let comms = Comm::world(&cluster);
+        let result = Rc::new(RefCell::new(None));
+        for (rank, comm) in comms.into_iter().enumerate() {
+            let result = Rc::clone(&result);
+            cluster.spawn_on(rank, format!("r{rank}"), move |ctx| async move {
+                let mine = (comm.rank() as u64 + 1).to_le_bytes().to_vec();
+                let out = comm.reduce(&ctx, 2, mine, ReduceOp::SumU64).await;
+                if comm.rank() == 2 {
+                    *result.borrow_mut() = out;
+                } else {
+                    assert!(out.is_none());
+                }
+            });
+        }
+        cluster.run();
+        let r = result.borrow();
+        let total = u64::from_le_bytes(r.as_ref().expect("root").clone().try_into().unwrap());
+        assert_eq!(total, 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn nonblocking_allreduce_overlaps_compute() {
+        let cluster = Cluster::build(ClusterConfig {
+            nodes: 2,
+            ..ClusterConfig::default()
+        });
+        let comms = Comm::world(&cluster);
+        let results = Rc::new(RefCell::new(Vec::new()));
+        for (rank, comm) in comms.into_iter().enumerate() {
+            let results = Rc::clone(&results);
+            cluster.spawn_on(rank, format!("r{rank}"), move |ctx| async move {
+                let h = comm.iallreduce_sum(&ctx, comm.rank() as u64 + 1);
+                // Compute while the collective progresses in background.
+                ctx.compute(pm2_sim::SimDuration::from_micros(200)).await;
+                let total = h.wait(&ctx).await;
+                results.borrow_mut().push(total);
+            });
+        }
+        cluster.run();
+        assert_eq!(*results.borrow(), vec![3, 3]);
+        // The post-to-wait window must have been accounted as overlap.
+    }
+
+    #[test]
+    fn coll_counters_accumulate() {
+        let cluster = Cluster::build(ClusterConfig {
+            nodes: 4,
+            ..ClusterConfig::default()
+        });
+        let comms = Comm::world(&cluster);
+        let comm0 = comms[0].clone();
+        for (rank, comm) in comms.into_iter().enumerate() {
+            cluster.spawn_on(rank, format!("r{rank}"), move |ctx| async move {
+                comm.barrier(&ctx).await;
+                comm.allreduce_sum(&ctx, 1).await;
+            });
+        }
+        cluster.run();
+        let c = comm0.coll_counters();
+        assert_eq!(c.collectives, 2);
+        assert!(c.sends > 0 && c.recvs > 0 && c.steps == c.sends + c.recvs);
+        assert!(c.bytes_sent > 0);
     }
 
     #[test]

@@ -22,4 +22,4 @@ mod comm;
 pub mod workloads;
 
 pub use cluster::{Cluster, ClusterConfig, StrategyKind};
-pub use comm::Comm;
+pub use comm::{Comm, IAllreduce, IAllreduceSum, IBarrier, IBcast, RESERVED_TAG_BASE};
