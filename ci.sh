@@ -35,9 +35,25 @@ for key in allreduce_flat allreduce_auto allreduce_ring allreduce_rd \
 done
 
 echo "== zero-fault baseline guard (byte-identical figures)"
+# Doubles as the obs-disabled guard: pm2-obs is off by default, so any
+# observability cost leaking into the disabled path shows up here as a
+# baseline deviation.
 for b in fig5 fig6 table1 bandwidth; do
   ./target/release/$b | diff -u "tests/baselines/$b.txt" - \
     || { echo "$b deviates from tests/baselines/$b.txt"; exit 1; }
+done
+
+echo "== obs timeline dump (pm2-obs-dump/v1 schema)"
+# The dump carries virtual timestamps, so it is schema-checked (like
+# BENCH_coll.json) rather than diffed against a golden file; obs_dump
+# itself exits nonzero if any reconstructed timeline is out of causal
+# order.
+./target/release/obs_dump > /tmp/obs_dump.json
+for key in pm2-obs-dump/v1 pm2-obs-timeline/v1 pm2-obs-metrics/v1 \
+           reqs rdvs rts_tx cts_rx dma_chunks submit_site latency_ns \
+           faults_dropped groups; do
+  grep -q "\"$key\"" /tmp/obs_dump.json \
+    || { echo "obs_dump output misses key \"$key\""; exit 1; }
 done
 
 # Long soak (~10^6 messages at 1% loss, both engines); run locally with

@@ -23,6 +23,7 @@ use crate::tuning::CollTuning;
 use pioman::PiomReq;
 use pm2_marcel::{Priority, ThreadCtx};
 use pm2_newmad::{RecvHandle, SendHandle, Session};
+use pm2_sim::obs::EventKind;
 use pm2_sim::SimTime;
 use pm2_topo::NodeId;
 use std::cell::RefCell;
@@ -231,6 +232,18 @@ impl CollEngine {
                 issued[i] = true;
                 let step = &plan.steps[i];
                 let tag = space.tag(step.flow);
+                let sim = ctx.marcel().sim();
+                sim.obs().emit(
+                    sim.now(),
+                    Some(ctx.marcel().node().0),
+                    EventKind::CollStep {
+                        rank: self.inner.rank,
+                        step: i,
+                        flow: step.flow,
+                        peer: step.peer,
+                        send: matches!(step.op, StepOp::Send(_)),
+                    },
+                );
                 match &step.op {
                     StepOp::Send(src) => {
                         let bytes = materialize(bufs, src);

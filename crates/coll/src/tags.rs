@@ -136,4 +136,33 @@ mod tests {
     fn reserved_app_tag_panics() {
         assert_app_tag(Tag(RESERVED_TAG_BASE));
     }
+
+    #[test]
+    #[should_panic(expected = "is reserved for collectives")]
+    fn reserved_panic_message_names_collectives() {
+        // The guard's message is load-bearing: application-facing tests key
+        // on it, so pin the exact wording for tags above the base too.
+        assert_app_tag(Tag(RESERVED_TAG_BASE + 12345));
+    }
+
+    #[test]
+    fn generation_wraps_at_window_but_counter_keeps_counting() {
+        let a = TagAllocator::new();
+        let first = a.alloc(3);
+        // Drive the generation field through its full 2^24 window; the
+        // packed tag wraps back to the first generation's bits while the
+        // monotonic counter keeps going.
+        for _ in 0..GEN_WINDOW - 1 {
+            a.alloc(3);
+        }
+        let wrapped = a.alloc(3);
+        assert_eq!(wrapped.tag(0), first.tag(0));
+        assert_eq!(a.generation(3), GEN_WINDOW + 1);
+        // One step past the wrap is again distinct from the first space.
+        assert_ne!(a.alloc(3).tag(0), first.tag(0));
+        // Wrapped tags still live in the reserved space with intact kind
+        // bits.
+        assert!(wrapped.tag(0).0 >= RESERVED_TAG_BASE);
+        assert_eq!((wrapped.tag(0).0 >> KIND_SHIFT) & 0xF, 3);
+    }
 }

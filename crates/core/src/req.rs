@@ -1,6 +1,6 @@
 //! Communication requests tracked by PIOMAN.
 
-use pm2_sim::{Sim, SimTime, Trigger};
+use pm2_sim::{obs::EventKind, Sim, SimTime, Trigger};
 use std::cell::Cell;
 use std::rc::Rc;
 
@@ -19,6 +19,7 @@ pub struct PiomReq {
 }
 
 struct ReqInner {
+    id: u64,
     label: &'static str,
     trigger: Trigger,
     created_at: SimTime,
@@ -30,6 +31,7 @@ impl PiomReq {
     pub fn new(sim: &Sim, label: &'static str) -> Self {
         PiomReq {
             inner: Rc::new(ReqInner {
+                id: sim.obs().next_req_id(),
                 label,
                 trigger: Trigger::new(),
                 created_at: sim.now(),
@@ -38,10 +40,27 @@ impl PiomReq {
         }
     }
 
+    /// Simulation-unique request id (allocated at creation; pm2-obs events
+    /// reference requests by this id).
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
     /// Marks the request complete, waking all waiters. Idempotent.
     pub fn complete(&self, sim: &Sim) {
         if self.inner.completed_at.get().is_none() {
-            self.inner.completed_at.set(Some(sim.now()));
+            let now = sim.now();
+            self.inner.completed_at.set(Some(now));
+            let latency_ns = now.saturating_since(self.inner.created_at).as_nanos();
+            sim.obs().emit(
+                now,
+                None,
+                EventKind::ReqComplete {
+                    req: self.inner.id,
+                    latency_ns,
+                },
+            );
+            sim.obs().record_latency(self.inner.label, latency_ns);
             self.inner.trigger.fire();
         }
     }

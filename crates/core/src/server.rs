@@ -9,8 +9,9 @@
 use crate::config::{LockModel, PiomanConfig};
 use crate::req::PiomReq;
 use pm2_marcel::{HookResult, Marcel, TaskletId, ThreadCtx};
+use pm2_sim::obs::EventKind;
 use pm2_sim::trace::Category;
-use pm2_sim::{Sim, SimDuration, SimTime, Trigger};
+use pm2_sim::{Sim, SimDuration, SimTime, Site, Trigger};
 use pm2_topo::CoreId;
 use std::cell::{Cell, RefCell};
 use std::rc::{Rc, Weak};
@@ -167,6 +168,17 @@ enum CallSite {
     Inline,
     Hook,
     Tasklet,
+}
+
+impl CallSite {
+    /// The pm2-obs progression-site tag of this call site.
+    fn obs_site(self) -> Site {
+        match self {
+            CallSite::Inline => Site::Inline,
+            CallSite::Hook => Site::Hook,
+            CallSite::Tasklet => Site::Tasklet,
+        }
+    }
 }
 
 impl Pioman {
@@ -585,7 +597,12 @@ impl Pioman {
                 self.inner.cfg.spinlock_cost
             }
         };
+        // Tag the progression site for the duration of the pass, so layers
+        // reached from driver callbacks (NIC submits, protocol handlers)
+        // attribute their pm2-obs events to inline/hook/tasklet progress.
+        let prev_site = self.inner.sim.obs().set_site(site.obs_site());
         let (p, who) = self.registry_progress();
+        self.inner.sim.obs().set_site(prev_site);
         let cost = if p.cost.is_zero() && !p.did_work {
             // Nothing even worth polling.
             SimDuration::ZERO
@@ -611,6 +628,19 @@ impl Pioman {
                     CallSite::Hook => st.hook_progress += 1,
                     CallSite::Tasklet => st.tasklet_progress += 1,
                 }
+            }
+        }
+        if p.did_work {
+            if let Some(DriverId(i)) = who {
+                self.inner.sim.obs().emit(
+                    now,
+                    None,
+                    EventKind::DriverProgress {
+                        driver: i as u64,
+                        site: site.obs_site(),
+                        cost: cost.as_nanos(),
+                    },
+                );
             }
         }
         self.inner.sim.trace().emit_with(now, Category::Pioman, || {

@@ -4,6 +4,7 @@ use crate::config::MarcelConfig;
 use crate::runq::{Placement, PopSource, RunQueues};
 use crate::tasklet::{TaskletId, TaskletRec, TaskletRun};
 use crate::thread::{Priority, ThreadCtx, ThreadId, WaitDispatched};
+use pm2_sim::obs::EventKind;
 use pm2_sim::trace::Category;
 use pm2_sim::{Sim, SimDuration, SimTime, Slab, TimerHandle, Trigger};
 use pm2_topo::{CoreId, NodeId, Topology};
@@ -688,6 +689,16 @@ impl Marcel {
         if resched {
             self.tasklet_schedule(id, Some(on));
         }
+        self.inner.sim.obs().emit(
+            self.inner.sim.now(),
+            Some(self.node().0),
+            EventKind::TaskletRun {
+                tasklet: id.0 as u64,
+                core: on.0,
+                shard: shard.map(|s| s as usize),
+                cost: charged.as_nanos(),
+            },
+        );
         self.trace(Category::Tasklet, || {
             format!("ran {name} ({id:?}) on {on} cost={charged}")
         });
@@ -957,12 +968,31 @@ impl Marcel {
                     HookResult::Worked(c) => {
                         armed = true;
                         cost += c;
+                        self.inner.sim.obs().emit(
+                            now,
+                            Some(self.node().0),
+                            EventKind::HookWork {
+                                core: core.0,
+                                shard: None,
+                                cost: c.as_nanos(),
+                            },
+                        );
                     }
                     HookResult::WorkedOn { cost: c, shard } => {
                         armed = true;
                         cost += c;
                         let mut st = self.inner.state.borrow_mut();
                         bump_shard(&mut st.hook_shard_work, shard);
+                        drop(st);
+                        self.inner.sim.obs().emit(
+                            now,
+                            Some(self.node().0),
+                            EventKind::HookWork {
+                                core: core.0,
+                                shard: Some(shard as usize),
+                                cost: c.as_nanos(),
+                            },
+                        );
                     }
                 }
             }

@@ -8,7 +8,7 @@ use pm2_newmad::{
     AggregStrategy, EngineKind, FifoStrategy, OffloadPolicy, Session, SessionConfig, ShmMsg,
     ShortestFirstStrategy, Strategy, WireMsg,
 };
-use pm2_sim::{Sim, SimTime};
+use pm2_sim::{MetricsRegistry, Sim, SimTime};
 use pm2_topo::{NodeId, Topology};
 use std::future::Future;
 use std::rc::Rc;
@@ -232,6 +232,88 @@ impl Cluster {
     /// fault-scenario tests read injection tallies through this).
     pub fn nic_counters(&self, node: usize, rail: usize) -> pm2_fabric::NicCounters {
         self.fabrics[rail].nic(NodeId(node)).counters()
+    }
+
+    /// Registers this cluster's counter families with a pm2-obs
+    /// [`MetricsRegistry`]: per-node NewMadeleine counters (`nm.node<i>`),
+    /// PIOMAN progression stats (`pioman.node<i>`), per-NIC traffic and
+    /// fault counters (`nic.node<i>.rail<r>`) and the request-latency
+    /// histograms accumulated by the obs layer (`latency`). Providers pull
+    /// live state, so one registration serves every later snapshot.
+    pub fn register_metrics(&self, reg: &MetricsRegistry) {
+        for n in 0..self.ranks() {
+            let session = self.sessions[n].clone();
+            reg.register(format!("nm.node{n}"), move || {
+                let c = session.counters();
+                vec![
+                    ("sends".into(), c.sends as f64),
+                    ("recvs".into(), c.recvs as f64),
+                    ("eager_frames_tx".into(), c.eager_frames_tx as f64),
+                    ("eager_msgs_tx".into(), c.eager_msgs_tx as f64),
+                    ("unexpected".into(), c.unexpected as f64),
+                    ("rdv_started".into(), c.rdv_started as f64),
+                    ("rdv_completed".into(), c.rdv_completed as f64),
+                    ("shm_msgs".into(), c.shm_msgs as f64),
+                    ("ooo_deliveries".into(), c.ooo_deliveries as f64),
+                    ("seq_lock_contentions".into(), c.seq_lock_contentions as f64),
+                    ("credit_fallbacks".into(), c.credit_fallbacks as f64),
+                    ("credits_returned".into(), c.credits_returned as f64),
+                    ("net_progress".into(), c.net_progress as f64),
+                    ("shm_progress".into(), c.shm_progress as f64),
+                    ("retransmits".into(), c.retransmits as f64),
+                    ("rts_reissues".into(), c.rts_reissues as f64),
+                    ("acks_sent".into(), c.acks_sent as f64),
+                    ("dup_suppressed".into(), c.dup_suppressed as f64),
+                    ("retries_exhausted".into(), c.retries_exhausted as f64),
+                ]
+            });
+            if let Some(pioman) = self.piomans[n].clone() {
+                reg.register(format!("pioman.node{n}"), move || {
+                    let s = pioman.stats();
+                    vec![
+                        ("inline_progress".into(), s.inline_progress as f64),
+                        ("hook_progress".into(), s.hook_progress as f64),
+                        ("tasklet_progress".into(), s.tasklet_progress as f64),
+                        ("blocking_wakeups".into(), s.blocking_wakeups as f64),
+                        ("lock_contentions".into(), s.lock_contentions as f64),
+                        ("waits".into(), s.waits as f64),
+                        ("max_submission_burst".into(), s.max_submission_burst as f64),
+                    ]
+                });
+            }
+            for (r, fabric) in self.fabrics.iter().enumerate() {
+                let nic = fabric.nic(NodeId(n));
+                reg.register(format!("nic.node{n}.rail{r}"), move || {
+                    let c = nic.counters();
+                    vec![
+                        ("tx_frames".into(), c.tx_frames as f64),
+                        ("tx_bytes".into(), c.tx_bytes as f64),
+                        ("rx_frames".into(), c.rx_frames as f64),
+                        ("rx_bytes".into(), c.rx_bytes as f64),
+                        ("polls".into(), c.polls as f64),
+                        ("faults_dropped".into(), c.faults_dropped as f64),
+                        ("faults_duplicated".into(), c.faults_duplicated as f64),
+                        ("faults_delayed".into(), c.faults_delayed as f64),
+                        ("faults_corrupted".into(), c.faults_corrupted as f64),
+                        ("faults_stalled".into(), c.faults_stalled as f64),
+                    ]
+                });
+            }
+        }
+        let sim = self.sim.clone();
+        reg.register("latency", move || {
+            sim.obs()
+                .latency_snapshot()
+                .into_iter()
+                .flat_map(|(label, count, p50, p99)| {
+                    vec![
+                        (format!("{label}.count"), count as f64),
+                        (format!("{label}.p50_ns"), p50),
+                        (format!("{label}.p99_ns"), p99),
+                    ]
+                })
+                .collect()
+        });
     }
 
     /// Spawns a thread on `node` running `body`.

@@ -81,6 +81,28 @@ impl Comm {
         self.engine.counters()
     }
 
+    /// Registers this rank's collective counters with a pm2-obs
+    /// [`MetricsRegistry`](pm2_sim::MetricsRegistry) as group
+    /// `coll.rank<r>`, completing the unified snapshot started by
+    /// [`Cluster::register_metrics`].
+    pub fn register_metrics(&self, reg: &pm2_sim::MetricsRegistry) {
+        let engine = self.engine.clone();
+        reg.register(format!("coll.rank{}", self.rank), move || {
+            let c = engine.counters();
+            vec![
+                ("collectives".into(), c.collectives as f64),
+                ("nonblocking".into(), c.nonblocking as f64),
+                ("steps".into(), c.steps as f64),
+                ("sends".into(), c.sends as f64),
+                ("recvs".into(), c.recvs as f64),
+                ("chunks".into(), c.chunks as f64),
+                ("bytes_sent".into(), c.bytes_sent as f64),
+                ("bytes_recv".into(), c.bytes_recv as f64),
+                ("overlap_ns".into(), c.overlap_ns as f64),
+            ]
+        });
+    }
+
     /// Non-blocking send to `dest` rank.
     ///
     /// # Panics

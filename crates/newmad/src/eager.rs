@@ -5,6 +5,7 @@ use crate::matching::{NmState, UnexpectedMsg};
 use crate::msg::{EagerPart, ShmMsg};
 use crate::session::Session;
 use crate::strategy::PackKind;
+use pm2_sim::obs::EventKind;
 use pm2_sim::SimDuration;
 use pm2_topo::NodeId;
 
@@ -37,6 +38,16 @@ impl Session {
                 self.credit_freed(&mut st, src, wire);
                 drop(st);
                 *posted.out.borrow_mut() = Some(part.data);
+                self.inner.sim.obs().emit(
+                    self.inner.sim.now(),
+                    Some(self.inner.node.0),
+                    EventKind::EagerDeliver {
+                        req: posted.req.id(),
+                        src: src.0,
+                        tag: part.tag.0,
+                        unexpected: false,
+                    },
+                );
                 posted.req.complete(&self.inner.sim);
                 self.trace(|| format!("eager {} from {} matched", part.tag, src));
                 SimDuration::ZERO
@@ -65,6 +76,16 @@ impl Session {
                 drop(st);
                 let cost = self.inner.shm.copy_cost(msg.data.len());
                 *posted.out.borrow_mut() = Some(msg.data);
+                self.inner.sim.obs().emit(
+                    self.inner.sim.now(),
+                    Some(own.0),
+                    EventKind::EagerDeliver {
+                        req: posted.req.id(),
+                        src: own.0,
+                        tag: msg.tag.0,
+                        unexpected: false,
+                    },
+                );
                 posted.req.complete(&self.inner.sim);
                 cost
             }

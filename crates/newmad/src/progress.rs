@@ -20,6 +20,7 @@ use crate::msg::{ShmMsg, WireMsg};
 use crate::session::{Session, SessionInner};
 use crate::strategy::Submission;
 use pioman::{DriverPending, Progress, ProgressDriver};
+use pm2_sim::obs::EventKind;
 use pm2_sim::{SimDuration, Trigger};
 use pm2_topo::NodeId;
 use std::rc::Weak;
@@ -291,6 +292,20 @@ impl Session {
                 let mut st = self.inner.state.borrow_mut();
                 st.counters.shm_msgs += parts.len() as u64;
             }
+            let total_bytes: usize = parts.iter().map(|p| p.data.len()).sum();
+            let site = sim.obs().site();
+            for req in &sub.reqs {
+                sim.obs().emit(
+                    sim.now(),
+                    Some(self.inner.node.0),
+                    EventKind::ShmSubmit {
+                        req: req.id(),
+                        dest: sub.dest.0,
+                        bytes: total_bytes,
+                        site,
+                    },
+                );
+            }
             for p in parts {
                 let copy = self.inner.shm.copy_cost(p.data.len());
                 // The message becomes visible once its copy-in completes.
@@ -336,6 +351,66 @@ impl Session {
                     st.counters.eager_msgs_tx += ps.len() as u64;
                 }
                 _ => {}
+            }
+        }
+        // pm2-obs: typed submission events, matched before the reliability
+        // wrap (retransmitted envelopes re-enter as WireMsg::Rel and are
+        // deliberately not re-reported as fresh submissions).
+        if sim.obs().is_enabled() {
+            let site = sim.obs().site();
+            let now = sim.now();
+            let node = Some(self.inner.node.0);
+            match &sub.msg {
+                WireMsg::Eager(_) | WireMsg::Packed(_) => {
+                    for req in &sub.reqs {
+                        sim.obs().emit(
+                            now,
+                            node,
+                            EventKind::NicSubmit {
+                                req: req.id(),
+                                dest: sub.dest.0,
+                                bytes: sub.msg.wire_bytes(),
+                                site,
+                            },
+                        );
+                    }
+                }
+                WireMsg::Rts { len, rdv, .. } => {
+                    sim.obs().emit(
+                        now,
+                        node,
+                        EventKind::RtsTx {
+                            rdv: *rdv,
+                            dest: sub.dest.0,
+                            len: *len,
+                        },
+                    );
+                }
+                WireMsg::Cts { rdv } => {
+                    sim.obs().emit(
+                        now,
+                        node,
+                        EventKind::CtsTx {
+                            rdv: *rdv,
+                            dest: sub.dest.0,
+                        },
+                    );
+                }
+                WireMsg::RdvData {
+                    rdv, chunk, data, ..
+                } => {
+                    sim.obs().emit(
+                        now,
+                        node,
+                        EventKind::DmaTx {
+                            rdv: *rdv,
+                            dest: sub.dest.0,
+                            chunk: *chunk,
+                            len: data.len(),
+                        },
+                    );
+                }
+                WireMsg::Credit { .. } | WireMsg::Rel { .. } | WireMsg::Ack { .. } => {}
             }
         }
         // Lossy-fabric mode: wrap the frame in a reliability envelope

@@ -34,6 +34,7 @@
 use crate::msg::WireMsg;
 use crate::session::Session;
 use crate::strategy::PackKind;
+use pm2_sim::obs::EventKind;
 use pm2_sim::{SimDuration, SimTime, TimerHandle};
 use pm2_topo::NodeId;
 use std::rc::Rc;
@@ -122,6 +123,15 @@ impl Session {
                         .saturating_mul(pm2_sync::exp_factor(attempts, 6)),
                 );
                 st.counters.retransmits += 1;
+                self.inner.sim.obs().emit(
+                    self.inner.sim.now(),
+                    Some(own.0),
+                    EventKind::Retransmit {
+                        rel,
+                        dest: dest.0,
+                        attempt: attempts,
+                    },
+                );
                 if let WireMsg::Rel { inner, .. } = &msg {
                     if matches!(**inner, WireMsg::Rts { .. } | WireMsg::Cts { .. }) {
                         st.counters.rts_reissues += 1;
@@ -167,6 +177,11 @@ impl Session {
             st.counters.acks_sent += 1;
             if !fresh {
                 st.counters.dup_suppressed += 1;
+                self.inner.sim.obs().emit(
+                    self.inner.sim.now(),
+                    Some(own.0),
+                    EventKind::DupSuppressed { rel, src: src.0 },
+                );
             }
             fresh
         };

@@ -7,6 +7,7 @@ use crate::msg::{Tag, WireMsg};
 use crate::session::Session;
 use crate::strategy::PackKind;
 use pioman::PiomReq;
+use pm2_sim::obs::EventKind;
 use pm2_sim::SimDuration;
 use pm2_topo::NodeId;
 use std::cell::RefCell;
@@ -54,7 +55,17 @@ impl Session {
             st.counters.dup_suppressed += 1;
             return SimDuration::ZERO;
         }
-        match st.match_posted(src, tag) {
+        let matched = st.match_posted(src, tag);
+        self.inner.sim.obs().emit(
+            self.inner.sim.now(),
+            Some(self.inner.node.0),
+            EventKind::RtsRx {
+                rdv,
+                src: src.0,
+                matched: matched.is_some(),
+            },
+        );
+        match matched {
             Some(i) => {
                 let posted = st.posted.remove(i).expect("index in bounds");
                 st.note_delivery(src, tag, seq);
@@ -111,6 +122,11 @@ impl Session {
         let req = send.req.clone();
         st.rdv_sends.remove(&rdv);
         drop(st);
+        self.inner.sim.obs().emit(
+            self.inner.sim.now(),
+            Some(self.inner.node.0),
+            EventKind::CtsRx { rdv, req: req.id() },
+        );
 
         let reg = self.inner.registry.register(tag.0, data.len());
         // Split over the rails (multirail distribution).
@@ -127,6 +143,16 @@ impl Session {
         for (i, chunk) in chunks.into_iter().enumerate() {
             let rail = &self.inner.rails[i % self.inner.rails.len()];
             cost += rail.params().dma_setup;
+            self.inner.sim.obs().emit(
+                self.inner.sim.now(),
+                Some(self.inner.node.0),
+                EventKind::DmaTx {
+                    rdv,
+                    dest: dest.0,
+                    chunk: i as u32,
+                    len: chunk.len(),
+                },
+            );
             let msg = WireMsg::RdvData {
                 rdv,
                 chunk: i as u32,
@@ -185,6 +211,16 @@ impl Session {
             st.counters.dup_suppressed += 1;
             return SimDuration::ZERO;
         }
+        self.inner.sim.obs().emit(
+            self.inner.sim.now(),
+            Some(self.inner.node.0),
+            EventKind::DmaRx {
+                rdv,
+                src: src.0,
+                chunk,
+                len: data.len(),
+            },
+        );
         recv.chunks[chunk as usize] = Some(data);
         recv.received += 1;
         if recv.received == chunks {
@@ -196,6 +232,15 @@ impl Session {
                 assembled.extend_from_slice(&c.expect("all chunks received"));
             }
             *recv.out.borrow_mut() = Some(assembled);
+            self.inner.sim.obs().emit(
+                self.inner.sim.now(),
+                Some(self.inner.node.0),
+                EventKind::RdvComplete {
+                    rdv,
+                    req: recv.req.id(),
+                    src: src.0,
+                },
+            );
             recv.req.complete(&self.inner.sim);
             self.trace(|| format!("rdv {rdv} from {src} complete"));
         }

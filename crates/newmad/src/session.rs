@@ -17,6 +17,7 @@ use crate::strategy::{PackKind, Strategy, Submission};
 use pioman::{PiomReq, Pioman};
 use pm2_fabric::{MemoryRegistry, Nic, ShmChannel};
 use pm2_marcel::{Marcel, ThreadCtx};
+use pm2_sim::obs::EventKind;
 use pm2_sim::trace::Category;
 use pm2_sim::{Sim, SimDuration};
 use pm2_topo::NodeId;
@@ -240,6 +241,7 @@ impl Session {
                 }
             };
         let own = self.inner.node;
+        let mut rdv_id = None;
         let inline_submission = {
             let mut st = self.inner.state.borrow_mut();
             st.counters.sends += 1;
@@ -265,6 +267,7 @@ impl Session {
                 // Rendezvous: queue the RTS control frame.
                 let rdv = st.next_rdv;
                 st.next_rdv += 1;
+                rdv_id = Some(rdv);
                 st.rdv_sends.insert(
                     rdv,
                     RdvSend {
@@ -312,6 +315,17 @@ impl Session {
                 }
             }
         };
+        self.inner.sim.obs().emit(
+            self.inner.sim.now(),
+            Some(own.0),
+            EventKind::SendPosted {
+                req: req.id(),
+                dest: dest.0,
+                tag: tag.0,
+                len,
+                rdv: rdv_id,
+            },
+        );
         match inline_submission {
             Some(sub) => {
                 // Inline: the calling thread pays the submission here.
@@ -330,6 +344,15 @@ impl Session {
         self.seq_hold(self.inner.cfg.request_registration);
         ctx.compute(self.inner.cfg.request_registration).await;
         let req = PiomReq::new(&self.inner.sim, "recv");
+        self.inner.sim.obs().emit(
+            self.inner.sim.now(),
+            Some(self.inner.node.0),
+            EventKind::RecvPosted {
+                req: req.id(),
+                src: src.map(|s| s.0),
+                tag: tag.0,
+            },
+        );
         let out: Rc<RefCell<Option<Vec<u8>>>> = Rc::new(RefCell::new(None));
         // Unexpected eager message already here? Copy it out (the §2.2
         // unexpected path: one extra copy).
@@ -349,6 +372,16 @@ impl Session {
                 let cost = self.inner.rails[0].params().memcpy_cost(u.data.len());
                 *out.borrow_mut() = Some(u.data);
                 self.credit_freed(&mut st, src_node, wire);
+                self.inner.sim.obs().emit(
+                    self.inner.sim.now(),
+                    Some(own.0),
+                    EventKind::EagerDeliver {
+                        req: req.id(),
+                        src: src_node.0,
+                        tag: tag.0,
+                        unexpected: true,
+                    },
+                );
                 Some(cost)
             } else if let Some(pos) = st
                 .unexpected_rts

@@ -17,7 +17,9 @@
 //! * a seeded xoshiro256** RNG ([`rng::Xoshiro256`]) for workload
 //!   generation and jitter injection;
 //! * measurement helpers ([`stats::OnlineStats`], [`stats::Histogram`]) and
-//!   an event [`trace::Trace`] ring.
+//!   an event [`trace::Trace`] ring;
+//! * pm2-obs ([`obs::Obs`]): typed span/event records, per-request timeline
+//!   reconstruction and a [`obs::MetricsRegistry`] export path.
 //!
 //! # Example
 //! ```
@@ -37,6 +39,7 @@
 
 mod channel;
 mod executor;
+pub mod obs;
 pub mod rng;
 mod sem;
 mod sim;
@@ -48,6 +51,7 @@ mod trigger;
 
 pub use channel::SimChannel;
 pub use executor::TaskId;
+pub use obs::{EventKind, MetricsRegistry, Obs, Site};
 pub use sem::{SemPermit, Semaphore};
 pub use sim::{Sim, TimerHandle};
 pub use slab::Slab;

@@ -1,6 +1,7 @@
 //! The simulation facade: clock, event heap and run loop.
 
 use crate::executor::{waker_for, TaskId, TaskSlot, WakeList};
+use crate::obs::Obs;
 use crate::rng::Xoshiro256;
 use crate::slab::Slab;
 use crate::trace::Trace;
@@ -32,6 +33,7 @@ struct Inner {
     spawned: RefCell<Vec<usize>>,
     rng: RefCell<Xoshiro256>,
     trace: Trace,
+    obs: Obs,
     executed_events: Cell<u64>,
     polls: Cell<u64>,
 }
@@ -93,6 +95,7 @@ impl Sim {
                 spawned: RefCell::new(Vec::new()),
                 rng: RefCell::new(Xoshiro256::new(seed)),
                 trace: Trace::new(),
+                obs: Obs::new(),
                 executed_events: Cell::new(0),
                 polls: Cell::new(0),
             }),
@@ -107,6 +110,11 @@ impl Sim {
     /// The simulation-wide trace ring.
     pub fn trace(&self) -> &Trace {
         &self.inner.trace
+    }
+
+    /// The simulation-wide structured-observability recorder (pm2-obs).
+    pub fn obs(&self) -> &Obs {
+        &self.inner.obs
     }
 
     /// Draws from the simulation RNG.

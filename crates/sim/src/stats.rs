@@ -167,9 +167,25 @@ impl Histogram {
         self.total
     }
 
-    /// Value at the given percentile `p` in `[0, 100]` (bucket upper edge).
+    /// Value at percentile `p`, answered at the **upper edge** of the
+    /// bucket holding the `ceil(p/100 * count)`-th smallest sample — a
+    /// conservative (never under-reporting) estimate at `resolution`
+    /// granularity.
+    ///
+    /// Edge conventions:
+    /// - an empty histogram answers `0.0` for every `p`;
+    /// - `p` is clamped into `[0, 100]`, so out-of-range queries behave
+    ///   like the nearest valid percentile;
+    /// - `p <= 0` answers `0.0`, the infimum of the (non-negative) sample
+    ///   domain, rather than the edge of the first populated bucket;
+    /// - overflow samples clamp to the top bucket edge
+    ///   (`resolution * buckets`).
     pub fn percentile(&self, p: f64) -> f64 {
         if self.total == 0 {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        if p <= 0.0 {
             return 0.0;
         }
         let target = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
@@ -183,12 +199,14 @@ impl Histogram {
         self.counts.len() as f64 * self.resolution
     }
 
-    /// Median shortcut.
+    /// Median shortcut (bucket-upper-edge convention of
+    /// [`Histogram::percentile`]).
     pub fn p50(&self) -> f64 {
         self.percentile(50.0)
     }
 
-    /// 99th percentile shortcut.
+    /// 99th-percentile shortcut (bucket-upper-edge convention of
+    /// [`Histogram::percentile`]).
     pub fn p99(&self) -> f64 {
         self.percentile(99.0)
     }
@@ -258,5 +276,33 @@ mod tests {
         let mut h = Histogram::new(1.0, 10);
         h.record(1e9);
         assert_eq!(h.percentile(100.0), 10.0);
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_are_zero() {
+        let h = Histogram::new(1.0, 10);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.0), 0.0);
+        assert_eq!(h.percentile(50.0), 0.0);
+        assert_eq!(h.percentile(100.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_zero_is_zero() {
+        let mut h = Histogram::new(1.0, 10);
+        h.record(2.5);
+        // p = 0 asks for the infimum of the distribution; by the bucket
+        // lower-bound convention that is 0, never a populated bucket edge.
+        assert_eq!(h.percentile(0.0), 0.0);
+        assert_eq!(h.percentile(-25.0), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_percentile_clamps_to_100() {
+        let mut h = Histogram::new(1.0, 10);
+        h.record(2.5);
+        h.record(3.5);
+        assert_eq!(h.percentile(150.0), h.percentile(100.0));
+        assert_eq!(h.percentile(150.0), 4.0);
     }
 }

@@ -77,12 +77,16 @@ impl Trace {
 
     /// Appends a record if enabled. `message` is only evaluated lazily by
     /// callers using [`Trace::emit_with`].
+    ///
+    /// A capacity of zero records nothing. If the ring is at or above
+    /// capacity (possible after [`Trace::set_capacity`] shrank it), the
+    /// oldest records are drained until the new record fits the bound.
     pub fn emit(&self, at: SimTime, category: Category, message: impl Into<String>) {
         let mut inner = self.inner.borrow_mut();
-        if !inner.enabled {
+        if !inner.enabled || inner.capacity == 0 {
             return;
         }
-        if inner.records.len() == inner.capacity {
+        while inner.records.len() >= inner.capacity {
             inner.records.pop_front();
         }
         inner.records.push_back(Record {
@@ -179,6 +183,42 @@ mod tests {
         assert_eq!(rs.len(), 2);
         assert_eq!(rs[0].message, "m3");
         assert_eq!(rs[1].message, "m4");
+    }
+
+    #[test]
+    fn zero_capacity_ring_stays_empty() {
+        let t = Trace::new();
+        t.set_enabled(true);
+        t.set_capacity(0);
+        for i in 0..4 {
+            t.emit(SimTime::from_micros(i), Category::App, format!("m{i}"));
+        }
+        assert!(t.records().is_empty());
+    }
+
+    #[test]
+    fn shrink_while_full_keeps_bound() {
+        let t = Trace::new();
+        t.set_enabled(true);
+        t.set_capacity(4);
+        for i in 0..4 {
+            t.emit(SimTime::from_micros(i), Category::App, format!("m{i}"));
+        }
+        // Shrink below the live length, then keep emitting: the ring must
+        // never exceed the new bound again, including the bound of zero.
+        t.set_capacity(2);
+        for i in 4..8 {
+            t.emit(SimTime::from_micros(i), Category::App, format!("m{i}"));
+        }
+        let rs = t.records();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].message, "m6");
+        assert_eq!(rs[1].message, "m7");
+        t.set_capacity(0);
+        for i in 8..12 {
+            t.emit(SimTime::from_micros(i), Category::App, format!("m{i}"));
+        }
+        assert!(t.records().is_empty());
     }
 
     #[test]

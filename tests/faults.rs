@@ -315,6 +315,74 @@ fn delayed_and_corrupted_frames_recover() {
     }
 }
 
+/// Conservation of frames and messages under randomized fault injection,
+/// for any `PM2_FAULT_SEED` (CI runs the published seed matrix) and both
+/// engines:
+///
+/// * **frame balance**, per directed link: every frame the sender's NIC
+///   transmits meets exactly one fate at the destination — delivered
+///   (`rx_frames`), dropped on the wire (`faults_dropped`) or discarded
+///   by the CRC check (`faults_corrupted`) — while duplication injects
+///   one extra delivery per duplicated frame, so
+///   `rx + dropped + corrupted == tx + duplicated`;
+/// * **message balance**, per node: retransmissions re-enter the
+///   submission path as raw wire packs and must never be double-counted
+///   as application traffic, so `eager_msgs_tx + rdv_started == sends`
+///   exactly, no matter how many frames the fault plan destroyed.
+#[test]
+fn frame_and_message_counters_balance_under_faults() {
+    for engine in BOTH_ENGINES {
+        let plan = FaultPlan {
+            seed: fault_seed(),
+            drop_rate: 0.08,
+            dup_rate: 0.05,
+            corrupt_rate: 0.04,
+            window: Some((SimTime::ZERO, SimTime::from_millis(2))),
+            ..FaultPlan::default()
+        };
+        // Mixed sizes: mostly eager, one rendezvous transfer, so both
+        // protocol paths contribute frames to the balance.
+        let lens = [512usize, 2048, 64 << 10, 512, 512, 2048, 512, 512];
+        let out = run_scenario(
+            faulty(engine, plan),
+            &lens,
+            Some(SimDuration::from_millis(5)),
+        );
+        let seed = fault_seed();
+        let injected = out.nic0.faults_dropped
+            + out.nic0.faults_duplicated
+            + out.nic0.faults_corrupted
+            + out.nic1.faults_dropped
+            + out.nic1.faults_duplicated
+            + out.nic1.faults_corrupted;
+        assert!(
+            injected >= 1,
+            "{engine:?} seed {seed}: fault plan never fired"
+        );
+        for (dir, tx, rx) in [
+            ("0->1", &out.nic0, &out.nic1),
+            ("1->0", &out.nic1, &out.nic0),
+        ] {
+            assert_eq!(
+                rx.rx_frames + rx.faults_dropped + rx.faults_corrupted,
+                tx.tx_frames + rx.faults_duplicated,
+                "{engine:?} seed {seed} link {dir}: frame fates do not \
+                 balance (tx {:?} / rx {:?})",
+                tx,
+                rx
+            );
+        }
+        for (node, c) in [(0, &out.c0), (1, &out.c1)] {
+            assert_eq!(
+                c.eager_msgs_tx + c.rdv_started,
+                c.sends,
+                "{engine:?} seed {seed} node {node}: retransmissions \
+                 leaked into message counters: {c:?}"
+            );
+        }
+    }
+}
+
 fn burst_plan(seed: u64) -> FaultPlan {
     FaultPlan {
         seed,
