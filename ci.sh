@@ -4,6 +4,18 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "== primitive-hygiene gate (raw std sync outside crates/sync)"
+# Every atomic, std::sync::Mutex and UnsafeCell outside crates/sync must go
+# through the pm2-sync primitives shim, so the loom lane (PM2_LOOM=1) can
+# model it. Justified exceptions carry `// sync-allow: <reason>` on the
+# same line.
+if grep -rn --include='*.rs' -E 'std::sync::atomic|std::sync::Mutex|UnsafeCell' crates \
+    | grep -v '^crates/sync/' | grep -v 'sync-allow:'; then
+  echo "raw std sync primitive outside crates/sync" \
+       "(route through pm2-sync, or annotate '// sync-allow: <reason>')"
+  exit 1
+fi
+
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -61,6 +73,57 @@ done
 if [ "${PM2_SOAK:-0}" = "1" ]; then
   echo "== 1%-loss soak"
   cargo test --release -p pm2-bench --test faults -- --ignored --nocapture
+fi
+
+# Bounded model checking of the pm2-sync primitives with the in-tree loom
+# replacement (~1 min); run locally with PM2_LOOM=1 ./ci.sh. The bound is
+# CHESS-style preemption counting; 3 is exhaustive enough for every suite
+# invariant while keeping the lane offline-friendly and fast.
+if [ "${PM2_LOOM:-0}" = "1" ]; then
+  echo "== loom model-checking lane (pm2-sync, bounded interleaving search)"
+  RUSTFLAGS="--cfg loom" LOOM_MAX_PREEMPTIONS="${LOOM_MAX_PREEMPTIONS:-3}" \
+    cargo test -p pm2-sync --release --test loom
+fi
+
+# Miri lane (undefined-behaviour interpreter) for the pm2-sync natives;
+# opt-in with PM2_MIRI=1. Needs the nightly `miri` component, which this
+# offline container cannot install — the lane skips LOUDLY rather than
+# silently passing.
+if [ "${PM2_MIRI:-0}" = "1" ]; then
+  echo "== Miri lane (pm2-sync)"
+  if cargo +nightly miri --version >/dev/null 2>&1; then
+    MIRIFLAGS="-Zmiri-strict-provenance" cargo +nightly miri test -p pm2-sync --lib
+  else
+    echo "SKIPPED: Miri unavailable (needs 'rustup +nightly component add miri'," \
+         "not installable offline). Run this lane on a networked host."
+  fi
+fi
+
+# ThreadSanitizer lane for the pm2-sync native stress tests; opt-in with
+# PM2_TSAN=1. Needs nightly. Std itself is only instrumented under
+# -Zbuild-std (needs the rust-src component, not installable offline), so
+# without it the libtest harness's own std internals are suppressed via
+# tsan-suppressions.txt; pm2-sync code is always fully checked.
+if [ "${PM2_TSAN:-0}" = "1" ]; then
+  echo "== ThreadSanitizer lane (pm2-sync)"
+  if rustup run nightly rustc --version >/dev/null 2>&1; then
+    host="$(rustc -vV | sed -n 's/^host: //p')"
+    if rustup component list --toolchain nightly 2>/dev/null \
+        | grep -q 'rust-src.*(installed)'; then
+      RUSTFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test -p pm2-sync -Zbuild-std --target "$host" --test native_stress
+    else
+      # --test-threads=1 keeps the (uninstrumented) libtest harness off
+      # TSan's radar; the stress tests spawn their own checked threads.
+      TSAN_OPTIONS="suppressions=$(pwd)/tsan-suppressions.txt" \
+        RUSTFLAGS="-Zsanitizer=thread -Cunsafe-allow-abi-mismatch=sanitizer" \
+        cargo +nightly test -p pm2-sync --target "$host" --test native_stress \
+        -- --test-threads=1
+    fi
+  else
+    echo "SKIPPED: nightly toolchain unavailable (not installable offline)." \
+         "Run this lane on a networked host with 'rustup toolchain install nightly'."
+  fi
 fi
 
 echo "CI OK"

@@ -18,7 +18,7 @@ fn bench_locks() {
         *ticket.lock() += 1;
         black_box(());
     });
-    let std_mutex = std::sync::Mutex::new(0u64);
+    let std_mutex = std::sync::Mutex::new(0u64); // sync-allow: std baseline under comparison
     bench("std_mutex", 1_000_000, || {
         *std_mutex.lock().unwrap() += 1;
         black_box(());
@@ -39,7 +39,7 @@ fn bench_locks() {
         t.join().unwrap();
     });
     bench("std_mutex", 20, || {
-        let lock = Arc::new(std::sync::Mutex::new(0u64));
+        let lock = Arc::new(std::sync::Mutex::new(0u64)); // sync-allow: std baseline under comparison
         let l2 = Arc::clone(&lock);
         let t = std::thread::spawn(move || {
             for _ in 0..5_000 {

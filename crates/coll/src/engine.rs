@@ -143,7 +143,10 @@ impl CollEngine {
     ) -> Vec<Vec<u8>> {
         let (plan, space) = self.prepare(kind, len, force);
         self.run_plan(ctx, &plan, &mut bufs, space).await;
+        let verify = ctx.marcel().sim().verify();
+        verify.lock_acquire("coll.state");
         self.inner.counters.borrow_mut().collectives += 1;
+        verify.lock_release("coll.state");
         bufs
     }
 
@@ -175,11 +178,13 @@ impl CollEngine {
             move |tctx| async move {
                 let mut bufs = bufs;
                 engine.run_plan(&tctx, &plan, &mut bufs, space).await;
+                sim2.verify().lock_acquire("coll.state");
                 {
                     let mut c = engine.inner.counters.borrow_mut();
                     c.collectives += 1;
                     c.nonblocking += 1;
                 }
+                sim2.verify().lock_release("coll.state");
                 *out2.borrow_mut() = Some(bufs);
                 req2.complete(&sim2);
             },
@@ -247,6 +252,7 @@ impl CollEngine {
                 match &step.op {
                     StepOp::Send(src) => {
                         let bytes = materialize(bufs, src);
+                        sim.verify().lock_acquire("coll.state");
                         {
                             let mut c = self.inner.counters.borrow_mut();
                             c.sends += 1;
@@ -255,6 +261,7 @@ impl CollEngine {
                                 c.chunks += 1;
                             }
                         }
+                        sim.verify().lock_release("coll.state");
                         let h = session.isend(ctx, NodeId(step.peer), tag, bytes).await;
                         inflight.push((i, H::S(h)));
                     }
@@ -278,14 +285,19 @@ impl CollEngine {
                 let StepOp::Recv(dst) = &plan.steps[i].op else {
                     unreachable!("recv handle on a send step");
                 };
+                ctx.marcel().sim().verify().lock_acquire("coll.state");
                 {
                     let mut c = self.inner.counters.borrow_mut();
                     c.recvs += 1;
                     c.bytes_recv += data.len() as u64;
                 }
+                ctx.marcel().sim().verify().lock_release("coll.state");
                 apply_recv(bufs, dst, data);
             }
+            let verify = ctx.marcel().sim().verify();
+            verify.lock_acquire("coll.state");
             self.inner.counters.borrow_mut().steps += 1;
+            verify.lock_release("coll.state");
             done[i] = true;
             completed += 1;
         }
@@ -319,9 +331,14 @@ impl CollHandle {
     /// progressed in the background.
     pub async fn wait(&self, ctx: &ThreadCtx) -> Vec<Vec<u8>> {
         let now = ctx.marcel().sim().now();
+        // completed_at() models an atomic load of the completion record and
+        // stays uninstrumented (swait below performs the verified acquire).
         let progressed_until = self.req.completed_at().unwrap_or(now).min(now);
+        let verify = ctx.marcel().sim().verify();
+        verify.lock_acquire("coll.state");
         self.engine.inner.counters.borrow_mut().overlap_ns +=
             progressed_until.saturating_since(self.posted_at).as_nanos();
+        verify.lock_release("coll.state");
         self.engine.inner.session.swait(&self.req, ctx).await;
         self.out
             .borrow_mut()

@@ -61,6 +61,11 @@ impl PiomReq {
                 },
             );
             sim.obs().record_latency(self.inner.label, latency_ns);
+            // pm2-verify: the completion record is the tracked write; the
+            // trigger fire is its Release-publish. (is_complete() raw reads
+            // model atomic flag loads and stay uninstrumented.)
+            sim.verify().touch_write(self.inner.id);
+            sim.verify().hb_publish(self.inner.id);
             self.inner.trigger.fire();
         }
     }

@@ -601,7 +601,13 @@ impl Pioman {
         // reached from driver callbacks (NIC submits, protocol handlers)
         // attribute their pm2-obs events to inline/hook/tasklet progress.
         let prev_site = self.inner.sim.obs().set_site(site.obs_site());
+        let prev_vsite = self.inner.sim.verify().set_site(site.obs_site());
+        // The registry walk is the serialized section the paper's per-event
+        // spinlock / global mutex protects.
+        self.inner.sim.verify().lock_acquire("pioman.registry");
         let (p, who) = self.registry_progress();
+        self.inner.sim.verify().lock_release("pioman.registry");
+        self.inner.sim.verify().set_site(prev_vsite);
         self.inner.sim.obs().set_site(prev_site);
         let cost = if p.cost.is_zero() && !p.did_work {
             // Nothing even worth polling.
@@ -755,6 +761,7 @@ impl Pioman {
         assert!(!reqs.is_empty(), "wait_any on empty request set");
         loop {
             if let Some(i) = reqs.iter().position(PiomReq::is_complete) {
+                self.inner.sim.verify().observe_complete(reqs[i].id());
                 return i;
             }
             let (p, _) = self.locked_progress(CallSite::Inline);
@@ -795,6 +802,7 @@ impl Pioman {
         self.inner.stats.borrow_mut().waits += 1;
         loop {
             if req.is_complete() {
+                self.inner.sim.verify().observe_complete(req.id());
                 return;
             }
             let (p, _) = self.locked_progress(CallSite::Inline);
@@ -802,6 +810,7 @@ impl Pioman {
                 ctx.compute(p.cost).await;
             }
             if req.is_complete() {
+                self.inner.sim.verify().observe_complete(req.id());
                 return;
             }
             if p.did_work {

@@ -136,11 +136,16 @@ impl Session {
     /// pack, else drain one received frame, else report an unproductive
     /// poll (the registry discards it if another shard works).
     pub(crate) fn rail_progress(&self, idx: usize) -> Progress {
+        let verify = self.inner.sim.verify();
+        let vnode = verify.set_node(Some(self.inner.node.0));
+        verify.lock_acquire("newmad.state");
         let submission = {
             let mut st = self.inner.state.borrow_mut();
             let st = &mut *st;
             self.inner.strategy.pop(&mut st.net_packs)
         };
+        verify.lock_release("newmad.state");
+        verify.set_node(vnode);
         if let Some(sub) = submission {
             let cost = self.submit(sub);
             return Progress {
@@ -165,11 +170,16 @@ impl Session {
 
     /// One unit of progress on the shared-memory channel.
     pub(crate) fn shm_progress(&self) -> Progress {
+        let verify = self.inner.sim.verify();
+        let vnode = verify.set_node(Some(self.inner.node.0));
+        verify.lock_acquire("newmad.state");
         let submission = {
             let mut st = self.inner.state.borrow_mut();
             let st = &mut *st;
             self.inner.strategy.pop(&mut st.shm_packs)
         };
+        verify.lock_release("newmad.state");
+        verify.set_node(vnode);
         if let Some(sub) = submission {
             let cost = self.submit(sub);
             return Progress {
@@ -190,13 +200,18 @@ impl Session {
 
     /// Tallies a productive step on driver shard `idx` (rails…, shm).
     fn note_driver_work(&self, idx: usize) {
-        let mut st = self.inner.state.borrow_mut();
-        st.driver_work[idx] += 1;
-        if idx < self.inner.rails.len() {
-            st.counters.net_progress += 1;
-        } else {
-            st.counters.shm_progress += 1;
+        let verify = self.inner.sim.verify();
+        verify.lock_acquire("newmad.state");
+        {
+            let mut st = self.inner.state.borrow_mut();
+            st.driver_work[idx] += 1;
+            if idx < self.inner.rails.len() {
+                st.counters.net_progress += 1;
+            } else {
+                st.counters.shm_progress += 1;
+            }
         }
+        verify.lock_release("newmad.state");
     }
 
     /// Productive progress steps per driver shard, in driver registration
@@ -213,7 +228,17 @@ impl Session {
     /// PIOMAN engine the equivalent scheduling decision is made by the
     /// driver registry over [`RailDriver`]/[`ShmDriver`].
     pub fn progress_unit(&self) -> Progress {
+        let verify = self.inner.sim.verify();
+        let vnode = verify.set_node(Some(self.inner.node.0));
+        let p = self.progress_unit_inner();
+        verify.set_node(vnode);
+        p
+    }
+
+    fn progress_unit_inner(&self) -> Progress {
+        let verify = self.inner.sim.verify();
         // 1. Feed the network: pop the globally-oldest submission.
+        verify.lock_acquire("newmad.state");
         let submission = {
             let mut st = self.inner.state.borrow_mut();
             let st = &mut *st;
@@ -227,6 +252,7 @@ impl Session {
             };
             queue.and_then(|q| self.inner.strategy.pop(q))
         };
+        verify.lock_release("newmad.state");
         if let Some(sub) = submission {
             let cost = self.submit(sub);
             return Progress {
@@ -237,12 +263,14 @@ impl Session {
         // 2. Poll one input source (rails and shm in rotation).
         let n_sources = self.inner.rails.len() + 1;
         for _ in 0..n_sources {
+            verify.lock_acquire("newmad.state");
             let rotor = {
                 let mut st = self.inner.state.borrow_mut();
                 let r = st.poll_rotor;
                 st.poll_rotor = (st.poll_rotor + 1) % n_sources;
                 r
             };
+            verify.lock_release("newmad.state");
             if rotor < self.inner.rails.len() {
                 let rail = &self.inner.rails[rotor];
                 if let Some(frame) = rail.rx_poll() {

@@ -242,6 +242,9 @@ impl Session {
             };
         let own = self.inner.node;
         let mut rdv_id = None;
+        let verify = self.inner.sim.verify();
+        let vnode = verify.set_node(Some(own.0));
+        verify.lock_acquire("newmad.state");
         let inline_submission = {
             let mut st = self.inner.state.borrow_mut();
             st.counters.sends += 1;
@@ -315,6 +318,8 @@ impl Session {
                 }
             }
         };
+        verify.lock_release("newmad.state");
+        verify.set_node(vnode);
         self.inner.sim.obs().emit(
             self.inner.sim.now(),
             Some(own.0),
@@ -357,6 +362,9 @@ impl Session {
         // Unexpected eager message already here? Copy it out (the §2.2
         // unexpected path: one extra copy).
         let own = self.inner.node;
+        let verify = self.inner.sim.verify();
+        let vnode = verify.set_node(Some(own.0));
+        verify.lock_acquire("newmad.state");
         let copy_cost = {
             let mut st = self.inner.state.borrow_mut();
             st.counters.recvs += 1;
@@ -412,6 +420,8 @@ impl Session {
                 None
             }
         };
+        verify.lock_release("newmad.state");
+        verify.set_node(vnode);
         match copy_cost {
             Some(cost) => {
                 ctx.compute(cost).await;
@@ -450,10 +460,12 @@ impl Session {
                 // other threads through the library-wide mutex.
                 loop {
                     if req.is_complete() {
+                        self.inner.sim.verify().observe_complete(req.id());
                         return;
                     }
                     self.seq_acquire(ctx).await;
                     if req.is_complete() {
+                        self.inner.sim.verify().observe_complete(req.id());
                         return;
                     }
                     let p = self.progress_unit();
@@ -462,6 +474,7 @@ impl Session {
                         ctx.compute(p.cost).await;
                     }
                     if req.is_complete() {
+                        self.inner.sim.verify().observe_complete(req.id());
                         return;
                     }
                     if !p.did_work {
@@ -490,6 +503,7 @@ impl Session {
             }
             EngineKind::Sequential => loop {
                 if let Some(i) = reqs.iter().position(PiomReq::is_complete) {
+                    self.inner.sim.verify().observe_complete(reqs[i].id());
                     return i;
                 }
                 self.seq_acquire(ctx).await;

@@ -48,6 +48,7 @@ pub mod stats;
 mod time;
 pub mod trace;
 mod trigger;
+pub mod verify;
 
 pub use channel::SimChannel;
 pub use executor::TaskId;
@@ -57,3 +58,4 @@ pub use sim::{Sim, TimerHandle};
 pub use slab::Slab;
 pub use time::{SimDuration, SimTime};
 pub use trigger::{OneShot, OneShotSender, Trigger};
+pub use verify::{LockInversion, RaceFinding, Verify, VerifyReport};

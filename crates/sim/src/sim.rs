@@ -5,6 +5,7 @@ use crate::obs::Obs;
 use crate::rng::Xoshiro256;
 use crate::slab::Slab;
 use crate::trace::Trace;
+use crate::verify::Verify;
 use crate::{SimDuration, SimTime};
 use std::cell::{Cell, RefCell};
 use std::cmp::Ordering as CmpOrdering;
@@ -34,6 +35,7 @@ struct Inner {
     rng: RefCell<Xoshiro256>,
     trace: Trace,
     obs: Obs,
+    verify: Verify,
     executed_events: Cell<u64>,
     polls: Cell<u64>,
 }
@@ -96,6 +98,7 @@ impl Sim {
                 rng: RefCell::new(Xoshiro256::new(seed)),
                 trace: Trace::new(),
                 obs: Obs::new(),
+                verify: Verify::new(),
                 executed_events: Cell::new(0),
                 polls: Cell::new(0),
             }),
@@ -115,6 +118,12 @@ impl Sim {
     /// The simulation-wide structured-observability recorder (pm2-obs).
     pub fn obs(&self) -> &Obs {
         &self.inner.obs
+    }
+
+    /// The simulation-wide lock-order / happens-before analyzer
+    /// (pm2-verify). Disabled by default; see [`crate::verify`].
+    pub fn verify(&self) -> &Verify {
+        &self.inner.verify
     }
 
     /// Draws from the simulation RNG.

@@ -1,0 +1,680 @@
+//! pm2-verify: a sim-level lock-order and happens-before analyzer.
+//!
+//! The deterministic simulation executes on one OS thread, so it can never
+//! deadlock or tear data *at runtime* — but it faithfully models code that
+//! is multithreaded in the real engine (PIOMAN progress passes racing
+//! application threads). This module checks the two properties that a real
+//! deployment of the modelled locking discipline would need:
+//!
+//! * **Lock ordering** — every simulated critical section is bracketed by
+//!   [`Verify::lock_acquire`]/[`Verify::lock_release`] with a stable name
+//!   (`"pioman.registry"`, `"newmad.state"`, `"coll.state"`). Acquiring L
+//!   while holding H records the edge H → L; a cycle in that graph is a
+//!   lock-order inversion — a latent ABBA deadlock in the multithreaded
+//!   incarnation — reported by [`Verify::report`].
+//! * **Happens-before on request state** — request completion state is
+//!   written by whichever progression site detects the hardware event
+//!   (inline / idle hook / tasklet, see [`Site`]) and read by waiting
+//!   application threads. Each logical thread class (`(node, site)`) gets
+//!   a vector clock; lock sections and the publish/acquire pair around the
+//!   completion flag ([`Verify::hb_publish`] in `complete()`, mirroring a
+//!   `Release` store; [`Verify::hb_acquire`] at the wait-side observation,
+//!   mirroring the `Acquire` load) create the edges. A touch that is not
+//!   ordered after the previous conflicting touch is reported as a race.
+//!
+//! Like [`Obs`](crate::obs::Obs), the analyzer is disabled by default,
+//! costs one branch per call when disabled, and **never schedules events
+//! or charges virtual time**, so enabled and disabled runs are
+//! time-step identical (the baseline guard stays byte-identical).
+//!
+//! Honest limits: actors are *classes* of threads, not individual Marcel
+//! threads — two application threads on the same node share a clock, so
+//! races strictly between them are invisible; and only instrumented state
+//! (request completion) is tracked, not arbitrary session fields.
+
+use crate::obs::Site;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+
+/// Vector clock over dynamically-registered actors.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct VClock(Vec<u32>);
+
+impl VClock {
+    fn bump(&mut self, i: usize) {
+        if self.0.len() <= i {
+            self.0.resize(i + 1, 0);
+        }
+        self.0[i] += 1;
+    }
+
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// `self ≤ other` component-wise (self happens-before-or-equals other).
+    fn le(&self, other: &VClock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(i, &a)| a <= other.0.get(i).copied().unwrap_or(0))
+    }
+}
+
+/// A logical thread class: the node (when known) plus the progression site.
+type Actor = (Option<usize>, &'static str);
+
+fn actor_name(actor: Actor) -> String {
+    match actor.0 {
+        Some(n) => format!("node{}/{}", n, actor.1),
+        None => actor.1.to_string(),
+    }
+}
+
+/// One lock-order inversion: a cycle in the held-while-acquiring graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockInversion {
+    /// The locks on the cycle, in edge order (last acquires the first).
+    pub cycle: Vec<&'static str>,
+    /// One witness per edge: which actor acquired `to` while holding
+    /// `from`, and how often that edge was exercised.
+    pub witnesses: Vec<String>,
+}
+
+/// One happens-before race on tracked request state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceFinding {
+    /// Request id the conflicting touches refer to.
+    pub req: u64,
+    /// True if the unordered access was a write.
+    pub write: bool,
+    /// Actor performing the unordered access.
+    pub actor: String,
+    /// Actor of the prior conflicting access it is not ordered after.
+    pub prior: String,
+}
+
+/// Everything the analyzer found. Empty on a clean run.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// Lock-order inversions (latent ABBA deadlocks).
+    pub lock_inversions: Vec<LockInversion>,
+    /// Happens-before races on request state.
+    pub races: Vec<RaceFinding>,
+    /// Instrumentation protocol errors (e.g. unbalanced release).
+    pub errors: Vec<String>,
+}
+
+impl VerifyReport {
+    /// True when nothing was found.
+    pub fn is_clean(&self) -> bool {
+        self.lock_inversions.is_empty() && self.races.is_empty() && self.errors.is_empty()
+    }
+
+    /// Human-readable summary of every finding, one per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for inv in &self.lock_inversions {
+            out.push_str(&format!(
+                "lock-order inversion: cycle {:?}; witnesses: {}\n",
+                inv.cycle,
+                inv.witnesses.join("; ")
+            ));
+        }
+        for race in &self.races {
+            out.push_str(&format!(
+                "happens-before race on req {}: {} by {} not ordered after {} by {}\n",
+                race.req,
+                if race.write { "write" } else { "read" },
+                race.actor,
+                if race.write { "access" } else { "write" },
+                race.prior
+            ));
+        }
+        for err in &self.errors {
+            out.push_str(&format!("instrumentation error: {err}\n"));
+        }
+        out
+    }
+}
+
+struct EdgeInfo {
+    witness: String,
+    count: u64,
+}
+
+struct ReqState {
+    write: Option<(VClock, usize)>,
+    reads: VClock,
+    last_reader: Option<usize>,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Actor registry: identity → clock index.
+    actors: BTreeMap<Actor, usize>,
+    names: Vec<String>,
+    clocks: Vec<VClock>,
+    /// Stack of currently-held lock names (the sim is single-threaded, so
+    /// critical sections nest globally).
+    held: Vec<&'static str>,
+    /// Release-clock per lock (models the mutex's synchronizes-with edge).
+    lock_clocks: BTreeMap<&'static str, VClock>,
+    /// Held-while-acquiring edges with a witness each.
+    edges: BTreeMap<(&'static str, &'static str), EdgeInfo>,
+    /// Publish clocks per request (models the completion flag's Release
+    /// store / Acquire load pair).
+    tokens: BTreeMap<u64, VClock>,
+    reqs: BTreeMap<u64, ReqState>,
+    races: Vec<RaceFinding>,
+    errors: Vec<String>,
+    acquires: u64,
+    touches: u64,
+}
+
+impl Inner {
+    fn actor_index(&mut self, actor: Actor) -> usize {
+        if let Some(&i) = self.actors.get(&actor) {
+            return i;
+        }
+        let i = self.clocks.len();
+        self.actors.insert(actor, i);
+        self.names.push(actor_name(actor));
+        self.clocks.push(VClock::default());
+        self.clocks[i].bump(i);
+        i
+    }
+}
+
+/// The analyzer hung off every [`Sim`](crate::Sim); see the module docs.
+pub struct Verify {
+    enabled: Cell<bool>,
+    site: Cell<Site>,
+    node: Cell<Option<usize>>,
+    inner: RefCell<Inner>,
+}
+
+impl Verify {
+    /// Creates a disabled analyzer.
+    pub fn new() -> Verify {
+        Verify {
+            enabled: Cell::new(false),
+            site: Cell::new(Site::App),
+            node: Cell::new(None),
+            inner: RefCell::new(Inner::default()),
+        }
+    }
+
+    /// Enables or disables the analyzer.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.set(enabled);
+    }
+
+    /// True if recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.get()
+    }
+
+    /// Sets the progression-site context (mirrors
+    /// [`Obs::set_site`](crate::obs::Obs::set_site)); returns the previous
+    /// value for the caller to restore.
+    pub fn set_site(&self, site: Site) -> Site {
+        self.site.replace(site)
+    }
+
+    /// Sets the node context for actor attribution; returns the previous
+    /// value for the caller to restore.
+    pub fn set_node(&self, node: Option<usize>) -> Option<usize> {
+        self.node.replace(node)
+    }
+
+    fn current_actor(&self) -> Actor {
+        (self.node.get(), self.site.get().name())
+    }
+
+    /// `(lock acquisitions, state touches)` recorded so far — used by
+    /// tests to prove the analyzer actually saw traffic (a clean report
+    /// over zero observations proves nothing).
+    pub fn counts(&self) -> (u64, u64) {
+        let inner = self.inner.borrow();
+        (inner.acquires, inner.touches)
+    }
+
+    /// The held-while-acquiring edges recorded so far as
+    /// `(held, acquired, times exercised)` — the analyzed lock graph.
+    pub fn lock_edges(&self) -> Vec<(&'static str, &'static str, u64)> {
+        self.inner
+            .borrow()
+            .edges
+            .iter()
+            .map(|((f, t), e)| (*f, *t, e.count))
+            .collect()
+    }
+
+    // ----- lock tracking --------------------------------------------------
+
+    /// Enter the named critical section: records held-while-acquiring
+    /// edges and the mutex acquire happens-before edge.
+    pub fn lock_acquire(&self, name: &'static str) {
+        if !self.enabled.get() {
+            return;
+        }
+        let actor = self.current_actor();
+        let mut inner = self.inner.borrow_mut();
+        inner.acquires += 1;
+        let a = inner.actor_index(actor);
+        for i in 0..inner.held.len() {
+            let held = inner.held[i];
+            if held == name {
+                let msg = format!(
+                    "reentrant acquire of {name:?} by {} (self-deadlock in a real mutex)",
+                    actor_name(actor)
+                );
+                inner.errors.push(msg);
+                continue;
+            }
+            let witness = format!("{} acquired {name:?} holding {held:?}", actor_name(actor));
+            inner
+                .edges
+                .entry((held, name))
+                .and_modify(|e| e.count += 1)
+                .or_insert(EdgeInfo { witness, count: 1 });
+        }
+        if let Some(lc) = inner.lock_clocks.get(name).cloned() {
+            inner.clocks[a].join(&lc);
+        }
+        inner.held.push(name);
+    }
+
+    /// Leave the named critical section: records the mutex release
+    /// happens-before edge.
+    pub fn lock_release(&self, name: &'static str) {
+        if !self.enabled.get() {
+            return;
+        }
+        let actor = self.current_actor();
+        let mut inner = self.inner.borrow_mut();
+        let a = inner.actor_index(actor);
+        match inner.held.pop() {
+            Some(top) if top == name => {}
+            Some(top) => {
+                let msg = format!("release of {name:?} while {top:?} is on top of the lock stack");
+                inner.errors.push(msg);
+                inner.held.push(top);
+            }
+            None => {
+                let msg = format!("release of {name:?} with no lock held");
+                inner.errors.push(msg);
+            }
+        }
+        inner.clocks[a].bump(a);
+        let clock = inner.clocks[a].clone();
+        inner.lock_clocks.entry(name).or_default().join(&clock);
+    }
+
+    // ----- request-state happens-before tracking --------------------------
+
+    /// A write touch of request `req`'s tracked state (its completion
+    /// record): must be ordered after every prior touch.
+    pub fn touch_write(&self, req: u64) {
+        self.touch(req, true);
+    }
+
+    /// A read touch of request `req`'s tracked state: must be ordered
+    /// after the prior write.
+    pub fn touch_read(&self, req: u64) {
+        self.touch(req, false);
+    }
+
+    fn touch(&self, req: u64, write: bool) {
+        if !self.enabled.get() {
+            return;
+        }
+        let actor = self.current_actor();
+        let mut inner = self.inner.borrow_mut();
+        inner.touches += 1;
+        let a = inner.actor_index(actor);
+        inner.clocks[a].bump(a);
+        let clock = inner.clocks[a].clone();
+        let st = inner.reqs.entry(req).or_insert(ReqState {
+            write: None,
+            reads: VClock::default(),
+            last_reader: None,
+        });
+        let mut prior: Option<usize> = None;
+        if let Some((wc, wa)) = &st.write {
+            if !wc.le(&clock) {
+                prior = Some(*wa);
+            }
+        }
+        if write && prior.is_none() && !st.reads.le(&clock) {
+            prior = st.last_reader;
+        }
+        if write {
+            st.write = Some((clock.clone(), a));
+            st.reads = clock;
+            st.last_reader = None;
+        } else {
+            st.reads.join(&clock);
+            st.last_reader = Some(a);
+        }
+        if let Some(p) = prior {
+            let race = RaceFinding {
+                req,
+                write,
+                actor: inner.names[a].clone(),
+                prior: inner.names[p].clone(),
+            };
+            inner.races.push(race);
+        }
+    }
+
+    /// Models the `Release` store of request `req`'s completion flag:
+    /// joins the current actor's clock into the request's publish token.
+    pub fn hb_publish(&self, req: u64) {
+        if !self.enabled.get() {
+            return;
+        }
+        let actor = self.current_actor();
+        let mut inner = self.inner.borrow_mut();
+        let a = inner.actor_index(actor);
+        inner.clocks[a].bump(a);
+        let clock = inner.clocks[a].clone();
+        inner.tokens.entry(req).or_default().join(&clock);
+    }
+
+    /// Models the `Acquire` load that observed request `req` complete:
+    /// joins the publish token into the current actor's clock.
+    pub fn hb_acquire(&self, req: u64) {
+        if !self.enabled.get() {
+            return;
+        }
+        let actor = self.current_actor();
+        let mut inner = self.inner.borrow_mut();
+        let a = inner.actor_index(actor);
+        if let Some(tc) = inner.tokens.get(&req).cloned() {
+            inner.clocks[a].join(&tc);
+        }
+    }
+
+    /// Wait-side observation of a completed request: the `Acquire` load
+    /// plus a read touch of the completion record.
+    pub fn observe_complete(&self, req: u64) {
+        if !self.enabled.get() {
+            return;
+        }
+        self.hb_acquire(req);
+        self.touch_read(req);
+    }
+
+    // ----- reporting ------------------------------------------------------
+
+    /// Builds the findings report: cycle-detects the lock graph and
+    /// returns the recorded races and protocol errors.
+    pub fn report(&self) -> VerifyReport {
+        let inner = self.inner.borrow();
+        let mut adj: BTreeMap<&'static str, Vec<&'static str>> = BTreeMap::new();
+        for (from, to) in inner.edges.keys() {
+            adj.entry(*from).or_default().push(*to);
+        }
+        let mut inversions = Vec::new();
+        let mut seen_cycles: Vec<Vec<&'static str>> = Vec::new();
+        // Iterative DFS from every node; a back edge onto the current path
+        // yields a cycle. Graphs here are tiny (a handful of named locks).
+        for &start in adj.keys() {
+            let mut path: Vec<&'static str> = vec![start];
+            let mut iters: Vec<usize> = vec![0];
+            while let Some(level) = iters.last_mut() {
+                let node = *path.last().expect("path tracks iters");
+                let next = adj.get(node).and_then(|v| v.get(*level)).copied();
+                *level += 1;
+                match next {
+                    Some(n) => {
+                        if let Some(pos) = path.iter().position(|&p| p == n) {
+                            let mut cycle: Vec<&'static str> = path[pos..].to_vec();
+                            // Canonical rotation for dedup.
+                            let min = cycle
+                                .iter()
+                                .enumerate()
+                                .min_by_key(|(_, s)| **s)
+                                .map(|(i, _)| i)
+                                .unwrap_or(0);
+                            cycle.rotate_left(min);
+                            if !seen_cycles.contains(&cycle) {
+                                seen_cycles.push(cycle.clone());
+                                let witnesses = cycle
+                                    .iter()
+                                    .zip(cycle.iter().cycle().skip(1))
+                                    .filter_map(|(f, t)| inner.edges.get(&(*f, *t)))
+                                    .map(|e| format!("{} ({}x)", e.witness, e.count))
+                                    .collect();
+                                inversions.push(LockInversion { cycle, witnesses });
+                            }
+                        } else if !path.contains(&n) {
+                            path.push(n);
+                            iters.push(0);
+                        }
+                    }
+                    None => {
+                        path.pop();
+                        iters.pop();
+                    }
+                }
+            }
+        }
+        VerifyReport {
+            lock_inversions: inversions,
+            races: inner.races.clone(),
+            errors: inner.errors.clone(),
+        }
+    }
+
+    /// Panics with every finding if the run was not clean.
+    ///
+    /// # Panics
+    /// On any lock-order inversion, happens-before race or
+    /// instrumentation error.
+    pub fn assert_clean(&self) {
+        let report = self.report();
+        assert!(
+            report.is_clean(),
+            "pm2-verify found concurrency-discipline violations:\n{}",
+            report.render()
+        );
+    }
+}
+
+impl Default for Verify {
+    fn default() -> Self {
+        Verify::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let v = Verify::new();
+        v.lock_acquire("a");
+        v.lock_acquire("b");
+        v.lock_release("a"); // would be unbalanced if recording
+        v.touch_write(1);
+        v.touch_read(1);
+        assert_eq!(v.counts(), (0, 0));
+        assert!(v.report().is_clean());
+    }
+
+    #[test]
+    fn consistent_lock_order_is_clean() {
+        let v = Verify::new();
+        v.set_enabled(true);
+        for _ in 0..3 {
+            v.lock_acquire("registry");
+            v.lock_acquire("state");
+            v.lock_release("state");
+            v.lock_release("registry");
+        }
+        let report = v.report();
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(v.counts().0, 6);
+    }
+
+    #[test]
+    fn abba_inversion_is_found() {
+        let v = Verify::new();
+        v.set_enabled(true);
+        v.lock_acquire("a");
+        v.lock_acquire("b");
+        v.lock_release("b");
+        v.lock_release("a");
+        // Later, the opposite order — never overlapping at runtime, but a
+        // latent deadlock for real threads.
+        v.lock_acquire("b");
+        v.lock_acquire("a");
+        v.lock_release("a");
+        v.lock_release("b");
+        let report = v.report();
+        assert_eq!(report.lock_inversions.len(), 1);
+        let cycle = &report.lock_inversions[0].cycle;
+        assert_eq!(cycle.len(), 2);
+        assert!(cycle.contains(&"a") && cycle.contains(&"b"));
+        assert!(report.render().contains("lock-order inversion"));
+    }
+
+    #[test]
+    fn three_lock_cycle_is_found_once() {
+        let v = Verify::new();
+        v.set_enabled(true);
+        for (h, l) in [("a", "b"), ("b", "c"), ("c", "a")] {
+            v.lock_acquire(h);
+            v.lock_acquire(l);
+            v.lock_release(l);
+            v.lock_release(h);
+        }
+        let report = v.report();
+        assert_eq!(report.lock_inversions.len(), 1);
+        assert_eq!(report.lock_inversions[0].cycle.len(), 3);
+    }
+
+    #[test]
+    fn unpublished_completion_read_races() {
+        let v = Verify::new();
+        v.set_enabled(true);
+        // Writer: a tasklet progress pass completes the request but never
+        // publishes (a missing Release store).
+        v.set_site(Site::Tasklet);
+        v.touch_write(7);
+        // Reader: the application thread observes it with no ordering.
+        v.set_site(Site::App);
+        v.touch_read(7);
+        let report = v.report();
+        assert_eq!(report.races.len(), 1);
+        assert_eq!(report.races[0].req, 7);
+        assert!(!report.races[0].write);
+        assert_eq!(report.races[0].prior, "tasklet");
+    }
+
+    #[test]
+    fn publish_acquire_pair_orders_the_read() {
+        let v = Verify::new();
+        v.set_enabled(true);
+        v.set_site(Site::Tasklet);
+        v.touch_write(7);
+        v.hb_publish(7);
+        v.set_site(Site::App);
+        v.observe_complete(7);
+        let report = v.report();
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(v.counts().1, 2);
+    }
+
+    #[test]
+    fn lock_sections_order_touches() {
+        let v = Verify::new();
+        v.set_enabled(true);
+        // Writer completes under the registry lock…
+        v.set_site(Site::Hook);
+        v.lock_acquire("registry");
+        v.touch_write(3);
+        v.lock_release("registry");
+        // …and the reader's own pass through the same lock orders it.
+        v.set_site(Site::Inline);
+        v.lock_acquire("registry");
+        v.lock_release("registry");
+        v.touch_read(3);
+        let report = v.report();
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn write_after_unordered_read_races() {
+        let v = Verify::new();
+        v.set_enabled(true);
+        v.set_site(Site::App);
+        v.touch_write(1);
+        v.hb_publish(1);
+        v.set_site(Site::Hook);
+        v.observe_complete(1);
+        // A second write not ordered after the hook's read.
+        v.set_site(Site::App);
+        v.touch_write(1);
+        let report = v.report();
+        assert_eq!(report.races.len(), 1);
+        assert!(report.races[0].write);
+        assert_eq!(report.races[0].prior, "hook");
+    }
+
+    #[test]
+    fn unbalanced_release_is_an_error() {
+        let v = Verify::new();
+        v.set_enabled(true);
+        v.lock_release("ghost");
+        v.lock_acquire("a");
+        v.lock_acquire("b");
+        v.lock_release("a");
+        let report = v.report();
+        assert_eq!(report.errors.len(), 2);
+        assert!(report.render().contains("no lock held"));
+    }
+
+    #[test]
+    fn reentrant_acquire_is_an_error() {
+        let v = Verify::new();
+        v.set_enabled(true);
+        v.lock_acquire("m");
+        v.lock_acquire("m");
+        let report = v.report();
+        assert!(!report.errors.is_empty());
+        assert!(report.render().contains("reentrant"));
+    }
+
+    #[test]
+    fn node_context_separates_actors() {
+        let v = Verify::new();
+        v.set_enabled(true);
+        v.set_node(Some(0));
+        v.touch_write(9);
+        v.hb_publish(9);
+        let prev = v.set_node(Some(1));
+        assert_eq!(prev, Some(0));
+        v.observe_complete(9);
+        assert!(v.report().is_clean());
+        // Same layout without the publish: now it races, proving the two
+        // nodes really are distinct actors.
+        let v2 = Verify::new();
+        v2.set_enabled(true);
+        v2.set_node(Some(0));
+        v2.touch_write(9);
+        v2.set_node(Some(1));
+        v2.touch_read(9);
+        assert_eq!(v2.report().races.len(), 1);
+        assert!(v2.report().races[0].actor.contains("node1"));
+    }
+}

@@ -1,11 +1,21 @@
 //! Exponential backoff for spin loops.
 
-use std::sync::atomic::{compiler_fence, Ordering};
+use crate::primitives::{compiler_fence, Ordering};
 
 /// Maximum exponent before [`Backoff::snooze`] starts yielding to the OS.
+#[cfg(not(loom))]
 const SPIN_LIMIT: u32 = 6;
 /// Maximum exponent; beyond this the backoff saturates.
+#[cfg(not(loom))]
 const YIELD_LIMIT: u32 = 10;
+
+// Under the model checker every spin iteration is a schedule point, so the
+// exponential schedule would only inflate the state space; shrink it to the
+// minimum that still exercises the spin → yield → park escalation.
+#[cfg(loom)]
+const SPIN_LIMIT: u32 = 0;
+#[cfg(loom)]
+const YIELD_LIMIT: u32 = 1;
 
 /// Bounded exponential growth factor: `2^min(attempt, cap)`.
 ///
@@ -64,7 +74,7 @@ impl Backoff {
     pub fn spin(&self) {
         let step = self.step.get().min(SPIN_LIMIT);
         for _ in 0..(1u32 << step) {
-            std::hint::spin_loop();
+            crate::primitives::spin_loop();
         }
         if self.step.get() <= SPIN_LIMIT {
             self.step.set(self.step.get() + 1);
@@ -82,10 +92,10 @@ impl Backoff {
         let step = self.step.get();
         if step <= SPIN_LIMIT {
             for _ in 0..(1u32 << step) {
-                std::hint::spin_loop();
+                crate::primitives::spin_loop();
             }
         } else {
-            std::thread::yield_now();
+            crate::primitives::yield_now();
         }
         if step <= YIELD_LIMIT {
             self.step.set(step + 1);

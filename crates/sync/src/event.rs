@@ -1,8 +1,7 @@
 //! Event count: spin-then-park completion waiting.
 
+use crate::primitives::{AtomicU64, Condvar, Mutex, Ordering};
 use crate::Backoff;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
 
 /// A monotonically increasing event counter with efficient waiting.
 ///

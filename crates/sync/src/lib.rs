@@ -33,9 +33,11 @@ mod backoff;
 mod cache_padded;
 mod event;
 mod mcs;
+pub mod model;
 mod mpmc;
 mod mpsc;
 mod native;
+pub mod primitives;
 mod rwspin;
 mod seqlock;
 mod spin;

@@ -1,9 +1,8 @@
 //! MCS queue lock: contention-scalable mutual exclusion.
 
-use std::cell::UnsafeCell;
+use crate::primitives::{AtomicBool, AtomicPtr, Ordering, UnsafeCell};
 use std::ops::{Deref, DerefMut};
 use std::ptr;
-use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 
 /// A Mellor-Crummey–Scott queue lock.
 ///
@@ -91,7 +90,7 @@ impl<T: ?Sized> McsLock<T> {
             unsafe { (*prev).next.store(node_ptr, Ordering::Release) };
             // Local spin on our own flag.
             while node.locked.load(Ordering::Acquire) {
-                std::hint::spin_loop();
+                crate::primitives::spin_loop();
             }
         }
         McsGuard {
@@ -156,7 +155,7 @@ impl<T: ?Sized> Drop for McsGuard<'_, T> {
                     if !next.is_null() {
                         break;
                     }
-                    std::hint::spin_loop();
+                    crate::primitives::spin_loop();
                 }
             }
             (*next).locked.store(false, Ordering::Release);

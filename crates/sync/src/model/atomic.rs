@@ -1,0 +1,274 @@
+//! Model-aware atomic types with the `std::sync::atomic` API surface.
+//!
+//! Every operation is a schedule point: the explorer may preempt the calling
+//! thread immediately before the operation takes effect. The operation
+//! itself executes on a plain std atomic — threads are fully serialized by
+//! the token scheduler, so there is never a physical race — while
+//! happens-before edges are tracked with vector clocks: `Release`-class
+//! stores publish the writer's clock on the atomic, `Acquire`-class loads
+//! join it. `Relaxed` operations create **no** edge, which is how
+//! relaxed-ordering misuse becomes visible to [`super::RaceCell`] checks
+//! even though the explored interleavings are sequentially consistent.
+
+pub use std::sync::atomic::Ordering;
+
+use super::exec::{with_ctx, LazyId};
+
+fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// Schedule point + happens-before bookkeeping for one atomic op.
+fn tracked_op(id: &LazyId, acquire: bool, release: bool) {
+    with_ctx(|exec, tid| {
+        exec.switch(tid, false);
+        exec.atomic_hb(tid, id.get(), acquire, release);
+    });
+}
+
+/// An atomic memory fence.
+///
+/// Modeled only as a schedule point: the vector-clock machinery tracks
+/// per-object release/acquire edges, not fence-to-fence synchronization.
+/// Invariants relying on fences (e.g. the SeqLock read path) must therefore
+/// be checked through value-level assertions, not `RaceCell` clocks.
+pub fn fence(_order: Ordering) {
+    with_ctx(|exec, tid| exec.switch(tid, false));
+}
+
+/// A compiler-only fence; a no-op for the model (it constrains codegen, not
+/// inter-thread visibility).
+pub fn compiler_fence(_order: Ordering) {}
+
+macro_rules! model_atomic_common {
+    ($name:ident, $std:ident, $raw:ty) => {
+        /// Model counterpart of the std atomic of the same name.
+        pub struct $name {
+            v: std::sync::atomic::$std,
+            id: LazyId,
+        }
+
+        impl $name {
+            /// Create a new atomic with the given initial value.
+            pub const fn new(v: $raw) -> Self {
+                Self {
+                    v: std::sync::atomic::$std::new(v),
+                    id: LazyId::new(),
+                }
+            }
+
+            /// Load the current value.
+            pub fn load(&self, order: Ordering) -> $raw {
+                tracked_op(&self.id, is_acquire(order), false);
+                self.v.load(Ordering::SeqCst)
+            }
+
+            /// Store a new value.
+            pub fn store(&self, val: $raw, order: Ordering) {
+                tracked_op(&self.id, false, is_release(order));
+                self.v.store(val, Ordering::SeqCst)
+            }
+
+            /// Swap the value, returning the previous one.
+            pub fn swap(&self, val: $raw, order: Ordering) -> $raw {
+                tracked_op(&self.id, is_acquire(order), is_release(order));
+                self.v.swap(val, Ordering::SeqCst)
+            }
+
+            /// Compare-and-exchange; orderings apply as in std.
+            pub fn compare_exchange(
+                &self,
+                current: $raw,
+                new: $raw,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$raw, $raw> {
+                with_ctx(|exec, tid| exec.switch(tid, false));
+                let r = self
+                    .v
+                    .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst);
+                match r {
+                    Ok(_) => with_ctx(|exec, tid| {
+                        exec.atomic_hb(tid, self.id.get(), is_acquire(success), is_release(success))
+                    }),
+                    Err(_) => with_ctx(|exec, tid| {
+                        exec.atomic_hb(tid, self.id.get(), is_acquire(failure), false)
+                    }),
+                };
+                r
+            }
+
+            /// Weak compare-and-exchange. The model never fails spuriously,
+            /// which only narrows the schedules a retry loop generates.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $raw,
+                new: $raw,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$raw, $raw> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            /// Bitwise OR, returning the previous value.
+            pub fn fetch_or(&self, val: $raw, order: Ordering) -> $raw {
+                tracked_op(&self.id, is_acquire(order), is_release(order));
+                self.v.fetch_or(val, Ordering::SeqCst)
+            }
+
+            /// Bitwise AND, returning the previous value.
+            pub fn fetch_and(&self, val: $raw, order: Ordering) -> $raw {
+                tracked_op(&self.id, is_acquire(order), is_release(order));
+                self.v.fetch_and(val, Ordering::SeqCst)
+            }
+
+            /// Exclusive access to the value (no schedule point: requires
+            /// `&mut self`, so no other thread can observe it).
+            pub fn get_mut(&mut self) -> &mut $raw {
+                self.v.get_mut()
+            }
+
+            /// Consume the atomic and return the value.
+            pub fn into_inner(self) -> $raw {
+                self.v.into_inner()
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_tuple(stringify!($name))
+                    .field(&self.v.load(Ordering::SeqCst))
+                    .finish()
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(Default::default())
+            }
+        }
+    };
+}
+
+macro_rules! model_atomic_int {
+    ($name:ident, $std:ident, $raw:ty) => {
+        model_atomic_common!($name, $std, $raw);
+
+        impl $name {
+            /// Wrapping add, returning the previous value.
+            pub fn fetch_add(&self, val: $raw, order: Ordering) -> $raw {
+                tracked_op(&self.id, is_acquire(order), is_release(order));
+                self.v.fetch_add(val, Ordering::SeqCst)
+            }
+
+            /// Wrapping subtract, returning the previous value.
+            pub fn fetch_sub(&self, val: $raw, order: Ordering) -> $raw {
+                tracked_op(&self.id, is_acquire(order), is_release(order));
+                self.v.fetch_sub(val, Ordering::SeqCst)
+            }
+
+            /// Bitwise XOR, returning the previous value.
+            pub fn fetch_xor(&self, val: $raw, order: Ordering) -> $raw {
+                tracked_op(&self.id, is_acquire(order), is_release(order));
+                self.v.fetch_xor(val, Ordering::SeqCst)
+            }
+        }
+    };
+}
+
+model_atomic_common!(AtomicBool, AtomicBool, bool);
+model_atomic_int!(AtomicU8, AtomicU8, u8);
+model_atomic_int!(AtomicU32, AtomicU32, u32);
+model_atomic_int!(AtomicU64, AtomicU64, u64);
+model_atomic_int!(AtomicUsize, AtomicUsize, usize);
+
+/// Model counterpart of [`std::sync::atomic::AtomicPtr`].
+pub struct AtomicPtr<T> {
+    v: std::sync::atomic::AtomicPtr<T>,
+    id: LazyId,
+}
+
+impl<T> AtomicPtr<T> {
+    /// Create a new atomic pointer.
+    pub const fn new(p: *mut T) -> Self {
+        Self {
+            v: std::sync::atomic::AtomicPtr::new(p),
+            id: LazyId::new(),
+        }
+    }
+
+    /// Load the current pointer.
+    pub fn load(&self, order: Ordering) -> *mut T {
+        tracked_op(&self.id, is_acquire(order), false);
+        self.v.load(Ordering::SeqCst)
+    }
+
+    /// Store a new pointer.
+    pub fn store(&self, p: *mut T, order: Ordering) {
+        tracked_op(&self.id, false, is_release(order));
+        self.v.store(p, Ordering::SeqCst)
+    }
+
+    /// Swap the pointer, returning the previous one.
+    pub fn swap(&self, p: *mut T, order: Ordering) -> *mut T {
+        tracked_op(&self.id, is_acquire(order), is_release(order));
+        self.v.swap(p, Ordering::SeqCst)
+    }
+
+    /// Compare-and-exchange; orderings apply as in std.
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        with_ctx(|exec, tid| exec.switch(tid, false));
+        let r = self
+            .v
+            .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst);
+        match r {
+            Ok(_) => with_ctx(|exec, tid| {
+                exec.atomic_hb(tid, self.id.get(), is_acquire(success), is_release(success))
+            }),
+            Err(_) => {
+                with_ctx(|exec, tid| exec.atomic_hb(tid, self.id.get(), is_acquire(failure), false))
+            }
+        };
+        r
+    }
+
+    /// Weak compare-and-exchange (never fails spuriously in the model).
+    pub fn compare_exchange_weak(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        self.compare_exchange(current, new, success, failure)
+    }
+
+    /// Exclusive access to the pointer (no schedule point).
+    pub fn get_mut(&mut self) -> &mut *mut T {
+        self.v.get_mut()
+    }
+}
+
+impl<T> std::fmt::Debug for AtomicPtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicPtr")
+            .field(&self.v.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl<T> Default for AtomicPtr<T> {
+    fn default() -> Self {
+        Self::new(std::ptr::null_mut())
+    }
+}

@@ -1,0 +1,77 @@
+//! Vector clocks for happens-before tracking inside the model checker.
+
+/// A vector clock: one logical-time component per model thread.
+///
+/// Component `i` is the number of visible operations thread `i` had performed
+/// the last time its knowledge was merged into this clock. `a ≤ b` (checked
+/// by [`VectorClock::le`]) means every event recorded in `a` happens-before
+/// (or is) the frontier recorded in `b`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VectorClock(Vec<u32>);
+
+impl VectorClock {
+    /// The empty clock (all components zero).
+    pub const fn new() -> Self {
+        Self(Vec::new())
+    }
+
+    fn grow(&mut self, len: usize) {
+        if self.0.len() < len {
+            self.0.resize(len, 0);
+        }
+    }
+
+    /// Increment this clock's own component for thread `tid`.
+    pub fn bump(&mut self, tid: usize) {
+        self.grow(tid + 1);
+        self.0[tid] += 1;
+    }
+
+    /// Pointwise maximum: merge everything `other` knows into `self`.
+    pub fn join(&mut self, other: &VectorClock) {
+        self.grow(other.0.len());
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    /// `true` iff `self ≤ other` pointwise (self happens-before-or-equals).
+    pub fn le(&self, other: &VectorClock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v <= other.0.get(i).copied().unwrap_or(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_le() {
+        let mut a = VectorClock::new();
+        let mut b = VectorClock::new();
+        a.bump(0);
+        b.bump(1);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+        let mut c = a.clone();
+        c.join(&b);
+        assert!(a.le(&c));
+        assert!(b.le(&c));
+        assert!(!c.le(&a));
+    }
+
+    #[test]
+    fn empty_le_everything() {
+        let e = VectorClock::new();
+        let mut a = VectorClock::new();
+        a.bump(3);
+        assert!(e.le(&a));
+        assert!(e.le(&e));
+        assert!(!a.le(&e));
+    }
+}

@@ -1,0 +1,432 @@
+//! Execution state and token-passing scheduler for the bounded model
+//! checker.
+//!
+//! One *execution* runs the checked closure once under a fully serialized
+//! schedule: every model thread is a real OS thread, but exactly one holds
+//! the token at any instant. Each instrumented operation (atomic op, cell
+//! access, lock, yield) calls [`Exec::switch`], which consults the forced
+//! schedule prefix chosen by the explorer, records the decision, and passes
+//! the token if a different thread was chosen.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use super::clock::VectorClock;
+
+/// Maximum model threads per execution (main + spawned).
+pub(super) const MAX_THREADS: usize = 8;
+
+/// Per-execution step cap: exceeding it means the schedule livelocked
+/// (e.g. an unbounded spin loop that the checked code never exits).
+pub(super) const MAX_STEPS: u64 = 100_000;
+
+/// Panic payload used to unwind secondary threads after an abort; the
+/// thread wrappers recognize and swallow it so only the first real failure
+/// is reported.
+pub(super) struct ModelAbort;
+
+/// Why a model thread is not currently runnable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum BlockReason {
+    /// Waiting to acquire the model mutex with this id.
+    MutexLock(u64),
+    /// Waiting for a notification on the model condvar with this id.
+    CondvarWait(u64),
+    /// Waiting for the model thread with this index to finish.
+    Join(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum ThreadStatus {
+    Runnable,
+    Blocked(BlockReason),
+    Finished,
+}
+
+/// One branchable scheduling decision (recorded when >1 thread was
+/// runnable at a non-yield switch point).
+#[derive(Debug, Clone)]
+pub(super) struct ChoicePoint {
+    /// Threads that were runnable at this point.
+    pub runnable: Vec<usize>,
+    /// The thread that was chosen to run next.
+    pub chosen: usize,
+    /// The thread that reached the switch point.
+    pub prev: usize,
+    /// Whether `prev` was still runnable (false at blocking points).
+    pub prev_runnable: bool,
+    /// Cumulative preemption count of the schedule before this decision.
+    pub cost_before: u32,
+}
+
+pub(super) struct MutexState {
+    pub locked: bool,
+    pub sync: VectorClock,
+}
+
+#[derive(Default)]
+pub(super) struct CondvarState {
+    /// Threads currently blocked in `wait` on this condvar.
+    pub waiters: Vec<usize>,
+    pub sync: VectorClock,
+}
+
+/// Happens-before tracking state for one `RaceCell`.
+#[derive(Default)]
+pub(super) struct CellState {
+    pub write_clock: VectorClock,
+    pub read_clock: VectorClock,
+    pub written: bool,
+}
+
+pub(super) struct ExecInner {
+    pub statuses: Vec<ThreadStatus>,
+    pub clocks: Vec<VectorClock>,
+    pub current: usize,
+    /// Forced choices (one per recorded `ChoicePoint`) replayed this run.
+    pub prefix: Vec<usize>,
+    pub choices: Vec<ChoicePoint>,
+    /// Preemptions accumulated so far by the forced/default schedule.
+    pub cost: u32,
+    pub steps: u64,
+    pub abort: bool,
+    pub failure: Option<String>,
+    /// Per-atomic release-sequence clocks, keyed by lazy id.
+    pub atomic_sync: HashMap<u64, VectorClock>,
+    pub mutexes: HashMap<u64, MutexState>,
+    pub condvars: HashMap<u64, CondvarState>,
+    pub cells: HashMap<u64, CellState>,
+    pub os_handles: Vec<std::thread::JoinHandle<()>>,
+    pub done: bool,
+}
+
+/// Shared state of one execution; every model thread holds an `Arc` to it.
+pub(super) struct Exec {
+    pub inner: Mutex<ExecInner>,
+    pub cv: Condvar,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Exec>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Run `f` with the current thread's execution context, if this thread is a
+/// registered model thread. Returns `None` (and does not call `f`) when the
+/// caller runs outside any `model()` execution — model types then degrade
+/// to plain single-threaded behaviour.
+pub(super) fn with_ctx<R>(f: impl FnOnce(&Arc<Exec>, usize) -> R) -> Option<R> {
+    CTX.with(|c| {
+        let borrow = c.borrow();
+        borrow.as_ref().map(|(exec, tid)| f(exec, *tid))
+    })
+}
+
+pub(super) fn set_ctx(ctx: Option<(Arc<Exec>, usize)>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Globally unique lazy-id source for model atomics/mutexes/condvars/cells.
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A lazily assigned object identity, `const`-constructible so model types
+/// keep the `const fn new` signature of their std counterparts.
+pub(super) struct LazyId(AtomicU64);
+
+impl LazyId {
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    pub fn get(&self) -> u64 {
+        let id = self.0.load(Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        let fresh = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        match self
+            .0
+            .compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => fresh,
+            Err(existing) => existing,
+        }
+    }
+}
+
+impl Exec {
+    pub fn new(prefix: Vec<usize>) -> Self {
+        Self {
+            inner: Mutex::new(ExecInner {
+                statuses: Vec::new(),
+                clocks: Vec::new(),
+                current: 0,
+                prefix,
+                choices: Vec::new(),
+                cost: 0,
+                steps: 0,
+                abort: false,
+                failure: None,
+                atomic_sync: HashMap::new(),
+                mutexes: HashMap::new(),
+                condvars: HashMap::new(),
+                cells: HashMap::new(),
+                os_handles: Vec::new(),
+                done: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Lock the inner state, shrugging off poisoning (threads unwind through
+    /// the guard during aborts by design).
+    pub fn lock(&self) -> MutexGuard<'_, ExecInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Record a failure (first one wins), abort the execution and wake every
+    /// thread so it can unwind.
+    pub fn fail(&self, g: &mut ExecInner, msg: String) {
+        if g.failure.is_none() {
+            g.failure = Some(msg);
+        }
+        g.abort = true;
+        self.cv.notify_all();
+    }
+
+    fn runnable(g: &ExecInner) -> Vec<usize> {
+        g.statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, ThreadStatus::Runnable))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Pick the next thread to run at a decision point and record it when
+    /// branchable. `prev` is the thread relinquishing (or keeping) the
+    /// token; `default` is the policy choice used beyond the forced prefix.
+    fn pick(&self, g: &mut ExecInner, prev: usize, prev_runnable: bool, default: usize) -> usize {
+        let runnable = Self::runnable(g);
+        debug_assert!(!runnable.is_empty());
+        if runnable.len() == 1 {
+            return runnable[0];
+        }
+        let idx = g.choices.len();
+        let chosen = if idx < g.prefix.len() {
+            let forced = g.prefix[idx];
+            if runnable.contains(&forced) {
+                forced
+            } else {
+                // Divergent replay (checked closure was nondeterministic);
+                // fall back to the default policy rather than wedge.
+                default
+            }
+        } else {
+            default
+        };
+        let cost_before = g.cost;
+        if prev_runnable && chosen != prev {
+            g.cost += 1;
+        }
+        g.choices.push(ChoicePoint {
+            runnable,
+            chosen,
+            prev,
+            prev_runnable,
+            cost_before,
+        });
+        chosen
+    }
+
+    fn grant(&self, g: &mut ExecInner, next: usize) {
+        g.current = next;
+        self.cv.notify_all();
+    }
+
+    /// Wait until this thread holds the token and is runnable; panics with
+    /// [`ModelAbort`] if the execution aborted.
+    fn wait_for_token(&self, mut g: MutexGuard<'_, ExecInner>, tid: usize) {
+        loop {
+            if g.abort {
+                drop(g);
+                std::panic::panic_any(ModelAbort);
+            }
+            if g.current == tid && matches!(g.statuses[tid], ThreadStatus::Runnable) {
+                return;
+            }
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn bump_steps(&self, g: &mut ExecInner) {
+        g.steps += 1;
+        if g.steps > MAX_STEPS {
+            self.fail(
+                g,
+                format!(
+                    "model: execution exceeded {MAX_STEPS} steps — \
+                     likely a livelock (unbounded spin) in the checked code"
+                ),
+            );
+            std::panic::panic_any(ModelAbort);
+        }
+    }
+
+    /// Schedule point. `yielding` marks voluntary yields (spin hints,
+    /// `yield_now`): the scheduler then *must* rotate to another runnable
+    /// thread (bounding spin loops) and the decision is not branched on by
+    /// the explorer, so preemption-bounded search stays finite.
+    pub fn switch(self: &Arc<Self>, tid: usize, yielding: bool) {
+        let mut g = self.lock();
+        if g.abort {
+            drop(g);
+            std::panic::panic_any(ModelAbort);
+        }
+        debug_assert_eq!(g.current, tid);
+        self.bump_steps(&mut g);
+        let next = if yielding {
+            // Deterministic fair rotation, never recorded as a choice.
+            let runnable = Self::runnable(&g);
+            *runnable
+                .iter()
+                .find(|&&t| t > tid)
+                .or_else(|| runnable.first())
+                .expect("yielding thread must itself be runnable")
+        } else {
+            self.pick(&mut g, tid, true, tid)
+        };
+        if next != tid {
+            self.grant(&mut g, next);
+            self.wait_for_token(g, tid);
+        }
+    }
+
+    /// Mark `tid` blocked for `reason`, hand the token to another runnable
+    /// thread (deadlock-checking), and return once `tid` has been woken and
+    /// granted the token again.
+    pub fn block(self: &Arc<Self>, tid: usize, reason: BlockReason) {
+        let mut g = self.lock();
+        if g.abort {
+            drop(g);
+            std::panic::panic_any(ModelAbort);
+        }
+        self.bump_steps(&mut g);
+        g.statuses[tid] = ThreadStatus::Blocked(reason);
+        if Self::runnable(&g).is_empty() {
+            let blocked: Vec<String> = g
+                .statuses
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| match s {
+                    ThreadStatus::Blocked(r) => Some(format!("thread {i} blocked on {r:?}")),
+                    _ => None,
+                })
+                .collect();
+            self.fail(&mut g, format!("deadlock: {}", blocked.join(", ")));
+            drop(g);
+            std::panic::panic_any(ModelAbort);
+        }
+        let first = Self::runnable(&g)[0];
+        let next = self.pick(&mut g, tid, false, first);
+        self.grant(&mut g, next);
+        self.wait_for_token(g, tid);
+    }
+
+    /// Wake every thread blocked for which `pred(reason)` holds.
+    pub fn wake_where(g: &mut ExecInner, pred: impl Fn(&BlockReason) -> bool) {
+        for s in g.statuses.iter_mut() {
+            if let ThreadStatus::Blocked(r) = s {
+                if pred(r) {
+                    *s = ThreadStatus::Runnable;
+                }
+            }
+        }
+    }
+
+    /// Register a new model thread; returns its index. The child's clock
+    /// inherits everything the parent has seen (spawn edge).
+    pub fn register_thread(&self, parent: Option<usize>) -> usize {
+        let mut g = self.lock();
+        let tid = g.statuses.len();
+        assert!(
+            tid < MAX_THREADS,
+            "model: more than {MAX_THREADS} threads in one execution"
+        );
+        g.statuses.push(ThreadStatus::Runnable);
+        let mut clock = VectorClock::new();
+        if let Some(p) = parent {
+            g.clocks[p].bump(p);
+            clock.join(&g.clocks[p]);
+        }
+        clock.bump(tid);
+        g.clocks.push(clock);
+        tid
+    }
+
+    /// Mark `tid` finished, wake its joiners, and pass the token on (or
+    /// declare the execution done / deadlocked).
+    pub fn finish(self: &Arc<Self>, tid: usize) {
+        let mut g = self.lock();
+        g.statuses[tid] = ThreadStatus::Finished;
+        Self::wake_where(&mut g, |r| matches!(r, BlockReason::Join(t) if *t == tid));
+        let runnable = Self::runnable(&g);
+        if let Some(&first) = runnable.first() {
+            if g.current == tid {
+                let next = self.pick(&mut g, tid, false, first);
+                self.grant(&mut g, next);
+            }
+        } else if g
+            .statuses
+            .iter()
+            .all(|s| matches!(s, ThreadStatus::Finished))
+        {
+            g.done = true;
+            self.cv.notify_all();
+        } else if !g.abort {
+            let blocked: Vec<String> = g
+                .statuses
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| match s {
+                    ThreadStatus::Blocked(r) => Some(format!("thread {i} blocked on {r:?}")),
+                    _ => None,
+                })
+                .collect();
+            self.fail(&mut g, format!("deadlock: {}", blocked.join(", ")));
+        }
+        // Abort path: once every thread has unwound, flag completion so the
+        // controller stops waiting.
+        if g.abort
+            && g.statuses
+                .iter()
+                .all(|s| matches!(s, ThreadStatus::Finished))
+        {
+            g.done = true;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Entry gate for a freshly spawned model thread: wait to be scheduled.
+    pub fn wait_first_schedule(&self, tid: usize) {
+        let g = self.lock();
+        self.wait_for_token(g, tid);
+    }
+
+    /// Apply happens-before effects of an atomic operation on object `id`.
+    pub fn atomic_hb(&self, tid: usize, id: u64, acquire: bool, release: bool) {
+        let mut g = self.lock();
+        g.clocks[tid].bump(tid);
+        if release {
+            let clock = g.clocks[tid].clone();
+            g.atomic_sync.entry(id).or_default().join(&clock);
+        }
+        if acquire {
+            if let Some(sync) = g.atomic_sync.get(&id) {
+                let sync = sync.clone();
+                g.clocks[tid].join(&sync);
+            }
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! In-tree bounded model checker (a loom-style CHESS explorer).
+//!
+//! The workspace is built offline, so the real `loom` crate cannot be added
+//! as a dependency; this module provides the subset the `primitives` shim
+//! needs, with the same shape: model-aware atomics ([`atomic`]), cells
+//! ([`RaceCell`]), [`sync::Mutex`]/[`sync::Condvar`], and [`thread`] spawn
+//! /join, plus a [`model`] entry point that explores thread interleavings.
+//!
+//! # How exploration works
+//!
+//! Every model thread is a real OS thread, but a token scheduler serializes
+//! them: exactly one runs at a time, and every instrumented operation is a
+//! *schedule point* where the explorer may switch threads. The explorer
+//! runs the closure repeatedly, depth-first over scheduling decisions, with
+//! **preemption bounding** (CHESS-style): schedules with more than
+//! `LOOM_MAX_PREEMPTIONS` involuntary context switches are pruned.
+//! Voluntary yields (`Backoff::snooze`, spin hints) rotate fairly and are
+//! not branched on, so spin loops stay bounded and the search terminates.
+//!
+//! # What it checks — and what it cannot
+//!
+//! * Assertion failures in the test closure, under every explored schedule.
+//! * Deadlocks (all threads blocked on model mutexes/condvars/joins).
+//! * Happens-before data races via [`RaceCell`] and per-atomic vector
+//!   clocks: `Release`/`Acquire` atomics create edges, `Relaxed` does not,
+//!   so relaxed-ordering misuse is caught even though the explored
+//!   interleavings themselves are sequentially consistent.
+//! * **Not** checked: weak-memory reorderings (only SC interleavings are
+//!   generated), fence-to-fence synchronization (fences are schedule points
+//!   only), and raw `UnsafeCell` contents (untracked; wrap test data in
+//!   [`RaceCell`] instead).
+
+pub mod atomic;
+mod clock;
+mod exec;
+mod race;
+pub mod sync;
+pub mod thread;
+
+pub use race::RaceCell;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+use exec::{set_ctx, with_ctx, ChoicePoint, Exec, ModelAbort};
+
+/// Voluntary spin hint: a fair-rotation schedule point in the model.
+pub fn spin_loop() {
+    if with_ctx(|exec, tid| exec.switch(tid, true)).is_none() {
+        std::hint::spin_loop();
+    }
+}
+
+/// Voluntary yield: a fair-rotation schedule point in the model.
+pub fn yield_now() {
+    if with_ctx(|exec, tid| exec.switch(tid, true)).is_none() {
+        std::thread::yield_now();
+    }
+}
+
+/// Serializes concurrent `model()` calls (the test harness runs tests in
+/// parallel; executions use process-global thread-locals).
+static MODEL_LOCK: Mutex<()> = Mutex::new(());
+
+/// Default preemption bound when `LOOM_MAX_PREEMPTIONS` is unset.
+pub const DEFAULT_MAX_PREEMPTIONS: u32 = 3;
+
+/// Default execution cap when `MODEL_MAX_EXECUTIONS` is unset. Hitting the
+/// cap prints a LOUD warning: coverage was truncated, never silently.
+pub const DEFAULT_MAX_EXECUTIONS: u64 = 200_000;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+struct Outcome {
+    choices: Vec<ChoicePoint>,
+    failure: Option<String>,
+}
+
+fn run_one(f: Arc<dyn Fn() + Send + Sync>, prefix: Vec<usize>) -> Outcome {
+    let exec = Arc::new(Exec::new(prefix));
+    let main_tid = exec.register_thread(None);
+    debug_assert_eq!(main_tid, 0);
+    let exec2 = exec.clone();
+    let os = std::thread::Builder::new()
+        .name("model-main".into())
+        .spawn(move || {
+            set_ctx(Some((exec2.clone(), 0)));
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f())) {
+                if payload.downcast_ref::<ModelAbort>().is_none() {
+                    let msg = thread::payload_to_string(payload.as_ref());
+                    let mut g = exec2.lock();
+                    exec2.fail(&mut g, format!("main model thread panicked: {msg}"));
+                }
+            }
+            exec2.finish(0);
+            set_ctx(None);
+        })
+        .expect("failed to spawn model main thread");
+    {
+        let mut g = exec.lock();
+        while !g.done {
+            g = exec.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+    let _ = os.join();
+    let (choices, failure, handles) = {
+        let mut g = exec.lock();
+        (
+            std::mem::take(&mut g.choices),
+            g.failure.take(),
+            std::mem::take(&mut g.os_handles),
+        )
+    };
+    for h in handles {
+        let _ = h.join();
+    }
+    Outcome { choices, failure }
+}
+
+/// Exhaustively (up to the preemption bound) model-check `f`.
+///
+/// Runs `f` once per explored schedule; panics with a diagnostic and the
+/// failing schedule prefix on the first assertion failure, detected
+/// deadlock, livelock (step-cap overrun) or `RaceCell` race. `f` must be
+/// deterministic apart from scheduling (no wall-clock, no OS randomness).
+///
+/// Tunables (environment): `LOOM_MAX_PREEMPTIONS` (default 3) bounds
+/// involuntary context switches per schedule; `MODEL_MAX_EXECUTIONS`
+/// (default 200 000) caps explored schedules, warning loudly if truncated.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let _serial = MODEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let bound = env_u64("LOOM_MAX_PREEMPTIONS", DEFAULT_MAX_PREEMPTIONS as u64) as u32;
+    let max_execs = env_u64("MODEL_MAX_EXECUTIONS", DEFAULT_MAX_EXECUTIONS);
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
+    let mut execs: u64 = 0;
+    while let Some(prefix) = stack.pop() {
+        execs += 1;
+        let outcome = run_one(f.clone(), prefix.clone());
+        if let Some(failure) = outcome.failure {
+            panic!(
+                "model check failed after {execs} execution(s):\n  {failure}\n  \
+                 schedule prefix: {prefix:?}\n  \
+                 (replay is deterministic; LOOM_MAX_PREEMPTIONS={bound})"
+            );
+        }
+        // Expand untried alternatives at decision points introduced beyond
+        // the forced prefix (earlier points were expanded by an ancestor).
+        for i in prefix.len()..outcome.choices.len() {
+            let cp = &outcome.choices[i];
+            for &alt in &cp.runnable {
+                if alt == cp.chosen {
+                    continue;
+                }
+                let preemptive = cp.prev_runnable && alt != cp.prev;
+                let cost = cp.cost_before + u32::from(preemptive);
+                if cost <= bound {
+                    let mut child: Vec<usize> =
+                        outcome.choices[..i].iter().map(|c| c.chosen).collect();
+                    child.push(alt);
+                    stack.push(child);
+                }
+            }
+        }
+        if execs >= max_execs && !stack.is_empty() {
+            eprintln!(
+                "WARNING: model: hit MODEL_MAX_EXECUTIONS={max_execs} with {} schedule \
+                 prefixes unexplored — COVERAGE IS INCOMPLETE. Raise MODEL_MAX_EXECUTIONS \
+                 or lower LOOM_MAX_PREEMPTIONS (currently {bound}).",
+                stack.len()
+            );
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use super::*;
+
+    fn fails_with(f: impl Fn() + Send + Sync + 'static, needle: &str) {
+        let err = catch_unwind(AssertUnwindSafe(|| model(f)))
+            .expect_err("model() should have reported a failure");
+        let msg = thread::payload_to_string(err.as_ref());
+        assert!(
+            msg.contains(needle),
+            "failure message {msg:?} does not contain {needle:?}"
+        );
+    }
+
+    #[test]
+    fn atomic_increment_is_sound() {
+        model(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = n.clone();
+                    thread::spawn(move || {
+                        n.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::Relaxed), 2);
+        });
+    }
+
+    #[test]
+    fn load_store_increment_race_is_found() {
+        // The classic torn increment: load; add; store. Some schedule makes
+        // both threads load 0 and the final value 1.
+        fails_with(
+            || {
+                let n = Arc::new(AtomicUsize::new(0));
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        let n = n.clone();
+                        thread::spawn(move || {
+                            let v = n.load(Ordering::SeqCst);
+                            n.store(v + 1, Ordering::SeqCst);
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+                assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+            },
+            "lost update",
+        );
+    }
+
+    #[test]
+    fn relaxed_publish_race_is_found() {
+        // Publishing data behind a Relaxed flag store creates no HB edge:
+        // the reader's RaceCell access must be flagged as a race.
+        fails_with(
+            || {
+                let cell = Arc::new(RaceCell::new(0u32));
+                let flag = Arc::new(AtomicBool::new(false));
+                let (c2, f2) = (cell.clone(), flag.clone());
+                let t = thread::spawn(move || {
+                    c2.set(42);
+                    f2.store(true, Ordering::Relaxed);
+                });
+                if flag.load(Ordering::Acquire) {
+                    let _ = cell.get();
+                }
+                t.join().unwrap();
+            },
+            "data race",
+        );
+    }
+
+    #[test]
+    fn release_acquire_publish_is_clean() {
+        model(|| {
+            let cell = Arc::new(RaceCell::new(0u32));
+            let flag = Arc::new(AtomicBool::new(false));
+            let (c2, f2) = (cell.clone(), flag.clone());
+            let t = thread::spawn(move || {
+                c2.set(42);
+                f2.store(true, Ordering::Release);
+            });
+            if flag.load(Ordering::Acquire) {
+                assert_eq!(cell.get(), 42);
+            }
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn abba_deadlock_is_found() {
+        fails_with(
+            || {
+                let a = Arc::new(sync::Mutex::new(0u32));
+                let b = Arc::new(sync::Mutex::new(0u32));
+                let (a2, b2) = (a.clone(), b.clone());
+                let t = thread::spawn(move || {
+                    let _ga = a2.lock().unwrap();
+                    let _gb = b2.lock().unwrap();
+                });
+                let _gb = b.lock().unwrap();
+                let _ga = a.lock().unwrap();
+                drop((_ga, _gb));
+                t.join().unwrap();
+            },
+            "deadlock",
+        );
+    }
+
+    #[test]
+    fn mutex_provides_exclusion() {
+        model(|| {
+            let m = Arc::new(sync::Mutex::new(0u64));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let m = m.clone();
+                    thread::spawn(move || {
+                        let mut g = m.lock().unwrap();
+                        let v = *g;
+                        *g = v + 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*m.lock().unwrap(), 2);
+        });
+    }
+
+    #[test]
+    fn condvar_wakeup_is_not_lost() {
+        model(|| {
+            let m = Arc::new(sync::Mutex::new(false));
+            let cv = Arc::new(sync::Condvar::new());
+            let (m2, cv2) = (m.clone(), cv.clone());
+            let t = thread::spawn(move || {
+                let mut g = m2.lock().unwrap();
+                *g = true;
+                drop(g);
+                cv2.notify_all();
+            });
+            let mut g = m.lock().unwrap();
+            while !*g {
+                g = cv.wait(g).unwrap();
+            }
+            drop(g);
+            t.join().unwrap();
+        });
+    }
+}

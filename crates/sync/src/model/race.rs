@@ -1,0 +1,116 @@
+//! [`RaceCell`]: a test-facing cell that detects happens-before data races.
+
+use super::exec::{with_ctx, LazyId};
+
+/// A plain-data cell whose reads and writes are checked against the vector
+/// clocks maintained by the model: a write must happen-after every prior
+/// read and write, a read must happen-after every prior write. A violation
+/// fails the model check with a diagnostic, exactly like loom's
+/// `UnsafeCell` access tracking.
+///
+/// Loom test suites wrap the data *protected* by a primitive in a
+/// `RaceCell`: if the primitive's atomics establish correct release/acquire
+/// edges, every access is ordered and the check passes; a missing or
+/// too-weak ordering (e.g. `Relaxed` where `Release` is required) shows up
+/// as a race even though the explored schedules are serialized.
+///
+/// Outside a `model()` execution the cell degrades to an unchecked
+/// single-threaded cell.
+pub struct RaceCell<T> {
+    data: std::cell::UnsafeCell<T>,
+    id: LazyId,
+}
+
+// SAFETY: accesses are serialized by the model's token scheduler; the HB
+// check reports (rather than prevents) logically racy accesses, which are
+// still physically exclusive. Outside executions the user must keep it
+// single-threaded — same contract as loom's cells in practice, enforced by
+// usage (tests only access it through the primitive under test).
+unsafe impl<T: Send> Send for RaceCell<T> {}
+unsafe impl<T: Send> Sync for RaceCell<T> {}
+
+impl<T> RaceCell<T> {
+    /// Create a new cell holding `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            data: std::cell::UnsafeCell::new(value),
+            id: LazyId::new(),
+        }
+    }
+
+    fn check(&self, write: bool) {
+        with_ctx(|exec, tid| {
+            exec.switch(tid, false);
+            let mut g = exec.lock();
+            g.clocks[tid].bump(tid);
+            let clock = g.clocks[tid].clone();
+            let id = self.id.get();
+            let st = g.cells.entry(id).or_default();
+            let w_ok = !st.written || st.write_clock.le(&clock);
+            let r_ok = !write || st.read_clock.le(&clock);
+            if write {
+                st.write_clock = clock.clone();
+                st.read_clock = clock.clone();
+                st.written = true;
+            } else {
+                st.read_clock.join(&clock);
+            }
+            if !(w_ok && r_ok) {
+                let kind = if write { "write" } else { "read" };
+                exec.fail(
+                    &mut g,
+                    format!(
+                        "data race: unsynchronized {kind} of RaceCell by thread {tid} \
+                         (a concurrent access is not ordered by happens-before)"
+                    ),
+                );
+                drop(g);
+                std::panic::panic_any(super::exec::ModelAbort);
+            }
+        });
+    }
+
+    /// Checked shared read of the value.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        self.check(false);
+        // SAFETY: model threads are serialized; HB violations were reported
+        // above rather than left undefined.
+        f(unsafe { &*self.data.get() })
+    }
+
+    /// Checked exclusive write access to the value.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        self.check(true);
+        // SAFETY: as in `with`.
+        f(unsafe { &mut *self.data.get() })
+    }
+
+    /// Exclusive access without checking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: Copy> RaceCell<T> {
+    /// Checked read of a `Copy` value.
+    pub fn get(&self) -> T {
+        self.with(|v| *v)
+    }
+
+    /// Checked write of a `Copy` value.
+    pub fn set(&self, value: T) {
+        self.with_mut(|v| *v = value);
+    }
+}
+
+impl<T: Default> Default for RaceCell<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T> std::fmt::Debug for RaceCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RaceCell").finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,223 @@
+//! Model-aware `Mutex` and `Condvar` with (a subset of) the std API.
+//!
+//! Blocking participates in the schedule exploration: a thread that waits
+//! on a held mutex or a condvar is marked non-runnable, so the explorer can
+//! detect deadlocks and lost wakeups. Lock/unlock and notify/wake carry
+//! vector-clock happens-before edges like release/acquire atomics.
+
+use std::marker::PhantomData;
+
+use super::exec::{with_ctx, BlockReason, Exec, LazyId, ThreadStatus};
+
+/// Model counterpart of [`std::sync::Mutex`].
+///
+/// Lock state lives in the current execution keyed by a lazy id, so
+/// `const fn new` works exactly like std's. Outside an execution the mutex
+/// degrades to unchecked single-threaded access.
+pub struct Mutex<T> {
+    id: LazyId,
+    data: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: the model serializes all accesses through the token scheduler
+// (or the type is used single-threaded outside executions); same contract
+// as std::sync::Mutex.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+/// RAII guard for [`Mutex`]; unlocks on drop.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    /// Guards are !Send like std's (the model ties unlock to the locking
+    /// thread's schedule).
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new unlocked mutex.
+    pub const fn new(value: T) -> Self {
+        Self {
+            id: LazyId::new(),
+            data: std::cell::UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquire the mutex, blocking the model thread until it is free.
+    ///
+    /// Returns `Result` so call sites can keep std's `.lock().unwrap()`
+    /// shape; the model never poisons.
+    #[allow(clippy::result_unit_err)]
+    pub fn lock(&self) -> Result<MutexGuard<'_, T>, ()> {
+        with_ctx(|exec, tid| {
+            loop {
+                exec.switch(tid, false);
+                let mut g = exec.lock();
+                let id = self.id.get();
+                let m = g
+                    .mutexes
+                    .entry(id)
+                    .or_insert_with(|| super::exec::MutexState {
+                        locked: false,
+                        sync: Default::default(),
+                    });
+                if !m.locked {
+                    m.locked = true;
+                    let sync = m.sync.clone();
+                    g.clocks[tid].bump(tid);
+                    g.clocks[tid].join(&sync);
+                    return;
+                }
+                drop(g);
+                exec.block(tid, BlockReason::MutexLock(id));
+                // Woken: loop and re-contend (barging semantics).
+            }
+        });
+        Ok(MutexGuard {
+            lock: self,
+            _not_send: PhantomData,
+        })
+    }
+
+    fn unlock(&self) {
+        with_ctx(|exec, tid| {
+            let mut g = exec.lock();
+            let id = self.id.get();
+            g.clocks[tid].bump(tid);
+            let clock = g.clocks[tid].clone();
+            let m = g.mutexes.get_mut(&id).expect("unlock of untracked mutex");
+            debug_assert!(m.locked, "unlock of unlocked model mutex");
+            m.locked = false;
+            m.sync.join(&clock);
+            Exec::wake_where(
+                &mut g,
+                |r| matches!(r, BlockReason::MutexLock(i) if *i == id),
+            );
+        });
+    }
+
+    /// Exclusive access without locking (requires `&mut self`).
+    #[allow(clippy::result_unit_err)] // mirrors std's LockResult-shaped API
+    pub fn get_mut(&mut self) -> Result<&mut T, ()> {
+        Ok(self.data.get_mut())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the model scheduler guarantees at most one guard exists.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref`.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.unlock();
+    }
+}
+
+/// Model counterpart of [`std::sync::Condvar`].
+pub struct Condvar {
+    id: LazyId,
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Self { id: LazyId::new() }
+    }
+
+    /// Atomically release the guard's mutex and wait for a notification,
+    /// then reacquire the mutex. No spurious wakeups in the model.
+    #[allow(clippy::result_unit_err)]
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> Result<MutexGuard<'a, T>, ()> {
+        let mutex = guard.lock;
+        let waited = with_ctx(|exec, tid| {
+            let cv_id = self.id.get();
+            {
+                let mut g = exec.lock();
+                g.condvars.entry(cv_id).or_default().waiters.push(tid);
+            }
+            // Unlocking wakes mutex contenders; the waiter then parks on
+            // the condvar. The registration above happened first, so a
+            // notify between unlock and park is still delivered (no lost
+            // wakeup window, matching std's guarantee).
+            drop(guard);
+            exec.block(tid, BlockReason::CondvarWait(cv_id));
+            let mut g = exec.lock();
+            let sync = g.condvars.entry(cv_id).or_default().sync.clone();
+            g.clocks[tid].bump(tid);
+            g.clocks[tid].join(&sync);
+        });
+        if waited.is_none() {
+            // Outside an execution there is no other thread to notify us;
+            // treat as an immediate (spurious) wakeup.
+        }
+        mutex.lock()
+    }
+
+    /// Wake all current waiters.
+    pub fn notify_all(&self) {
+        with_ctx(|exec, tid| {
+            let mut g = exec.lock();
+            let cv_id = self.id.get();
+            g.clocks[tid].bump(tid);
+            let clock = g.clocks[tid].clone();
+            let cv = g.condvars.entry(cv_id).or_default();
+            cv.sync.join(&clock);
+            let waiters = std::mem::take(&mut cv.waiters);
+            for w in waiters {
+                if let ThreadStatus::Blocked(BlockReason::CondvarWait(i)) = g.statuses[w] {
+                    if i == cv_id {
+                        g.statuses[w] = ThreadStatus::Runnable;
+                    }
+                }
+            }
+        });
+    }
+
+    /// Wake one waiter (the longest-waiting one, deterministically).
+    pub fn notify_one(&self) {
+        with_ctx(|exec, tid| {
+            let mut g = exec.lock();
+            let cv_id = self.id.get();
+            g.clocks[tid].bump(tid);
+            let clock = g.clocks[tid].clone();
+            let cv = g.condvars.entry(cv_id).or_default();
+            cv.sync.join(&clock);
+            if !cv.waiters.is_empty() {
+                let w = cv.waiters.remove(0);
+                if let ThreadStatus::Blocked(BlockReason::CondvarWait(i)) = g.statuses[w] {
+                    if i == cv_id {
+                        g.statuses[w] = ThreadStatus::Runnable;
+                    }
+                }
+            }
+        });
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,107 @@
+//! Model-aware thread spawn/join.
+//!
+//! Model threads are real OS threads, but they only run while holding the
+//! scheduler token, so spawning participates in schedule exploration.
+//! Spawn and join create the usual happens-before edges (parent→child on
+//! spawn, child→joiner on join).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+use super::exec::{set_ctx, with_ctx, BlockReason, Exec, ModelAbort, ThreadStatus};
+
+/// Handle to a spawned model thread; join blocks the model thread.
+pub struct JoinHandle<T> {
+    exec: Arc<Exec>,
+    tid: usize,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+/// Spawn a model thread running `f`.
+///
+/// Must be called from inside a `model()` execution (the main closure or
+/// another model thread); panics otherwise.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let ctx = with_ctx(|exec, tid| (exec.clone(), tid))
+        .expect("model::thread::spawn called outside a model() execution");
+    let (exec, parent) = ctx;
+    let tid = exec.register_thread(Some(parent));
+    let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let result2 = result.clone();
+    let exec2 = exec.clone();
+    let os = std::thread::Builder::new()
+        .name(format!("model-{tid}"))
+        .spawn(move || {
+            set_ctx(Some((exec2.clone(), tid)));
+            exec2.wait_first_schedule(tid);
+            let out = catch_unwind(AssertUnwindSafe(f));
+            match out {
+                Ok(v) => {
+                    *result2.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                }
+                Err(payload) => {
+                    if payload.downcast_ref::<ModelAbort>().is_none() {
+                        // `payload.as_ref()`, not `&payload`: the latter
+                        // unsize-coerces the Box itself into the trait
+                        // object and every downcast misses.
+                        let msg = payload_to_string(payload.as_ref());
+                        let mut g = exec2.lock();
+                        exec2.fail(&mut g, format!("thread {tid} panicked: {msg}"));
+                    }
+                }
+            }
+            exec2.finish(tid);
+            set_ctx(None);
+        })
+        .expect("failed to spawn model OS thread");
+    exec.lock().os_handles.push(os);
+    JoinHandle { exec, tid, result }
+}
+
+pub(super) fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its result.
+    pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+        let me = with_ctx(|_, tid| tid).expect("join outside a model() execution");
+        loop {
+            let finished = {
+                let g = self.exec.lock();
+                if g.abort {
+                    drop(g);
+                    std::panic::panic_any(ModelAbort);
+                }
+                matches!(g.statuses[self.tid], ThreadStatus::Finished)
+            };
+            if finished {
+                break;
+            }
+            self.exec.block(me, BlockReason::Join(self.tid));
+        }
+        // Join edge: everything the child did happens-before the joiner.
+        {
+            let mut g = self.exec.lock();
+            let child = g.clocks[self.tid].clone();
+            g.clocks[me].bump(me);
+            g.clocks[me].join(&child);
+        }
+        match self.result.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            Some(v) => Ok(v),
+            // The child panicked (and the execution is aborting); surface a
+            // generic payload — the explorer reports the recorded failure.
+            None => Err(Box::new("model thread panicked")),
+        }
+    }
+}

@@ -1,10 +1,9 @@
 //! Bounded lock-free multi-producer multi-consumer ring buffer.
 
+use crate::primitives::{AtomicUsize, Ordering, UnsafeCell};
 use crate::CachePadded;
-use std::cell::UnsafeCell;
 use std::fmt;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Dmitry Vyukov's bounded MPMC queue.
 ///

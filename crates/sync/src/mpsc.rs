@@ -1,9 +1,8 @@
 //! Unbounded lock-free multi-producer single-consumer queue.
 
-use std::cell::UnsafeCell;
+use crate::primitives::{AtomicPtr, Ordering, UnsafeCell};
 use std::fmt;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, Ordering};
 
 /// Dmitry Vyukov's non-intrusive MPSC queue.
 ///

@@ -15,8 +15,8 @@
 //! also a template for embedding the offload pattern in real Rust
 //! services.
 
+use crate::primitives::{AtomicBool, AtomicU64, Ordering};
 use crate::{EventCount, MpmcQueue, TaskletExecutor, TaskletHandle};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Completion handle of a submitted operation.
@@ -132,7 +132,7 @@ impl NativeEngine {
                 Ok(()) => break,
                 Err(back) => {
                     item = back;
-                    std::thread::yield_now();
+                    crate::primitives::yield_now();
                 }
             }
         }

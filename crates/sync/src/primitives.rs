@@ -1,0 +1,124 @@
+//! Primitive shim: one import path for every atomic/cell/sync type used by
+//! this crate.
+//!
+//! Under the normal build this module re-exports `std::sync::atomic`,
+//! `std::sync::{Mutex, Condvar}`, and a thin [`UnsafeCell`] wrapper, so it
+//! compiles to exactly the std types with zero overhead. Under
+//! `--cfg loom` it resolves to the bounded model checker in [`crate::model`]
+//! instead, so the same primitive source code is exhaustively
+//! schedule-explored by the loom test suite (`tests/loom.rs`).
+//!
+//! The rest of the workspace is *forbidden* (by the ci.sh lint gate) from
+//! importing `std::sync::atomic` / `std::sync::Mutex` / `UnsafeCell`
+//! directly: everything must go through `pm2-sync`, so that the
+//! model-checked surface actually covers the workspace.
+//!
+//! [`UnsafeCell`] is shared by both modes and is **untracked** in the model
+//! (its `get()` hands out a raw pointer the model cannot instrument); loom
+//! tests check the *data* protected by a primitive with
+//! [`crate::model::RaceCell`] instead.
+
+/// Interior-mutability cell with the same API in both build modes.
+///
+/// A thin wrapper over [`std::cell::UnsafeCell`]; the indirection exists so
+/// every primitive names one shim type, keeping the sources identical under
+/// `cfg(loom)`.
+#[derive(Debug, Default)]
+#[repr(transparent)]
+pub struct UnsafeCell<T: ?Sized>(std::cell::UnsafeCell<T>);
+
+impl<T> UnsafeCell<T> {
+    /// Create a new cell holding `value`.
+    #[inline(always)]
+    pub const fn new(value: T) -> Self {
+        Self(std::cell::UnsafeCell::new(value))
+    }
+
+    /// Consume the cell and return the inner value.
+    #[inline(always)]
+    pub fn into_inner(self) -> T {
+        self.0.into_inner()
+    }
+}
+
+impl<T: ?Sized> UnsafeCell<T> {
+    /// Raw pointer to the contents.
+    #[inline(always)]
+    pub const fn get(&self) -> *mut T {
+        self.0.get()
+    }
+
+    /// Exclusive reference to the contents (safe: requires `&mut self`).
+    #[inline(always)]
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut()
+    }
+}
+
+#[cfg(not(loom))]
+pub use self::std_impl::*;
+
+#[cfg(loom)]
+pub use self::model_impl::*;
+
+#[cfg(not(loom))]
+mod std_impl {
+    pub use std::sync::atomic::{
+        compiler_fence, fence, AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicU8, AtomicUsize,
+        Ordering,
+    };
+    pub use std::sync::{Condvar, Mutex, MutexGuard};
+
+    /// Processor spin hint (`PAUSE` on x86, `YIELD` on aarch64).
+    #[inline(always)]
+    pub fn spin_loop() {
+        std::hint::spin_loop();
+    }
+
+    /// Yield the current OS thread to the scheduler.
+    #[inline(always)]
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+
+    /// Thread spawn/join; std's in the native build.
+    pub mod thread {
+        pub use std::thread::{spawn, JoinHandle};
+
+        /// Spawn a named thread (name is advisory, used in panics/debuggers).
+        pub fn spawn_named<F, T>(name: &str, f: F) -> JoinHandle<T>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            std::thread::Builder::new()
+                .name(name.to_string())
+                .spawn(f)
+                .expect("failed to spawn thread")
+        }
+    }
+}
+
+#[cfg(loom)]
+mod model_impl {
+    pub use crate::model::atomic::{
+        compiler_fence, fence, AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicU8, AtomicUsize,
+        Ordering,
+    };
+    pub use crate::model::sync::{Condvar, Mutex, MutexGuard};
+    pub use crate::model::{spin_loop, yield_now};
+
+    /// Thread spawn/join; model-aware under `cfg(loom)`.
+    pub mod thread {
+        pub use crate::model::thread::{spawn, JoinHandle};
+
+        /// Spawn a named thread (the model ignores the name).
+        pub fn spawn_named<F, T>(_name: &str, f: F) -> JoinHandle<T>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            spawn(f)
+        }
+    }
+}

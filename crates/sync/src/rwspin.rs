@@ -1,10 +1,9 @@
 //! Reader-writer spinlock with writer preference.
 
+use crate::primitives::{AtomicUsize, Ordering, UnsafeCell};
 use crate::Backoff;
-use std::cell::UnsafeCell;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Writer-pending bit; reader count lives in the remaining bits.
 const WRITER: usize = 1 << (usize::BITS - 1);

@@ -1,8 +1,7 @@
 //! Sequence lock for read-mostly shared state.
 
-use std::cell::UnsafeCell;
+use crate::primitives::{fence, AtomicUsize, Ordering, UnsafeCell};
 use std::fmt;
-use std::sync::atomic::{fence, AtomicUsize, Ordering};
 
 /// A sequence lock: writers never block readers; readers retry.
 ///
@@ -51,7 +50,7 @@ impl<T: Copy> SeqLock<T> {
         loop {
             let s1 = self.seq.load(Ordering::Acquire);
             if s1 & 1 == 1 {
-                std::hint::spin_loop();
+                crate::primitives::spin_loop();
                 continue;
             }
             // SAFETY: value may be torn, but we validate with the sequence
@@ -66,7 +65,7 @@ impl<T: Copy> SeqLock<T> {
             if s1 == s2 {
                 return value;
             }
-            std::hint::spin_loop();
+            crate::primitives::spin_loop();
         }
     }
 
@@ -102,7 +101,7 @@ impl<T: Copy> SeqLock<T> {
                     Err(cur) => s = cur,
                 }
             } else {
-                std::hint::spin_loop();
+                crate::primitives::spin_loop();
                 s = self.seq.load(Ordering::Relaxed);
             }
         }

@@ -1,10 +1,9 @@
 //! Test-and-test-and-set spinlock with exponential backoff.
 
+use crate::primitives::{AtomicBool, Ordering, UnsafeCell};
 use crate::Backoff;
-use std::cell::UnsafeCell;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicBool, Ordering};
 
 /// A light mutual-exclusion lock that busy-waits.
 ///

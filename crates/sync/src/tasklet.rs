@@ -14,11 +14,11 @@
 //! engine and by the stress tests; `pm2-marcel` re-implements the identical
 //! state machine under virtual time.
 
+use crate::primitives::thread::JoinHandle;
+use crate::primitives::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use crate::{EventCount, MpmcQueue};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// Tasklet state bits (mirrors Linux `TASKLET_STATE_SCHED` / `_RUN`).
 const SCHEDULED: u8 = 0b01;
@@ -185,7 +185,7 @@ impl ExecutorShared {
                 Ok(()) => break,
                 Err(back) => {
                     item = back;
-                    std::thread::yield_now();
+                    crate::primitives::yield_now();
                 }
             }
         }
@@ -216,10 +216,9 @@ impl TaskletExecutor {
         let handles = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("pm2-tasklet-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn tasklet worker")
+                crate::primitives::thread::spawn_named(&format!("pm2-tasklet-{i}"), move || {
+                    worker_loop(&shared)
+                })
             })
             .collect();
         TaskletExecutor {
@@ -285,6 +284,15 @@ fn worker_loop(shared: &ExecutorShared) {
             Some(tasklet) => run_one(shared, tasklet),
             None => {
                 if shared.shutdown.load(Ordering::Acquire) {
+                    // An enqueue may have landed between the failed pop and
+                    // the flag load; the shutdown contract says every
+                    // tasklet scheduled before shutdown() runs, so drain
+                    // until the queue is empty *after* observing the flag.
+                    // (Found by the loom suite: a one-worker executor lost
+                    // a scheduled tasklet when shutdown raced the enqueue.)
+                    while let Some(tasklet) = shared.queue.pop() {
+                        run_one(shared, tasklet);
+                    }
                     return;
                 }
                 shared.work.wait_past(seen);
@@ -299,7 +307,7 @@ fn run_one(shared: &ExecutorShared, tasklet: Arc<Tasklet>) {
     if tasklet.is_disabled() {
         // Keep it pending: push back and let someone retry later. Yield so
         // a disabling thread gets CPU time to re-enable.
-        std::thread::yield_now();
+        crate::primitives::yield_now();
         shared.enqueue(tasklet);
         return;
     }
@@ -438,5 +446,32 @@ mod tests {
     fn unbalanced_enable_panics() {
         let t = Tasklet::new(|| {});
         t.enable();
+    }
+
+    /// Regression (found by the loom suite): a tasklet scheduled just
+    /// before `shutdown()` must still run. Pre-fix, a worker could pop
+    /// `None`, observe the shutdown flag set meanwhile, and exit without
+    /// re-checking the queue — losing the scheduled tasklet. Natively the
+    /// window is narrow, so hammer it; the loom test
+    /// `tasklet_scheduled_once_runs_exactly_once` hits it deterministically.
+    #[test]
+    fn scheduled_work_survives_immediate_shutdown() {
+        for round in 0..500 {
+            let exec = TaskletExecutor::new(1);
+            let hits = Arc::new(AtomicUsize::new(0));
+            let h = {
+                let hits = Arc::clone(&hits);
+                exec.register(move || {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                })
+            };
+            assert!(h.schedule());
+            exec.shutdown();
+            assert_eq!(
+                hits.load(Ordering::SeqCst),
+                1,
+                "scheduled tasklet lost by shutdown in round {round}"
+            );
+        }
     }
 }

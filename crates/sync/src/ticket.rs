@@ -1,10 +1,9 @@
 //! Fair FIFO ticket spinlock.
 
+use crate::primitives::{AtomicUsize, Ordering, UnsafeCell};
 use crate::{Backoff, CachePadded};
-use std::cell::UnsafeCell;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A fair spinlock: threads acquire in strict arrival order.
 ///

@@ -1,7 +1,7 @@
 //! Wait group: block until N parallel activities finish.
 
+use crate::primitives::{AtomicUsize, Ordering};
 use crate::EventCount;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Counts outstanding activities and releases waiters when it reaches zero.
