@@ -38,6 +38,21 @@ for seed in 1 7 42; do
   PM2_FAULT_SEED=$seed cargo test -q --release -p pm2-bench --test coll
 done
 
+echo "== scheduling-policy differential matrix (seeds 1 7 42)"
+# tests/sched.rs: default-policy goldens, per-policy determinism, and
+# liveness of every policy under the same fault seeds as the fault lane.
+for seed in 1 7 42; do
+  PM2_FAULT_SEED=$seed cargo test -q --release -p pm2-bench --test sched
+done
+
+echo "== scheduling sweep smoke (BENCH_sched.json schema)"
+PM2_SCHED_SMOKE=1 ./target/release/sched_sweep > /tmp/sched_smoke.json
+for key in pm2-sched-sweep/v1 hier fifo vruntime comm \
+           fig5 fig5_loaded_us locality fig6; do
+  grep -q "\"$key\"" /tmp/sched_smoke.json \
+    || { echo "BENCH_sched smoke output misses key \"$key\""; exit 1; }
+done
+
 echo "== collective sweep smoke (BENCH_coll.json schema)"
 PM2_COLL_SMOKE=1 ./target/release/coll_sweep > /tmp/coll_smoke.json
 for key in allreduce_flat allreduce_auto allreduce_ring allreduce_rd \

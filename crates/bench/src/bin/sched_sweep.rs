@@ -1,0 +1,200 @@
+//! Scheduling-policy sweep: the paper's fig. 5 overlap loop and fig. 7/8
+//! stencil under every Marcel policy, plus a loaded-core overlap point
+//! and the dispatch-locality mix. Emits `BENCH_sched.json` to stdout.
+//!
+//! ```sh
+//! cargo run --release -p pm2-bench --bin sched_sweep > BENCH_sched.json
+//! PM2_SCHED_SMOKE=1 cargo run --release -p pm2-bench --bin sched_sweep  # CI
+//! ```
+
+use pm2_mpi::workloads::{run_overlap, run_stencil, OverlapParams, StencilParams};
+use pm2_mpi::{Cluster, ClusterConfig};
+use pm2_newmad::{EngineKind, Tag};
+use pm2_sim::stats::OnlineStats;
+use pm2_sim::{SimDuration, SimTime};
+use pm2_topo::NodeId;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const POLICIES: [&str; 4] = ["hier", "fifo", "vruntime", "comm"];
+
+fn testbed(policy: &str) -> ClusterConfig {
+    ClusterConfig::paper_testbed(EngineKind::Pioman).with_sched_policy(policy)
+}
+
+fn main() {
+    let smoke = std::env::var("PM2_SCHED_SMOKE").is_ok();
+    let (sizes, iters, warmup): (Vec<usize>, usize, usize) = if smoke {
+        (vec![8 << 10], 4, 1)
+    } else {
+        (vec![1 << 10, 8 << 10, 32 << 10, 256 << 10], 20, 3)
+    };
+    let compute = SimDuration::from_micros(20);
+
+    let mut out = String::from("{\n  \"schema\": \"pm2-sched-sweep/v1\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str("  \"policies\": {\n");
+    for (pi, policy) in POLICIES.iter().enumerate() {
+        eprintln!("sweeping policy {policy}...");
+        out.push_str(&format!("    \"{policy}\": {{\n"));
+
+        // Fig. 5: overlap latency and efficiency per message size. The
+        // reference run (no compute) is measured under the same policy,
+        // so efficiency compares a policy only against itself.
+        out.push_str("      \"fig5\": [\n");
+        for (si, &bytes) in sizes.iter().enumerate() {
+            let reference = run_overlap(
+                testbed(policy),
+                &OverlapParams {
+                    msg_len: bytes,
+                    compute: SimDuration::ZERO,
+                    iters,
+                    warmup,
+                },
+            )
+            .half_round_us
+            .mean();
+            let half_round = run_overlap(
+                testbed(policy),
+                &OverlapParams {
+                    msg_len: bytes,
+                    compute,
+                    iters,
+                    warmup,
+                },
+            )
+            .half_round_us
+            .mean();
+            let ideal = reference.max(compute.as_micros_f64());
+            let efficiency = if half_round > 0.0 {
+                ideal / half_round
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "        {{\"bytes\": {bytes}, \"reference_us\": {reference:.3}, \
+                 \"half_round_us\": {half_round:.3}, \"overlap_efficiency\": {efficiency:.4}}}"
+            ));
+            out.push_str(if si + 1 < sizes.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("      ],\n");
+
+        // Loaded fig. 5 point: the communicating thread contends with
+        // background compute, so the wakeup-to-dispatch delay is on the
+        // measured path (this is where the policies separate).
+        let (loaded_us, mix) = loaded_overlap(policy, iters, warmup);
+        out.push_str(&format!("      \"fig5_loaded_us\": {loaded_us:.3},\n"));
+        out.push_str(&format!(
+            "      \"locality\": {{\"dispatches\": {}, \"pop_core\": {}, \
+             \"pop_local_socket\": {}, \"pop_node\": {}, \"pop_steal\": {}}},\n",
+            mix.dispatches, mix.pop_core, mix.pop_local_socket, mix.pop_node, mix.pop_steal
+        ));
+
+        // Fig. 7/8: stencil wall time.
+        let grids: Vec<StencilParams> = if smoke {
+            vec![StencilParams::four_threads()]
+        } else {
+            vec![
+                StencilParams::four_threads(),
+                StencilParams::sixteen_threads(),
+            ]
+        };
+        out.push_str("      \"fig6\": [\n");
+        for (gi, p) in grids.iter().enumerate() {
+            let r = run_stencil(testbed(policy), p);
+            out.push_str(&format!(
+                "        {{\"threads\": {}, \"total_us\": {:.3}}}",
+                p.threads(),
+                r.total_us
+            ));
+            out.push_str(if gi + 1 < grids.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("      ]\n");
+
+        out.push_str("    }");
+        out.push_str(if pi + 1 < POLICIES.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  }\n}\n");
+    print!("{out}");
+}
+
+/// Dispatch-locality mix of node 0 at the end of the loaded run.
+struct Mix {
+    dispatches: u64,
+    pop_core: u64,
+    pop_local_socket: u64,
+    pop_node: u64,
+    pop_steal: u64,
+}
+
+/// The loaded overlap point of `tests/sched.rs`: fig. 5 loop with a 2 µs
+/// compute slice on a 2-core node shared with background compute threads.
+fn loaded_overlap(policy: &str, iters: usize, warmup: usize) -> (f64, Mix) {
+    let cfg = ClusterConfig {
+        sockets_per_node: 1,
+        cores_per_socket: 2,
+        ..testbed(policy)
+    };
+    let len = 8 << 10;
+    let compute = SimDuration::from_micros(2);
+    let cluster = Cluster::build(cfg);
+    let stats = Rc::new(RefCell::new(OnlineStats::new()));
+    let total = iters + warmup;
+    for b in 0..3 {
+        cluster.spawn_on(0, format!("bg-{b}"), move |ctx| async move {
+            for _ in 0..400 {
+                ctx.compute(SimDuration::from_micros(2)).await;
+                ctx.yield_now().await;
+            }
+        });
+    }
+    {
+        let s = cluster.session(0).clone();
+        let stats = Rc::clone(&stats);
+        cluster.spawn_on(0, "overlap-0", move |ctx| async move {
+            for i in 0..total {
+                let t1 = ctx.marcel().sim().now();
+                let h = s
+                    .isend(&ctx, NodeId(1), Tag(2 * i as u64), vec![0xa5; len])
+                    .await;
+                ctx.compute(compute).await;
+                s.swait_send(&h, &ctx).await;
+                let hr = s.irecv(&ctx, Some(NodeId(1)), Tag(2 * i as u64 + 1)).await;
+                ctx.compute(compute).await;
+                let _ = s.swait_recv(&hr, &ctx).await;
+                let t2 = ctx.marcel().sim().now();
+                if i >= warmup {
+                    stats
+                        .borrow_mut()
+                        .record(t2.saturating_since(t1).as_micros_f64() / 2.0);
+                }
+            }
+        });
+    }
+    {
+        let s = cluster.session(1).clone();
+        cluster.spawn_on(1, "overlap-1", move |ctx| async move {
+            for i in 0..total {
+                let hr = s.irecv(&ctx, Some(NodeId(0)), Tag(2 * i as u64)).await;
+                ctx.compute(compute).await;
+                let _ = s.swait_recv(&hr, &ctx).await;
+                let h = s
+                    .isend(&ctx, NodeId(0), Tag(2 * i as u64 + 1), vec![0x5a; len])
+                    .await;
+                ctx.compute(compute).await;
+                s.swait_send(&h, &ctx).await;
+            }
+        });
+    }
+    cluster.run_deadline(SimTime::from_secs(60));
+    let st = cluster.marcel(0).stats();
+    let mix = Mix {
+        dispatches: st.dispatches,
+        pop_core: st.pop_core,
+        pop_local_socket: st.pop_local_socket,
+        pop_node: st.pop_node,
+        pop_steal: st.pop_steal,
+    };
+    let stats = Rc::try_unwrap(stats).expect("sole owner").into_inner();
+    (stats.mean(), mix)
+}

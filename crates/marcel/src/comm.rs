@@ -1,0 +1,170 @@
+//! Request-state signals feeding communication-aware scheduling policies.
+//!
+//! The progression engine (PIOMAN) and the communication library
+//! (NewMadeleine) report two things to Marcel as they drive requests:
+//! which thread is blocked waiting on which request, and how far along
+//! each request is ([`CommStage`]). Policies read the table through
+//! [`crate::PolicyCtx::comm`] — e.g. the comm-aware policy boosts a
+//! thread whose awaited request has reached its data transfer, because
+//! that thread will become runnable-and-urgent very soon (§3.2: woken
+//! communicating threads must run "as soon as the communication event is
+//! detected").
+//!
+//! Recording a signal never schedules anything by itself: the default
+//! policy ignores the table entirely, which keeps its behavior identical
+//! to the pre-trait scheduler.
+
+use crate::sched::Marcel;
+use crate::thread::ThreadId;
+use std::collections::BTreeMap;
+
+/// How far along a tracked communication request is (monotone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CommStage {
+    /// Submitted; no peer interaction observed yet.
+    Posted,
+    /// Rendezvous handshake under way (RTS matched / CTS sent).
+    Handshake,
+    /// Payload moving (DMA chunks queued or arriving): completion is near.
+    Transfer,
+}
+
+/// Bound on tracked requests: ids are monotonic, so when the table
+/// overflows the *oldest* requests (long completed or abandoned) are
+/// evicted first.
+const MAX_TRACKED_REQS: usize = 1024;
+
+/// Bounded table of request stages and per-thread waits.
+#[derive(Debug, Default)]
+pub struct CommSignals {
+    /// Request id → furthest observed stage.
+    stages: BTreeMap<u64, CommStage>,
+    /// Thread → request id it is currently blocked on.
+    waits: BTreeMap<ThreadId, u64>,
+}
+
+impl CommSignals {
+    /// Stage of the request `thread` is blocked on, if it is waiting on a
+    /// tracked request.
+    pub fn wait_stage(&self, thread: ThreadId) -> Option<CommStage> {
+        self.waits
+            .get(&thread)
+            .and_then(|req| self.stages.get(req))
+            .copied()
+    }
+
+    /// True if `thread` is currently blocked inside a communication wait.
+    pub fn is_waiting(&self, thread: ThreadId) -> bool {
+        self.waits.contains_key(&thread)
+    }
+
+    /// Furthest observed stage of request `req`.
+    pub fn stage(&self, req: u64) -> Option<CommStage> {
+        self.stages.get(&req).copied()
+    }
+
+    /// Number of requests currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.stages.len()
+    }
+
+    fn cap(&mut self) {
+        while self.stages.len() > MAX_TRACKED_REQS {
+            self.stages.pop_first();
+        }
+    }
+
+    pub(crate) fn note_stage(&mut self, req: u64, stage: CommStage) {
+        let e = self.stages.entry(req).or_insert(stage);
+        if stage > *e {
+            *e = stage;
+        }
+        self.cap();
+    }
+
+    pub(crate) fn done(&mut self, req: u64) {
+        self.stages.remove(&req);
+    }
+
+    pub(crate) fn wait_begin(&mut self, thread: ThreadId, req: u64) {
+        self.waits.insert(thread, req);
+        self.stages.entry(req).or_insert(CommStage::Posted);
+        self.cap();
+    }
+
+    pub(crate) fn wait_end(&mut self, thread: ThreadId) {
+        self.waits.remove(&thread);
+    }
+}
+
+impl Marcel {
+    /// Notes that `thread` is about to block waiting for request `req`
+    /// (called by the progression engine right before releasing the core).
+    pub fn comm_wait_begin(&self, thread: ThreadId, req: u64) {
+        self.inner.state.borrow_mut().comm.wait_begin(thread, req);
+    }
+
+    /// Clears the wait note left by [`Marcel::comm_wait_begin`].
+    pub fn comm_wait_end(&self, thread: ThreadId) {
+        self.inner.state.borrow_mut().comm.wait_end(thread);
+    }
+
+    /// Records progress of request `req`; stages only move forward.
+    pub fn note_req_stage(&self, req: u64, stage: CommStage) {
+        self.inner.state.borrow_mut().comm.note_stage(req, stage);
+    }
+
+    /// Drops request `req` from the signal table (completed or abandoned).
+    pub fn note_req_done(&self, req: u64) {
+        self.inner.state.borrow_mut().comm.done(req);
+    }
+
+    /// Stage of the request `thread` is blocked on, if any (observability
+    /// and test helper; policies read this through their context instead).
+    pub fn comm_wait_stage(&self, thread: ThreadId) -> Option<CommStage> {
+        self.inner.state.borrow().comm.wait_stage(thread)
+    }
+
+    /// Furthest observed stage of request `req`, if tracked.
+    pub fn comm_req_stage(&self, req: u64) -> Option<CommStage> {
+        self.inner.state.borrow().comm.stage(req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_are_monotone() {
+        let mut c = CommSignals::default();
+        c.note_stage(7, CommStage::Transfer);
+        c.note_stage(7, CommStage::Posted); // late, lower: ignored
+        assert_eq!(c.stage(7), Some(CommStage::Transfer));
+        c.done(7);
+        assert_eq!(c.stage(7), None);
+    }
+
+    #[test]
+    fn wait_links_thread_to_request() {
+        let mut c = CommSignals::default();
+        let t = ThreadId(3);
+        c.wait_begin(t, 9);
+        assert_eq!(c.wait_stage(t), Some(CommStage::Posted));
+        c.note_stage(9, CommStage::Handshake);
+        assert_eq!(c.wait_stage(t), Some(CommStage::Handshake));
+        c.wait_end(t);
+        assert!(!c.is_waiting(t));
+    }
+
+    #[test]
+    fn table_is_bounded_evicting_oldest() {
+        let mut c = CommSignals::default();
+        for req in 0..2_000u64 {
+            c.note_stage(req, CommStage::Posted);
+        }
+        assert_eq!(c.tracked(), MAX_TRACKED_REQS);
+        assert_eq!(c.stage(0), None, "oldest evicted");
+        assert!(c.stage(1_999).is_some(), "newest kept");
+    }
+}

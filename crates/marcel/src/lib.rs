@@ -22,16 +22,32 @@
 //! blocking and wake-up. When a thread blocks, the freed core immediately
 //! looks for tasklets and idle work — this is exactly the mechanism that
 //! lets the engine overlap communication with computation.
+//!
+//! **Scheduling is pluggable**: the engine (cores, tasklets, hooks,
+//! timers) is fixed, while thread placement and dispatch order are
+//! delegated to a [`SchedPolicy`] selected via [`MarcelConfig::policy`]
+//! (see [`SchedPolicyKind`] for the shipped ones). The default
+//! hierarchical policy reproduces the paper's behavior exactly; the
+//! communication-aware one additionally consumes the request-progress
+//! signals ([`CommSignals`]) that PIOMAN and NewMadeleine publish.
 
 #![warn(missing_docs)]
 
+mod comm;
 mod config;
+pub mod policies;
+mod policy;
 mod runq;
 mod sched;
 mod tasklet;
 mod thread;
 
+pub use comm::{CommSignals, CommStage};
 pub use config::MarcelConfig;
+pub use policy::{
+    Dispatched, KickHint, PolicyCtx, PopSource, ReadyEvent, SchedPolicy, SchedPolicyKind, StopKind,
+    ThreadView,
+};
 pub use sched::{HookResult, Marcel, SchedStats, TimerId};
 pub use tasklet::{TaskletId, TaskletRun};
 pub use thread::{Priority, ThreadCtx, ThreadId};

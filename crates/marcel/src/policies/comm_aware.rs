@@ -1,0 +1,119 @@
+//! The communication-aware policy: hierarchical queues plus a boost for
+//! threads whose awaited request is near completion.
+//!
+//! The paper's core scheduling requirement is that "communicating threads
+//! are ensured to be scheduled as soon as the communication event is
+//! detected" (§3.2). The default policy implements that for *explicitly
+//! urgent* wakeups; this policy additionally consults the request-state
+//! signals ([`crate::CommSignals`]) that PIOMAN and NewMadeleine feed to
+//! Marcel: a thread blocked on a request whose rendezvous handshake or
+//! data transfer is already under way is promoted to
+//! [`Priority::High`] and front-queued even when its waker did not mark
+//! the wakeup urgent — its completion is imminent, and running it
+//! promptly shortens the request's critical path.
+
+use crate::comm::CommStage;
+use crate::policy::{Dispatched, KickHint, PolicyCtx, ReadyEvent, SchedPolicy, ThreadView};
+use crate::runq::{prio_idx, Placement, RunQueues};
+use crate::thread::Priority;
+
+/// Hierarchical queues + near-completion boost.
+pub struct CommAwarePolicy {
+    runq: RunQueues,
+}
+
+impl CommAwarePolicy {
+    /// Policy for a node with `cores` cores over `sockets` sockets.
+    pub fn new(cores: usize, sockets: usize) -> Self {
+        CommAwarePolicy {
+            runq: RunQueues::new(cores, sockets),
+        }
+    }
+
+    /// True if `th` waits on a request whose completion is near.
+    fn near_completion(ctx: &PolicyCtx<'_>, th: &ThreadView) -> bool {
+        matches!(
+            ctx.comm().wait_stage(th.id),
+            Some(CommStage::Handshake | CommStage::Transfer)
+        )
+    }
+}
+
+impl SchedPolicy for CommAwarePolicy {
+    fn name(&self) -> &'static str {
+        "comm"
+    }
+
+    fn on_wakeup(&mut self, ctx: &PolicyCtx<'_>, th: &ThreadView, urgent: bool) -> Priority {
+        if urgent || Self::near_completion(ctx, th) {
+            Priority::High
+        } else {
+            th.priority
+        }
+    }
+
+    fn enqueue(&mut self, ctx: &PolicyCtx<'_>, th: &ThreadView, ev: ReadyEvent) {
+        let (prio, placement) = match ev {
+            ReadyEvent::Spawn => (
+                th.priority,
+                match th.affinity {
+                    Some(c) => Placement::Core(c),
+                    None => Placement::Node { front: false },
+                },
+            ),
+            ReadyEvent::Yield { from_core } => (
+                th.priority,
+                match th.affinity {
+                    Some(c) => Placement::Core(c),
+                    None => Placement::Socket {
+                        socket: self.runq.socket_of(from_core),
+                        front: false,
+                    },
+                },
+            ),
+            ReadyEvent::Wakeup { urgent } => {
+                let eff = self.on_wakeup(ctx, th, urgent);
+                // Queue-jump whenever the effective priority was boosted,
+                // not only on the waker's say-so.
+                let front = eff > th.priority || urgent;
+                (
+                    eff,
+                    match (th.affinity, th.last_core) {
+                        (Some(c), _) => Placement::Core(c),
+                        (None, Some(c)) => Placement::Socket {
+                            socket: self.runq.socket_of(c),
+                            front,
+                        },
+                        (None, None) => Placement::Node { front },
+                    },
+                )
+            }
+        };
+        self.runq.push(th.id, prio_idx(prio), placement);
+    }
+
+    fn select_core(&mut self, _ctx: &PolicyCtx<'_>, th: &ThreadView, ev: ReadyEvent) -> KickHint {
+        match ev {
+            ReadyEvent::Spawn => match th.affinity {
+                Some(c) => KickHint::Core(c),
+                None => KickHint::AnyIdle,
+            },
+            ReadyEvent::Yield { .. } => KickHint::None,
+            ReadyEvent::Wakeup { .. } => match (th.affinity, th.last_core) {
+                (Some(c), _) => KickHint::Core(c),
+                (None, Some(c)) => KickHint::Near(c),
+                (None, None) => KickHint::AnyIdle,
+            },
+        }
+    }
+
+    fn dispatch(&mut self, _ctx: &PolicyCtx<'_>, local_core: usize) -> Option<Dispatched> {
+        self.runq
+            .pop_for(local_core)
+            .map(|(thread, source)| Dispatched { thread, source })
+    }
+
+    fn queued(&self) -> usize {
+        self.runq.len()
+    }
+}

@@ -1,0 +1,71 @@
+//! The global-FIFO baseline policy: one node-wide queue, strictly in
+//! arrival order.
+//!
+//! Deliberately naive — it ignores priority, urgency and cache locality
+//! (only strict affinity is honored, because handing a pinned thread to
+//! the wrong core would be incorrect rather than merely slow). It exists
+//! as the comparison floor for the policy sweep: the gap between `fifo`
+//! and `hier`/`comm` on the fig5/fig6 overlap workloads *is* the value of
+//! priority- and locality-aware placement.
+
+use crate::policy::{
+    Dispatched, KickHint, PolicyCtx, PopSource, ReadyEvent, SchedPolicy, ThreadView,
+};
+use std::collections::VecDeque;
+
+/// Single global FIFO (plus the mandatory strict-affinity queues).
+pub struct FifoPolicy {
+    core: Vec<VecDeque<crate::ThreadId>>,
+    global: VecDeque<crate::ThreadId>,
+}
+
+impl FifoPolicy {
+    /// Policy for a node with `cores` cores.
+    pub fn new(cores: usize) -> Self {
+        FifoPolicy {
+            core: (0..cores).map(|_| VecDeque::new()).collect(),
+            global: VecDeque::new(),
+        }
+    }
+}
+
+impl SchedPolicy for FifoPolicy {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn enqueue(&mut self, _ctx: &PolicyCtx<'_>, th: &ThreadView, _ev: ReadyEvent) {
+        // Arrival order only: no priorities, no queue-jumping.
+        match th.affinity {
+            Some(c) => self.core[c].push_back(th.id),
+            None => self.global.push_back(th.id),
+        }
+    }
+
+    fn select_core(&mut self, _ctx: &PolicyCtx<'_>, th: &ThreadView, ev: ReadyEvent) -> KickHint {
+        match ev {
+            ReadyEvent::Yield { .. } => KickHint::None,
+            _ => match th.affinity {
+                Some(c) => KickHint::Core(c),
+                None => KickHint::AnyIdle,
+            },
+        }
+    }
+
+    fn dispatch(&mut self, _ctx: &PolicyCtx<'_>, local_core: usize) -> Option<Dispatched> {
+        if let Some(thread) = self.core[local_core].pop_front() {
+            return Some(Dispatched {
+                thread,
+                source: PopSource::Core,
+            });
+        }
+        self.global.pop_front().map(|thread| Dispatched {
+            thread,
+            source: PopSource::Node,
+        })
+    }
+
+    fn queued(&self) -> usize {
+        self.core.iter().map(VecDeque::len).sum::<usize>() + self.global.len()
+    }
+}

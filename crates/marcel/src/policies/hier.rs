@@ -1,0 +1,97 @@
+//! The default hierarchical policy: the paper-faithful behavior of the
+//! pre-trait scheduler, verbatim.
+//!
+//! Placement and kick decisions reproduce the original engine bit for
+//! bit — the zero-fault figure baselines are byte-diffed against this
+//! policy in CI, so any change here is a behavior change by definition:
+//!
+//! * spawn: strict core if pinned, else the node queue; kick the pinned
+//!   core or any idle one;
+//! * yield: back of the socket it just ran on (cache-warm), no extra kick
+//!   (the freed core re-scans anyway);
+//! * wakeup: urgent wakeups rise to [`crate::Priority::High`] and jump their
+//!   socket/node queue; kick the pinned core, else the idle core nearest
+//!   to where the thread last ran.
+
+use crate::policy::{Dispatched, KickHint, PolicyCtx, ReadyEvent, SchedPolicy, ThreadView};
+use crate::runq::{prio_idx, Placement, RunQueues};
+
+/// The default two-level (core/socket/node × priority) policy.
+pub struct HierPolicy {
+    runq: RunQueues,
+}
+
+impl HierPolicy {
+    /// Policy for a node with `cores` cores over `sockets` sockets.
+    pub fn new(cores: usize, sockets: usize) -> Self {
+        HierPolicy {
+            runq: RunQueues::new(cores, sockets),
+        }
+    }
+}
+
+impl SchedPolicy for HierPolicy {
+    fn name(&self) -> &'static str {
+        "hier"
+    }
+
+    fn enqueue(&mut self, ctx: &PolicyCtx<'_>, th: &ThreadView, ev: ReadyEvent) {
+        let (prio, placement) = match ev {
+            ReadyEvent::Spawn => (
+                th.priority,
+                match th.affinity {
+                    Some(c) => Placement::Core(c),
+                    None => Placement::Node { front: false },
+                },
+            ),
+            ReadyEvent::Yield { from_core } => (
+                th.priority,
+                match th.affinity {
+                    Some(c) => Placement::Core(c),
+                    // A yielding thread is cache-warm: prefer its socket.
+                    None => Placement::Socket {
+                        socket: self.runq.socket_of(from_core),
+                        front: false,
+                    },
+                },
+            ),
+            ReadyEvent::Wakeup { urgent } => (
+                self.on_wakeup(ctx, th, urgent),
+                match (th.affinity, th.last_core) {
+                    (Some(c), _) => Placement::Core(c),
+                    (None, Some(c)) => Placement::Socket {
+                        socket: self.runq.socket_of(c),
+                        front: urgent,
+                    },
+                    (None, None) => Placement::Node { front: urgent },
+                },
+            ),
+        };
+        self.runq.push(th.id, prio_idx(prio), placement);
+    }
+
+    fn select_core(&mut self, _ctx: &PolicyCtx<'_>, th: &ThreadView, ev: ReadyEvent) -> KickHint {
+        match ev {
+            ReadyEvent::Spawn => match th.affinity {
+                Some(c) => KickHint::Core(c),
+                None => KickHint::AnyIdle,
+            },
+            ReadyEvent::Yield { .. } => KickHint::None,
+            ReadyEvent::Wakeup { .. } => match (th.affinity, th.last_core) {
+                (Some(c), _) => KickHint::Core(c),
+                (None, Some(c)) => KickHint::Near(c),
+                (None, None) => KickHint::AnyIdle,
+            },
+        }
+    }
+
+    fn dispatch(&mut self, _ctx: &PolicyCtx<'_>, local_core: usize) -> Option<Dispatched> {
+        self.runq
+            .pop_for(local_core)
+            .map(|(thread, source)| Dispatched { thread, source })
+    }
+
+    fn queued(&self) -> usize {
+        self.runq.len()
+    }
+}

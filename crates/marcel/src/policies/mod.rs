@@ -1,0 +1,11 @@
+//! The shipped [`crate::SchedPolicy`] implementations.
+
+mod comm_aware;
+mod fifo;
+mod hier;
+mod vruntime;
+
+pub use comm_aware::CommAwarePolicy;
+pub use fifo::FifoPolicy;
+pub use hier::HierPolicy;
+pub use vruntime::VruntimePolicy;

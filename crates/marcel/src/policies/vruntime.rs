@@ -1,0 +1,137 @@
+//! A CFS-style virtual-runtime fairness policy.
+//!
+//! Every thread accumulates *vruntime* while it occupies a core, scaled
+//! inversely by its priority weight (high-priority threads are charged
+//! less per real nanosecond, so they get a proportionally larger CPU
+//! share). Dispatch always picks the smallest vruntime among eligible
+//! threads, and fresh arrivals start at the current floor so they can
+//! neither starve nor monopolize.
+//!
+//! Locality is deliberately ignored (beyond strict affinity): this policy
+//! isolates the *fairness* axis of the design space, the way `fifo`
+//! isolates the arrival-order axis.
+
+use crate::policy::{
+    Dispatched, KickHint, PolicyCtx, PopSource, ReadyEvent, SchedPolicy, StopKind, ThreadView,
+};
+use crate::thread::{Priority, ThreadId};
+use pm2_sim::SimTime;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Charge multiplier per priority: a Low thread's nanosecond costs 4×
+/// what a High thread's does, giving High a 4× larger fair share.
+fn charge_factor(p: Priority) -> u64 {
+    match p {
+        Priority::Low => 4,
+        Priority::Normal => 2,
+        Priority::High => 1,
+    }
+}
+
+/// Priority-weighted vruntime-fair policy.
+pub struct VruntimePolicy {
+    /// Node-wide ready set, ordered by (vruntime, thread id).
+    queue: BTreeSet<(u64, ThreadId)>,
+    /// Strict-affinity ready sets, same order.
+    core_queue: Vec<BTreeSet<(u64, ThreadId)>>,
+    /// Accumulated vruntime per live thread.
+    vt: BTreeMap<ThreadId, u64>,
+    /// Dispatch timestamps of currently running threads.
+    running: BTreeMap<ThreadId, SimTime>,
+    /// Monotone floor: fresh or long-blocked threads re-enter here.
+    min_vt: u64,
+}
+
+impl VruntimePolicy {
+    /// Policy for a node with `cores` cores.
+    pub fn new(cores: usize) -> Self {
+        VruntimePolicy {
+            queue: BTreeSet::new(),
+            core_queue: (0..cores).map(|_| BTreeSet::new()).collect(),
+            vt: BTreeMap::new(),
+            running: BTreeMap::new(),
+            min_vt: 0,
+        }
+    }
+
+    fn take(&mut self, entry: (u64, ThreadId), source: PopSource) -> Dispatched {
+        self.min_vt = self.min_vt.max(entry.0);
+        Dispatched {
+            thread: entry.1,
+            source,
+        }
+    }
+}
+
+impl SchedPolicy for VruntimePolicy {
+    fn name(&self) -> &'static str {
+        "vruntime"
+    }
+
+    fn enqueue(&mut self, _ctx: &PolicyCtx<'_>, th: &ThreadView, _ev: ReadyEvent) {
+        // Re-entry at the floor: a thread that slept through several
+        // scheduling epochs must not come back with an ancient (tiny)
+        // vruntime and lock everyone else out.
+        let vt = self.vt.entry(th.id).or_insert(self.min_vt);
+        *vt = (*vt).max(self.min_vt);
+        let entry = (*vt, th.id);
+        match th.affinity {
+            Some(c) => self.core_queue[c].insert(entry),
+            None => self.queue.insert(entry),
+        };
+    }
+
+    fn select_core(&mut self, _ctx: &PolicyCtx<'_>, th: &ThreadView, ev: ReadyEvent) -> KickHint {
+        match ev {
+            ReadyEvent::Yield { .. } => KickHint::None,
+            _ => match th.affinity {
+                Some(c) => KickHint::Core(c),
+                None => KickHint::AnyIdle,
+            },
+        }
+    }
+
+    fn dispatch(&mut self, ctx: &PolicyCtx<'_>, local_core: usize) -> Option<Dispatched> {
+        let pinned = self.core_queue[local_core].first().copied();
+        let global = self.queue.first().copied();
+        let d = match (pinned, global) {
+            (Some(p), Some(g)) => {
+                // Smallest vruntime wins; the pinned thread breaks ties
+                // (it has nowhere else to go).
+                if p <= g {
+                    self.core_queue[local_core].remove(&p);
+                    self.take(p, PopSource::Core)
+                } else {
+                    self.queue.remove(&g);
+                    self.take(g, PopSource::Node)
+                }
+            }
+            (Some(p), None) => {
+                self.core_queue[local_core].remove(&p);
+                self.take(p, PopSource::Core)
+            }
+            (None, Some(g)) => {
+                self.queue.remove(&g);
+                self.take(g, PopSource::Node)
+            }
+            (None, None) => return None,
+        };
+        self.running.insert(d.thread, ctx.now());
+        Some(d)
+    }
+
+    fn stopping(&mut self, ctx: &PolicyCtx<'_>, th: &ThreadView, reason: StopKind) {
+        if let Some(start) = self.running.remove(&th.id) {
+            let ran = ctx.now().saturating_since(start).as_nanos();
+            let charged = ran.saturating_mul(charge_factor(th.priority));
+            *self.vt.entry(th.id).or_insert(self.min_vt) += charged;
+        }
+        if reason == StopKind::Finish {
+            self.vt.remove(&th.id);
+        }
+    }
+
+    fn queued(&self) -> usize {
+        self.queue.len() + self.core_queue.iter().map(BTreeSet::len).sum::<usize>()
+    }
+}

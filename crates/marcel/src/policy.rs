@@ -1,0 +1,331 @@
+//! The pluggable scheduling-policy interface.
+//!
+//! The Marcel engine (cores, tasklets, timers, idle hooks, the dispatch
+//! machinery) is fixed; *which thread runs where, and in what order* is
+//! delegated to a [`SchedPolicy`], in the spirit of sched_ext: the engine
+//! calls a small set of hooks and the policy owns its own run queues.
+//!
+//! The hook contract (see DESIGN.md §10 for the full narrative):
+//!
+//! * [`SchedPolicy::enqueue`] — a thread became ready ([`ReadyEvent`] says
+//!   why); the policy must queue it somewhere it will later hand back from
+//!   `dispatch`. Called exactly once per ready transition.
+//! * [`SchedPolicy::select_core`] — same event, asked *which core to kick*;
+//!   purely advisory ([`KickHint`]), the engine applies it after the
+//!   enqueue. Returning [`KickHint::None`] never deadlocks the engine for
+//!   yields (the freed core always re-scans), but wakeups/spawns should
+//!   kick or the thread waits for the next natural scan.
+//! * [`SchedPolicy::dispatch`] — a core is looking for a thread; pop the
+//!   best eligible one. Strict affinity must be honored here (never hand a
+//!   thread pinned to core A to core B).
+//! * [`SchedPolicy::on_wakeup`] — maps a wakeup to an effective queue
+//!   priority (urgent wakeups outrank, §3.2); policies call it from their
+//!   own `enqueue`.
+//! * [`SchedPolicy::tick`] — a core entered its work loop; bookkeeping
+//!   only.
+//! * [`SchedPolicy::stopping`] — a previously dispatched thread left its
+//!   core ([`StopKind`] says why); the place to account CPU usage.
+//!
+//! Determinism: policies must not consult wall clocks, random state or
+//! hash-map iteration order — everything observable must derive from the
+//! hook arguments (this is what keeps simulations reproducible per seed).
+
+use crate::comm::CommSignals;
+use crate::policies;
+use crate::sched::Core;
+use crate::thread::{Priority, ThreadId};
+use pm2_sim::SimTime;
+
+/// Why a thread became ready.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadyEvent {
+    /// Fresh [`crate::Marcel::spawn`].
+    Spawn,
+    /// Cooperative yield; `from_core` is the local core it just ran on
+    /// (cache-warm there).
+    Yield {
+        /// Local index of the core the thread yielded.
+        from_core: usize,
+    },
+    /// Blocked thread woken; `urgent` marks communication events that must
+    /// be served "as soon as … detected" (§3.2).
+    Wakeup {
+        /// Queue-jump request from the waker.
+        urgent: bool,
+    },
+}
+
+/// Which core the engine should nudge after an enqueue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KickHint {
+    /// Schedule a scan of this local core now (used for strict affinity).
+    Core(usize),
+    /// Wake the idle core nearest to this local core (cache-warm wakeup).
+    Near(usize),
+    /// Wake any idle core.
+    AnyIdle,
+    /// No kick (the freed core's own re-scan suffices, e.g. on yield).
+    None,
+}
+
+/// Why a thread left its core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopKind {
+    /// Blocked on an event (trigger, park, sleep).
+    Block,
+    /// Cooperative yield (immediately re-enqueued).
+    Yield,
+    /// Body finished.
+    Finish,
+}
+
+/// Where a dispatched thread was queued, for locality statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PopSource {
+    /// The core's own strict-affinity queue.
+    Core,
+    /// The core's own socket (cache-warm).
+    LocalSocket,
+    /// A node-wide queue.
+    Node,
+    /// Stolen from another socket's queue.
+    RemoteSocket,
+}
+
+/// A thread handed back by [`SchedPolicy::dispatch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dispatched {
+    /// The thread to run.
+    pub thread: ThreadId,
+    /// Where it was queued (tallied into [`crate::SchedStats`]).
+    pub source: PopSource,
+}
+
+/// Immutable view of one ready thread, as the policy hooks see it.
+///
+/// Core indices are *local* to the node (0 .. cores-per-node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadView {
+    /// The thread.
+    pub id: ThreadId,
+    /// Its base priority (the policy may queue it higher or lower).
+    pub priority: Priority,
+    /// Strict affinity, if pinned.
+    pub affinity: Option<usize>,
+    /// Local core it last ran on, if it ever ran.
+    pub last_core: Option<usize>,
+}
+
+/// What a policy may observe when a hook runs: virtual time, topology
+/// shape, per-core load, pending tasklet pressure and the communication
+/// request signals.
+pub struct PolicyCtx<'a> {
+    now: SimTime,
+    cores: &'a [Core],
+    comm: &'a CommSignals,
+    sockets: usize,
+    cores_per_socket: usize,
+    pending_tasklets: usize,
+}
+
+impl<'a> PolicyCtx<'a> {
+    pub(crate) fn new(
+        now: SimTime,
+        cores: &'a [Core],
+        comm: &'a CommSignals,
+        sockets: usize,
+        cores_per_socket: usize,
+        pending_tasklets: usize,
+    ) -> Self {
+        PolicyCtx {
+            now,
+            cores,
+            comm,
+            sockets,
+            cores_per_socket,
+            pending_tasklets,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Cores on this node.
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Sockets on this node.
+    pub fn sockets(&self) -> usize {
+        self.sockets
+    }
+
+    /// Cores per socket.
+    pub fn cores_per_socket(&self) -> usize {
+        self.cores_per_socket
+    }
+
+    /// Socket of a local core index.
+    pub fn socket_of(&self, local_core: usize) -> usize {
+        local_core / self.cores_per_socket
+    }
+
+    /// Thread currently occupying `local_core`, if any.
+    pub fn running(&self, local_core: usize) -> Option<ThreadId> {
+        self.cores[local_core].current
+    }
+
+    /// Until when `local_core` is occupied by tasklet/hook work.
+    pub fn busy_until(&self, local_core: usize) -> SimTime {
+        self.cores[local_core].busy_until
+    }
+
+    /// True if `local_core` has neither a thread nor in-flight work.
+    pub fn is_idle(&self, local_core: usize) -> bool {
+        self.cores[local_core].current.is_none() && self.cores[local_core].busy_until <= self.now
+    }
+
+    /// Tasklets queued node-wide (they outrank every thread).
+    pub fn pending_tasklets(&self) -> usize {
+        self.pending_tasklets
+    }
+
+    /// Communication request signals (see [`CommSignals`]).
+    pub fn comm(&self) -> &CommSignals {
+        self.comm
+    }
+}
+
+/// A pluggable thread-scheduling policy (see the module docs for the hook
+/// contract). Policies are per-node and single-threaded, driven entirely
+/// by the simulation's event order.
+pub trait SchedPolicy {
+    /// Short stable name ("hier", "fifo", …) used for selection and
+    /// reporting.
+    fn name(&self) -> &'static str;
+
+    /// Effective queue priority for a wakeup. The default honors the
+    /// waker's urgency flag and otherwise keeps the base priority.
+    fn on_wakeup(&mut self, ctx: &PolicyCtx<'_>, th: &ThreadView, urgent: bool) -> Priority {
+        let _ = ctx;
+        if urgent {
+            Priority::High
+        } else {
+            th.priority
+        }
+    }
+
+    /// Queue a thread that just became ready.
+    fn enqueue(&mut self, ctx: &PolicyCtx<'_>, th: &ThreadView, ev: ReadyEvent);
+
+    /// Advise which core to kick for the thread just enqueued.
+    fn select_core(&mut self, ctx: &PolicyCtx<'_>, th: &ThreadView, ev: ReadyEvent) -> KickHint;
+
+    /// Pop the best thread for `local_core` (or `None` to let the core go
+    /// on to its idle hooks).
+    fn dispatch(&mut self, ctx: &PolicyCtx<'_>, local_core: usize) -> Option<Dispatched>;
+
+    /// A core entered its work loop (bookkeeping hook; default no-op).
+    fn tick(&mut self, ctx: &PolicyCtx<'_>, local_core: usize) {
+        let _ = (ctx, local_core);
+    }
+
+    /// A dispatched thread left its core (default no-op).
+    fn stopping(&mut self, ctx: &PolicyCtx<'_>, th: &ThreadView, reason: StopKind) {
+        let _ = (ctx, th, reason);
+    }
+
+    /// Number of threads currently queued (all levels).
+    fn queued(&self) -> usize;
+}
+
+/// Selects one of the shipped scheduling policies by name.
+///
+/// # Example
+/// ```
+/// use pm2_marcel::SchedPolicyKind;
+/// assert_eq!(
+///     SchedPolicyKind::from_name("comm"),
+///     Some(SchedPolicyKind::CommAware)
+/// );
+/// assert_eq!(SchedPolicyKind::CommAware.name(), "comm");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicyKind {
+    /// Hierarchical run queues (core/socket/node × priority) — the
+    /// paper-faithful default.
+    #[default]
+    Hier,
+    /// Single global FIFO ignoring priority, urgency and locality — the
+    /// naive baseline.
+    Fifo,
+    /// Priority-weighted virtual-runtime fairness (CFS-style).
+    Vruntime,
+    /// Hierarchical queues plus a boost for threads whose awaited request
+    /// is near completion.
+    CommAware,
+}
+
+impl SchedPolicyKind {
+    /// Stable selection name of this policy.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedPolicyKind::Hier => "hier",
+            SchedPolicyKind::Fifo => "fifo",
+            SchedPolicyKind::Vruntime => "vruntime",
+            SchedPolicyKind::CommAware => "comm",
+        }
+    }
+
+    /// Parses a policy name (accepts a few aliases).
+    pub fn from_name(name: &str) -> Option<SchedPolicyKind> {
+        match name {
+            "hier" | "hierarchical" | "default" => Some(SchedPolicyKind::Hier),
+            "fifo" | "global" => Some(SchedPolicyKind::Fifo),
+            "vruntime" | "fair" | "cfs" => Some(SchedPolicyKind::Vruntime),
+            "comm" | "comm-aware" | "commaware" => Some(SchedPolicyKind::CommAware),
+            _ => None,
+        }
+    }
+
+    /// Every shipped policy, default first.
+    pub fn all() -> [SchedPolicyKind; 4] {
+        [
+            SchedPolicyKind::Hier,
+            SchedPolicyKind::Fifo,
+            SchedPolicyKind::Vruntime,
+            SchedPolicyKind::CommAware,
+        ]
+    }
+
+    /// Builds the policy for a node with the given shape.
+    pub fn build(self, cores: usize, sockets: usize) -> Box<dyn SchedPolicy> {
+        match self {
+            SchedPolicyKind::Hier => Box::new(policies::HierPolicy::new(cores, sockets)),
+            SchedPolicyKind::Fifo => Box::new(policies::FifoPolicy::new(cores)),
+            SchedPolicyKind::Vruntime => Box::new(policies::VruntimePolicy::new(cores)),
+            SchedPolicyKind::CommAware => Box::new(policies::CommAwarePolicy::new(cores, sockets)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for kind in SchedPolicyKind::all() {
+            assert_eq!(SchedPolicyKind::from_name(kind.name()), Some(kind));
+            assert_eq!(kind.build(4, 2).name(), kind.name());
+        }
+        assert_eq!(SchedPolicyKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn default_is_hier() {
+        assert_eq!(SchedPolicyKind::default(), SchedPolicyKind::Hier);
+    }
+}

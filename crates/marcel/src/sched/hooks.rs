@@ -1,0 +1,89 @@
+//! Idle hooks: the polling sites PIOMAN attaches to otherwise-idle cores
+//! ("leaving a core idle boils down to a busy waiting", §3.2).
+
+use super::Marcel;
+use crate::sched::stats::bump_shard;
+use pm2_sim::obs::EventKind;
+use pm2_sim::{SimDuration, SimTime};
+use pm2_topo::CoreId;
+use std::rc::Rc;
+
+/// Result of one idle-hook invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HookResult {
+    /// Nothing to do and nothing expected: the core may truly sleep.
+    Nothing,
+    /// Nothing to do right now, but events are being awaited: keep polling
+    /// (the "busy waiting" of §3.2).
+    Armed,
+    /// Work was performed, consuming the given CPU time; re-check
+    /// immediately afterwards.
+    Worked(SimDuration),
+    /// Like [`HookResult::Worked`], additionally naming which shard of
+    /// the hook's backend did the work (e.g. which PIOMAN progress
+    /// driver); Marcel tallies per-shard hook work for it.
+    WorkedOn {
+        /// CPU time the work consumed.
+        cost: SimDuration,
+        /// Shard index the work is attributed to.
+        shard: u32,
+    },
+}
+
+/// A registered idle hook (shared so a sweep can run hooks unborrowed).
+pub(crate) type IdleHook = Rc<dyn Fn(&Marcel, CoreId) -> HookResult>;
+
+impl Marcel {
+    /// Registers an idle hook, called whenever a core runs out of work.
+    pub fn register_idle_hook(&self, hook: impl Fn(&Marcel, CoreId) -> HookResult + 'static) {
+        self.inner.state.borrow_mut().hooks.push(Rc::new(hook));
+    }
+
+    /// Runs every registered hook once on `core`; returns the total CPU
+    /// cost charged and whether any hook stayed armed.
+    pub(crate) fn hook_sweep(&self, core: CoreId, now: SimTime) -> (SimDuration, bool) {
+        let hooks: Vec<IdleHook> = {
+            let mut st = self.inner.state.borrow_mut();
+            st.stats.hook_sweeps += 1;
+            st.hooks.clone()
+        };
+        let mut cost = SimDuration::ZERO;
+        let mut armed = false;
+        for hook in hooks {
+            match hook(self, core) {
+                HookResult::Nothing => {}
+                HookResult::Armed => armed = true,
+                HookResult::Worked(c) => {
+                    armed = true;
+                    cost += c;
+                    self.inner.sim.obs().emit(
+                        now,
+                        Some(self.node().0),
+                        EventKind::HookWork {
+                            core: core.0,
+                            shard: None,
+                            cost: c.as_nanos(),
+                        },
+                    );
+                }
+                HookResult::WorkedOn { cost: c, shard } => {
+                    armed = true;
+                    cost += c;
+                    let mut st = self.inner.state.borrow_mut();
+                    bump_shard(&mut st.hook_shard_work, shard);
+                    drop(st);
+                    self.inner.sim.obs().emit(
+                        now,
+                        Some(self.node().0),
+                        EventKind::HookWork {
+                            core: core.0,
+                            shard: Some(shard as usize),
+                            cost: c.as_nanos(),
+                        },
+                    );
+                }
+            }
+        }
+        (cost, armed)
+    }
+}

@@ -1,0 +1,485 @@
+//! The scheduler engine: cores, dispatch machinery, and the glue that
+//! drives a pluggable [`SchedPolicy`].
+//!
+//! The engine owns what is *mechanism* — core occupancy, tasklet
+//! invocation pricing, idle-hook sweeps, timers, the run-event
+//! deduplication — and delegates every *placement* decision (which queue,
+//! which core to kick, which thread to run next) to the policy selected
+//! in [`MarcelConfig::policy`]. Submodules:
+//!
+//! * [`threads`] — thread lifecycle (spawn, block/wake, yield, finish);
+//! * [`tasklets`] — tasklet scheduling and execution;
+//! * [`hooks`] — idle hooks (PIOMAN's polling sites);
+//! * [`timers`] — periodic timers;
+//! * [`stats`] — activity counters.
+
+mod hooks;
+mod stats;
+mod tasklets;
+#[cfg(test)]
+mod tests;
+mod threads;
+mod timers;
+
+pub use hooks::HookResult;
+pub use stats::SchedStats;
+pub use timers::TimerId;
+
+use crate::comm::CommSignals;
+use crate::config::MarcelConfig;
+use crate::policy::{KickHint, PolicyCtx, SchedPolicy, ThreadView};
+use crate::tasklet::{TaskletId, TaskletRec};
+use crate::thread::{Priority, ThreadId};
+use hooks::IdleHook;
+use pm2_sim::trace::Category;
+use pm2_sim::{Sim, SimDuration, SimTime, Slab, TimerHandle, Trigger};
+use pm2_topo::{CoreId, NodeId, Topology};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::task::Waker;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TState {
+    Ready,
+    Running(CoreId),
+    Blocked,
+    Finished,
+}
+
+pub(crate) struct ThreadRec {
+    pub(crate) state: TState,
+    pub(crate) priority: Priority,
+    pub(crate) affinity: Option<CoreId>,
+    /// Core the thread last ran on (for cache-affine wake placement).
+    pub(crate) last_core: Option<CoreId>,
+    pub(crate) dispatch_waker: Option<Waker>,
+    pub(crate) finished: Trigger,
+    pub(crate) park_trigger: Option<Trigger>,
+    pub(crate) unpark_permit: bool,
+    pub(crate) name: String,
+}
+
+pub(crate) struct Core {
+    pub(crate) id: CoreId,
+    pub(crate) current: Option<ThreadId>,
+    /// Occupancy from tasklet/hook work (threads occupy via `current`).
+    pub(crate) busy_until: SimTime,
+    /// Earliest pending `run_core` event, for deduplication.
+    pub(crate) scheduled_run: Option<(SimTime, TimerHandle)>,
+}
+
+pub(crate) struct State {
+    pub(crate) cores: Vec<Core>,
+    pub(crate) threads: Slab<ThreadRec>,
+    pub(crate) tasklets: Slab<TaskletRec>,
+    pub(crate) tasklet_queue: VecDeque<TaskletId>,
+    pub(crate) policy: Box<dyn SchedPolicy>,
+    pub(crate) comm: CommSignals,
+    pub(crate) hooks: Vec<IdleHook>,
+    pub(crate) timers: Slab<timers::TimerRec>,
+    pub(crate) stats: SchedStats,
+    /// Per-shard counts of idle-hook work events
+    /// ([`HookResult::WorkedOn`]), indexed by shard.
+    pub(crate) hook_shard_work: Vec<u64>,
+    /// Per-shard counts of tasklet work events
+    /// ([`crate::TaskletRun::note_shard`]), indexed by shard.
+    pub(crate) tasklet_shard_work: Vec<u64>,
+}
+
+/// Splits the state into the policy and the read-only view it may consult
+/// (they borrow disjoint fields, so both live at once).
+pub(crate) fn policy_split<'a>(
+    st: &'a mut State,
+    now: SimTime,
+    sockets: usize,
+    cores_per_socket: usize,
+) -> (&'a mut dyn SchedPolicy, PolicyCtx<'a>) {
+    let pending = st.tasklet_queue.len();
+    let State {
+        policy,
+        cores,
+        comm,
+        ..
+    } = st;
+    let ctx = PolicyCtx::new(now, cores, comm, sockets, cores_per_socket, pending);
+    (policy.as_mut(), ctx)
+}
+
+pub(crate) struct Inner {
+    pub(crate) sim: Sim,
+    pub(crate) topo: Rc<Topology>,
+    pub(crate) node: NodeId,
+    pub(crate) cfg: MarcelConfig,
+    pub(crate) state: RefCell<State>,
+}
+
+/// Handle to one node's scheduler; cheap to clone.
+///
+/// # Example
+/// ```
+/// use pm2_marcel::{Marcel, MarcelConfig, Priority};
+/// use pm2_sim::{Sim, SimDuration};
+/// use pm2_topo::{NodeId, Topology};
+/// use std::rc::Rc;
+///
+/// let sim = Sim::new(0);
+/// let topo = Rc::new(Topology::single_node(4));
+/// let marcel = Marcel::new(sim.clone(), topo, NodeId(0), MarcelConfig::default());
+/// marcel.spawn("worker", Priority::Normal, None, |ctx| async move {
+///     ctx.compute(SimDuration::from_micros(10)).await;
+/// });
+/// sim.run();
+/// assert_eq!(marcel.stats().dispatches, 1);
+/// ```
+#[derive(Clone)]
+pub struct Marcel {
+    pub(crate) inner: Rc<Inner>,
+}
+
+impl Marcel {
+    /// Creates a scheduler owning the cores of `node` in `topo`, driven by
+    /// the policy named in `cfg.policy`.
+    pub fn new(sim: Sim, topo: Rc<Topology>, node: NodeId, cfg: MarcelConfig) -> Marcel {
+        let policy = cfg
+            .policy
+            .build(topo.cores_per_node(), topo.sockets_per_node());
+        Self::new_with_policy(sim, topo, node, cfg, policy)
+    }
+
+    /// Like [`Marcel::new`], with a caller-built (possibly custom) policy.
+    pub fn new_with_policy(
+        sim: Sim,
+        topo: Rc<Topology>,
+        node: NodeId,
+        cfg: MarcelConfig,
+        policy: Box<dyn SchedPolicy>,
+    ) -> Marcel {
+        let cores = topo
+            .cores_of(node)
+            .map(|id| Core {
+                id,
+                current: None,
+                busy_until: SimTime::ZERO,
+                scheduled_run: None,
+            })
+            .collect();
+        Marcel {
+            inner: Rc::new(Inner {
+                sim,
+                topo,
+                node,
+                cfg,
+                state: RefCell::new(State {
+                    cores,
+                    threads: Slab::new(),
+                    tasklets: Slab::new(),
+                    tasklet_queue: VecDeque::new(),
+                    policy,
+                    comm: CommSignals::default(),
+                    hooks: Vec::new(),
+                    timers: Slab::new(),
+                    stats: SchedStats::default(),
+                    hook_shard_work: Vec::new(),
+                    tasklet_shard_work: Vec::new(),
+                }),
+            }),
+        }
+    }
+
+    /// The underlying simulation.
+    pub fn sim(&self) -> &Sim {
+        &self.inner.sim
+    }
+
+    /// The node this scheduler manages.
+    pub fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    /// The cluster topology.
+    pub fn topology(&self) -> &Rc<Topology> {
+        &self.inner.topo
+    }
+
+    /// The cost model in use.
+    pub fn config(&self) -> &MarcelConfig {
+        &self.inner.cfg
+    }
+
+    /// Name of the scheduling policy driving this node.
+    pub fn policy_name(&self) -> &'static str {
+        self.inner.state.borrow().policy.name()
+    }
+
+    pub(crate) fn local(&self, core: CoreId) -> usize {
+        debug_assert_eq!(self.inner.topo.node_of(core), self.inner.node);
+        self.inner.topo.local_index(core)
+    }
+
+    /// Global id of a node-local core index.
+    pub(crate) fn core_at(&self, local: usize) -> CoreId {
+        self.inner.topo.core_on(self.inner.node, local)
+    }
+
+    /// Socket/core shape handed to [`PolicyCtx`].
+    pub(crate) fn dims(&self) -> (usize, usize) {
+        (
+            self.inner.topo.sockets_per_node(),
+            self.inner.topo.cores_per_socket(),
+        )
+    }
+
+    /// Builds the policy's view of a thread (local core indices).
+    pub(crate) fn thread_view(&self, id: ThreadId, rec: &ThreadRec) -> ThreadView {
+        ThreadView {
+            id,
+            priority: rec.priority,
+            affinity: rec.affinity.map(|c| self.local(c)),
+            last_core: rec.last_core.map(|c| self.local(c)),
+        }
+    }
+
+    /// Applies a policy's [`KickHint`].
+    pub(crate) fn apply_kick(&self, hint: KickHint) {
+        match hint {
+            KickHint::Core(l) => self.schedule_run(self.core_at(l), SimDuration::ZERO),
+            KickHint::Near(l) => self.kick_idle_near(Some(self.core_at(l))),
+            KickHint::AnyIdle => self.kick_one_idle(),
+            KickHint::None => {}
+        }
+    }
+
+    // ----- core engine ----------------------------------------------------
+
+    /// Nudges every idle core to look for work now (used by PIOMAN when new
+    /// requests arrive).
+    pub fn kick_all_idle(&self) {
+        let now = self.inner.sim.now();
+        let idle: Vec<CoreId> = self
+            .inner
+            .state
+            .borrow()
+            .cores
+            .iter()
+            .filter(|c| c.current.is_none() && c.busy_until <= now)
+            .map(|c| c.id)
+            .collect();
+        for c in idle {
+            self.schedule_run(c, SimDuration::ZERO);
+        }
+    }
+
+    pub(crate) fn kick_one_idle(&self) {
+        let now = self.inner.sim.now();
+        let idle = {
+            let st = self.inner.state.borrow();
+            let is_idle = |c: &Core| c.current.is_none() && c.busy_until <= now;
+            // Prefer an idle core with no run already pending so that two
+            // ready threads wake two distinct cores.
+            st.cores
+                .iter()
+                .find(|c| is_idle(c) && c.scheduled_run.is_none())
+                .or_else(|| st.cores.iter().find(|c| is_idle(c)))
+                .map(|c| c.id)
+        };
+        if let Some(c) = idle {
+            self.schedule_run(c, SimDuration::ZERO);
+        }
+    }
+
+    /// Kicks the idle core nearest to `origin` (or any idle core).
+    pub(crate) fn kick_idle_near(&self, origin: Option<CoreId>) {
+        let now = self.inner.sim.now();
+        let chosen = {
+            let st = self.inner.state.borrow();
+            let is_idle = |c: &Core| c.current.is_none() && c.busy_until <= now;
+            let fallback = || {
+                st.cores
+                    .iter()
+                    .find(|c| is_idle(c) && c.scheduled_run.is_none())
+                    .or_else(|| st.cores.iter().find(|c| is_idle(c)))
+                    .map(|c| c.id)
+            };
+            match origin {
+                Some(o) => self
+                    .inner
+                    .topo
+                    .neighbours_by_distance(o)
+                    .into_iter()
+                    .find(|&cand| {
+                        let local = self.inner.topo.local_index(cand);
+                        let c = &st.cores[local];
+                        is_idle(c) && c.scheduled_run.is_none()
+                    })
+                    .or_else(fallback),
+                None => fallback(),
+            }
+        };
+        if let Some(c) = chosen {
+            self.schedule_run(c, SimDuration::ZERO);
+        }
+    }
+
+    /// Schedules `run_core(core)` after `delay`, deduplicating against an
+    /// already-pending earlier or equal run.
+    pub(crate) fn schedule_run(&self, core: CoreId, delay: SimDuration) {
+        let at = self.inner.sim.now() + delay;
+        let local = self.local(core);
+        {
+            let mut st = self.inner.state.borrow_mut();
+            let slot = &mut st.cores[local].scheduled_run;
+            if let Some((t, _)) = slot {
+                if *t <= at {
+                    return; // an earlier (or same-time) run is already pending
+                }
+                if let Some((_, h)) = slot.take() {
+                    h.cancel();
+                }
+            }
+            let marcel = self.clone();
+            let handle = self.inner.sim.schedule_at(at, move |_| {
+                marcel.inner.state.borrow_mut().cores[local].scheduled_run = None;
+                marcel.run_core(core);
+            });
+            *slot = Some((at, handle));
+        }
+    }
+
+    /// The per-core work loop: tasklets first, then threads, then idle
+    /// hooks.
+    pub(crate) fn run_core(&self, core: CoreId) {
+        let local = self.local(core);
+        {
+            let mut st = self.inner.state.borrow_mut();
+            let now = self.inner.sim.now();
+            let (sockets, cps) = self.dims();
+            let (policy, pctx) = policy_split(&mut st, now, sockets, cps);
+            policy.tick(&pctx, local);
+        }
+        loop {
+            let now = self.inner.sim.now();
+            // Phase 0: occupied?
+            {
+                let st = self.inner.state.borrow();
+                let c = &st.cores[local];
+                if c.current.is_some() {
+                    return; // the running thread will release the core
+                }
+                if c.busy_until > now {
+                    // Tasklet/hook work in flight: come back when it ends.
+                    let until = c.busy_until;
+                    drop(st);
+                    self.schedule_run(core, until - now);
+                    return;
+                }
+            }
+            // Phase 1: tasklets. The invocation penalty (cross-CPU
+            // notification) elapses before the body runs, so offloaded
+            // submissions hit the wire 2 µs after being scheduled from a
+            // remote core — the overhead the paper measures in §4.1.
+            let tasklet = {
+                let mut st = self.inner.state.borrow_mut();
+                Self::pop_ready_tasklet(&mut st)
+            };
+            if let Some(id) = tasklet {
+                let invoke = self.claim_tasklet(id, core);
+                if invoke.is_zero() {
+                    let cost = self.execute_tasklet_body(id, core, false);
+                    if !cost.is_zero() {
+                        let mut st = self.inner.state.borrow_mut();
+                        st.cores[local].busy_until = now + cost;
+                        drop(st);
+                        self.schedule_run(core, cost);
+                        return;
+                    }
+                    continue;
+                }
+                {
+                    let mut st = self.inner.state.borrow_mut();
+                    st.cores[local].busy_until = now + invoke;
+                }
+                let marcel = self.clone();
+                self.inner.sim.schedule_in(invoke, move |sim| {
+                    let cost = marcel.execute_tasklet_body(id, core, false);
+                    let local = marcel.local(core);
+                    let t = sim.now();
+                    marcel.inner.state.borrow_mut().cores[local].busy_until = t + cost;
+                    marcel.schedule_run(core, cost);
+                });
+                return;
+            }
+            // Phase 2: threads — ask the policy for the best eligible one.
+            let dispatched = {
+                let mut st = self.inner.state.borrow_mut();
+                let (sockets, cps) = self.dims();
+                let (policy, pctx) = policy_split(&mut st, now, sockets, cps);
+                policy.dispatch(&pctx, local)
+            };
+            if let Some(d) = dispatched {
+                let tid = d.thread;
+                let ctx_switch = self.inner.cfg.ctx_switch;
+                {
+                    let mut st = self.inner.state.borrow_mut();
+                    st.stats.note_pop(d.source);
+                    st.stats.dispatches += 1;
+                    let rec = st.threads.get_mut(tid.0).expect("queued thread missing");
+                    debug_assert_eq!(rec.state, TState::Ready);
+                    rec.state = TState::Running(core);
+                    rec.last_core = Some(core);
+                    st.cores[local].current = Some(tid);
+                }
+                self.trace(Category::Sched, || {
+                    format!("dispatch {:?} on {}", tid, core)
+                });
+                if ctx_switch.is_zero() {
+                    self.wake_dispatch(tid);
+                } else {
+                    let marcel = self.clone();
+                    self.inner
+                        .sim
+                        .schedule_in(ctx_switch, move |_| marcel.wake_dispatch(tid));
+                }
+                // More ready threads? Wake another idle core for them.
+                if self.ready_thread_count() > 0 {
+                    self.kick_one_idle();
+                }
+                return;
+            }
+            // Phase 3: idle hooks.
+            let (cost, armed) = self.hook_sweep(core, now);
+            if !cost.is_zero() {
+                let mut st = self.inner.state.borrow_mut();
+                st.cores[local].busy_until = now + cost;
+                drop(st);
+                self.schedule_run(core, cost);
+                return;
+            }
+            if armed {
+                self.schedule_run(core, self.inner.cfg.idle_poll_period);
+                return;
+            }
+            // Truly idle: sleep until kicked.
+            return;
+        }
+    }
+
+    pub(crate) fn wake_dispatch(&self, thread: ThreadId) {
+        let waker = {
+            let mut st = self.inner.state.borrow_mut();
+            st.threads
+                .get_mut(thread.0)
+                .and_then(|r| r.dispatch_waker.take())
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+
+    pub(crate) fn trace(&self, cat: Category, f: impl FnOnce() -> String) {
+        self.inner
+            .sim
+            .trace()
+            .emit_with(self.inner.sim.now(), cat, f);
+    }
+}

@@ -1,0 +1,80 @@
+//! Scheduler activity counters.
+
+use super::Marcel;
+use crate::policy::PopSource;
+
+/// Scheduler activity counters (cumulative).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Threads dispatched onto cores.
+    pub dispatches: u64,
+    /// Tasklet bodies executed.
+    pub tasklet_runs: u64,
+    /// Tasklet schedules that coalesced into a pending one.
+    pub tasklet_coalesced: u64,
+    /// Idle-hook sweep invocations.
+    pub hook_sweeps: u64,
+    /// Tasklet executions that stole cycles from a computing thread.
+    pub compute_steals: u64,
+    /// Timer callback firings.
+    pub timer_ticks: u64,
+    /// Dispatches served from the core's own or its socket's queue
+    /// (cache-warm).
+    pub local_dispatches: u64,
+    /// Dispatches that stole a thread queued for another socket.
+    pub cross_socket_steals: u64,
+    /// Dispatches popped from the core's own strict-affinity queue.
+    pub pop_core: u64,
+    /// Dispatches popped from the core's own socket queue.
+    pub pop_local_socket: u64,
+    /// Dispatches popped from a node-wide queue.
+    pub pop_node: u64,
+    /// Dispatches stolen from another socket's queue.
+    pub pop_steal: u64,
+}
+
+impl SchedStats {
+    /// Tallies where a dispatch was popped from: the full locality mix
+    /// (`pop_*`) plus the legacy local/steal split.
+    pub(crate) fn note_pop(&mut self, src: PopSource) {
+        match src {
+            PopSource::Core => self.pop_core += 1,
+            PopSource::LocalSocket => self.pop_local_socket += 1,
+            PopSource::Node => self.pop_node += 1,
+            PopSource::RemoteSocket => self.pop_steal += 1,
+        }
+        match src {
+            PopSource::RemoteSocket => self.cross_socket_steals += 1,
+            PopSource::Core | PopSource::LocalSocket => self.local_dispatches += 1,
+            PopSource::Node => {}
+        }
+    }
+}
+
+pub(crate) fn bump_shard(v: &mut Vec<u64>, shard: u32) {
+    let i = shard as usize;
+    if v.len() <= i {
+        v.resize(i + 1, 0);
+    }
+    v[i] += 1;
+}
+
+impl Marcel {
+    /// Snapshot of the activity counters.
+    pub fn stats(&self) -> SchedStats {
+        self.inner.state.borrow().stats
+    }
+
+    /// Per-shard idle-hook work counts (index = shard named by
+    /// [`crate::HookResult::WorkedOn`]; shards that never worked may be
+    /// absent).
+    pub fn hook_shard_work(&self) -> Vec<u64> {
+        self.inner.state.borrow().hook_shard_work.clone()
+    }
+
+    /// Per-shard tasklet work counts (index = shard named by
+    /// [`crate::TaskletRun::note_shard`]).
+    pub fn tasklet_shard_work(&self) -> Vec<u64> {
+        self.inner.state.borrow().tasklet_shard_work.clone()
+    }
+}

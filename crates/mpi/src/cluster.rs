@@ -71,6 +71,17 @@ pub struct ClusterConfig {
 }
 
 impl ClusterConfig {
+    /// Selects the Marcel scheduling policy by name (see
+    /// [`pm2_marcel::SchedPolicyKind::from_name`] for accepted names).
+    ///
+    /// # Panics
+    /// Panics on an unknown policy name.
+    pub fn with_sched_policy(mut self, name: &str) -> Self {
+        self.marcel.policy = pm2_marcel::SchedPolicyKind::from_name(name)
+            .unwrap_or_else(|| panic!("unknown scheduling policy {name:?}"));
+        self
+    }
+
     /// The paper's testbed: 2 nodes × dual quad-core, MYRI-10G, with the
     /// given engine.
     pub fn paper_testbed(engine: EngineKind) -> Self {
@@ -281,6 +292,31 @@ impl Cluster {
                     ]
                 });
             }
+            let marcel = self.marcels[n].clone();
+            reg.register(format!("sched.node{n}"), move || {
+                let s = marcel.stats();
+                let mut kv: Vec<(String, f64)> = vec![
+                    ("dispatches".into(), s.dispatches as f64),
+                    ("tasklet_runs".into(), s.tasklet_runs as f64),
+                    ("tasklet_coalesced".into(), s.tasklet_coalesced as f64),
+                    ("hook_sweeps".into(), s.hook_sweeps as f64),
+                    ("compute_steals".into(), s.compute_steals as f64),
+                    ("timer_ticks".into(), s.timer_ticks as f64),
+                    ("local_dispatches".into(), s.local_dispatches as f64),
+                    ("cross_socket_steals".into(), s.cross_socket_steals as f64),
+                    ("pop_core".into(), s.pop_core as f64),
+                    ("pop_local_socket".into(), s.pop_local_socket as f64),
+                    ("pop_node".into(), s.pop_node as f64),
+                    ("pop_steal".into(), s.pop_steal as f64),
+                ];
+                for (i, w) in marcel.hook_shard_work().iter().enumerate() {
+                    kv.push((format!("hook_shard{i}_work"), *w as f64));
+                }
+                for (i, w) in marcel.tasklet_shard_work().iter().enumerate() {
+                    kv.push((format!("tasklet_shard{i}_work"), *w as f64));
+                }
+                kv
+            });
             for (r, fabric) in self.fabrics.iter().enumerate() {
                 let nic = fabric.nic(NodeId(n));
                 reg.register(format!("nic.node{n}.rail{r}"), move || {

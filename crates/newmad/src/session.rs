@@ -409,6 +409,10 @@ impl Session {
                     },
                 );
                 st.push_pack(own, u.src, PackKind::Cts { rdv: u.rdv });
+                // Handshake answered late: boost-eligible from here on.
+                self.inner
+                    .marcel
+                    .note_req_stage(req.id(), pm2_marcel::CommStage::Handshake);
                 Some(reg)
             } else {
                 st.posted.push_back(PostedRecv {
