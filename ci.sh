@@ -33,6 +33,13 @@ for seed in 1 7 42; do
   PM2_FAULT_SEED=$seed cargo test -q --release -p pm2-bench --test faults
 done
 
+echo "== stress soak under the fault matrix (seeds 1 7 42)"
+# tests/stress.rs: the random-traffic soak re-runs on a 2% lossy fabric
+# per seed, asserting exactly-once delivery and frame/message balance.
+for seed in 1 7 42; do
+  PM2_FAULT_SEED=$seed cargo test -q --release -p pm2-bench --test stress
+done
+
 echo "== collective differential matrix (seeds 1 7 42)"
 for seed in 1 7 42; do
   PM2_FAULT_SEED=$seed cargo test -q --release -p pm2-bench --test coll
@@ -44,6 +51,27 @@ echo "== scheduling-policy differential matrix (seeds 1 7 42)"
 for seed in 1 7 42; do
   PM2_FAULT_SEED=$seed cargo test -q --release -p pm2-bench --test sched
 done
+
+echo "== service-scenario suite (seeds 1 7 42, all four policies)"
+# tests/scenario.rs: report determinism, generator law bounds, nominal
+# specs pass their SLO under every policy, the overload probe fails its
+# SLO, and comm-signal brackets balance under thousands of streams.
+for seed in 1 7 42; do
+  PM2_FAULT_SEED=$seed cargo test -q --release -p pm2-bench --test scenario
+done
+
+echo "== scenario sweep smoke (BENCH_scenarios.json schema)"
+PM2_SCENARIO_SMOKE=1 ./target/release/scenario_sweep > /tmp/scenario_smoke.json
+for key in pm2-scenarios/v1 svc_uniform_poisson svc_incast_pareto svc_heavy_mix \
+           stencil_halo train_allreduce svc_overload_incast \
+           hier fifo vruntime comm p50_us p99_us p999_us slo_pass; do
+  grep -q "\"$key\"" /tmp/scenario_smoke.json \
+    || { echo "BENCH_scenarios smoke output misses key \"$key\""; exit 1; }
+done
+# The harness must be able to fail: the overload probe's verdict is
+# checked here too, so a rubber-stamping suite breaks CI.
+grep -q '"slo_pass": false' /tmp/scenario_smoke.json \
+  || { echo "scenario smoke: overload probe did not fail its SLO"; exit 1; }
 
 echo "== scheduling sweep smoke (BENCH_sched.json schema)"
 PM2_SCHED_SMOKE=1 ./target/release/sched_sweep > /tmp/sched_smoke.json

@@ -1,0 +1,71 @@
+//! Service-scenario sweep: every suite spec under every Marcel policy,
+//! scored against its latency SLO. Emits `BENCH_scenarios.json` to
+//! stdout.
+//!
+//! ```sh
+//! cargo run --release -p pm2-bench --bin scenario_sweep > BENCH_scenarios.json
+//! PM2_SCENARIO_SMOKE=1 ./target/release/scenario_sweep   # CI schema gate
+//! PM2_FAULT_SEED=7 ./target/release/scenario_sweep       # fault-matrix point
+//! ```
+
+use pm2_scenario::{builtin_suite, run_scenario, SloSpec, Workload, POLICIES};
+
+fn fault_seed() -> u64 {
+    std::env::var("PM2_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+fn main() {
+    let smoke = std::env::var("PM2_SCENARIO_SMOKE").is_ok();
+    let seed = fault_seed();
+    let suite = builtin_suite(smoke);
+
+    let mut out = String::from("{\n  \"schema\": \"pm2-scenarios/v1\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"fault_seed\": {seed},\n"));
+    out.push_str("  \"scenarios\": {\n");
+    for (si, spec) in suite.iter().enumerate() {
+        eprintln!("running scenario {}...", spec.name);
+        let workload = match &spec.workload {
+            Workload::Service { .. } => "service",
+            Workload::Stencil { .. } => "stencil",
+            Workload::AllreduceStep { .. } => "allreduce",
+        };
+        out.push_str(&format!("    \"{}\": {{\n", spec.name));
+        out.push_str(&format!(
+            "      \"ranks\": {}, \"workload\": \"{workload}\", \
+             \"fault_loss\": {:.4},\n",
+            spec.ranks, spec.fault_loss
+        ));
+        let slo_line = |v: f64| {
+            if v == SloSpec::NONE {
+                "null".to_string()
+            } else {
+                format!("{v:.1}")
+            }
+        };
+        out.push_str(&format!(
+            "      \"slo\": {{\"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}}},\n",
+            slo_line(spec.slo.p50_us),
+            slo_line(spec.slo.p99_us),
+            slo_line(spec.slo.p999_us)
+        ));
+        out.push_str("      \"policies\": {\n");
+        for (pi, policy) in POLICIES.iter().enumerate() {
+            let o = run_scenario(spec, policy, seed);
+            assert_eq!(
+                o.waits_leaked, 0,
+                "{}/{policy}: leaked wait brackets",
+                o.name
+            );
+            out.push_str(&format!("        \"{policy}\": {}", o.to_json()));
+            out.push_str(if pi + 1 < POLICIES.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("      }\n    }");
+        out.push_str(if si + 1 < suite.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  }\n}");
+    println!("{out}");
+}

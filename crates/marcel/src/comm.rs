@@ -32,7 +32,7 @@ pub enum CommStage {
 /// Bound on tracked requests: ids are monotonic, so when the table
 /// overflows the *oldest* requests (long completed or abandoned) are
 /// evicted first.
-const MAX_TRACKED_REQS: usize = 1024;
+pub const MAX_TRACKED_REQS: usize = 1024;
 
 /// Bounded table of request stages and per-thread waits.
 #[derive(Debug, Default)]
@@ -66,6 +66,13 @@ impl CommSignals {
     /// Number of requests currently tracked.
     pub fn tracked(&self) -> usize {
         self.stages.len()
+    }
+
+    /// Number of threads currently inside a `wait_begin`/`wait_end`
+    /// bracket. A quiesced scheduler must report zero — every wait
+    /// entered was left.
+    pub fn waiting(&self) -> usize {
+        self.waits.len()
     }
 
     fn cap(&mut self) {
@@ -129,6 +136,19 @@ impl Marcel {
     pub fn comm_req_stage(&self, req: u64) -> Option<CommStage> {
         self.inner.state.borrow().comm.stage(req)
     }
+
+    /// Requests currently tracked by the signal table (bounded by
+    /// [`MAX_TRACKED_REQS`]).
+    pub fn comm_tracked(&self) -> usize {
+        self.inner.state.borrow().comm.tracked()
+    }
+
+    /// Threads currently inside a `comm_wait_begin`/`comm_wait_end`
+    /// bracket. Zero once the simulation has quiesced — the scenario
+    /// suite asserts this under thousands of concurrent streams.
+    pub fn comm_waiting(&self) -> usize {
+        self.inner.state.borrow().comm.waiting()
+    }
 }
 
 #[cfg(test)]
@@ -166,5 +186,62 @@ mod tests {
         assert_eq!(c.tracked(), MAX_TRACKED_REQS);
         assert_eq!(c.stage(0), None, "oldest evicted");
         assert!(c.stage(1_999).is_some(), "newest kept");
+    }
+
+    /// Randomized bracket-balance property: a driver that always pairs
+    /// `wait_begin` with `wait_end` (whatever stage notes, completions
+    /// and evictions happen in between) leaves the wait table empty, and
+    /// the stage table never exceeds its cap at any step.
+    #[test]
+    fn random_bracket_sequences_balance_and_stay_bounded() {
+        use pm2_sim::rng::Xoshiro256;
+        for seed in [1u64, 7, 42, 1234] {
+            let mut rng = Xoshiro256::new(seed);
+            let mut c = CommSignals::default();
+            let mut open: Vec<(ThreadId, u64)> = Vec::new();
+            let mut next_req = 0u64;
+            for step in 0..20_000u64 {
+                match rng.gen_below(4) {
+                    // Open a wait bracket on a fresh thread/request.
+                    0 => {
+                        let t = ThreadId(10_000 + open.len() + (step as usize % 97));
+                        if open.iter().all(|(ot, _)| *ot != t) {
+                            c.wait_begin(t, next_req);
+                            open.push((t, next_req));
+                            next_req += 1;
+                        }
+                    }
+                    // Close the oldest open bracket.
+                    1 => {
+                        if !open.is_empty() {
+                            let (t, _) = open.remove(0);
+                            c.wait_end(t);
+                        }
+                    }
+                    // Progress a random tracked request.
+                    2 => {
+                        let stage = match rng.gen_below(3) {
+                            0 => CommStage::Posted,
+                            1 => CommStage::Handshake,
+                            _ => CommStage::Transfer,
+                        };
+                        c.note_stage(rng.gen_below(next_req.max(1)), stage);
+                    }
+                    // Complete a random request.
+                    _ => {
+                        c.done(rng.gen_below(next_req.max(1)));
+                    }
+                }
+                assert!(
+                    c.tracked() <= MAX_TRACKED_REQS,
+                    "seed {seed}: table grew past the cap at step {step}"
+                );
+                assert_eq!(c.waiting(), open.len(), "seed {seed}: bracket imbalance");
+            }
+            for (t, _) in open.drain(..) {
+                c.wait_end(t);
+            }
+            assert_eq!(c.waiting(), 0, "seed {seed}: waits leaked");
+        }
     }
 }

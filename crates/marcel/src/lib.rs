@@ -42,7 +42,7 @@ mod sched;
 mod tasklet;
 mod thread;
 
-pub use comm::{CommSignals, CommStage};
+pub use comm::{CommSignals, CommStage, MAX_TRACKED_REQS};
 pub use config::MarcelConfig;
 pub use policy::{
     Dispatched, KickHint, PolicyCtx, PopSource, ReadyEvent, SchedPolicy, SchedPolicyKind, StopKind,

@@ -341,11 +341,12 @@ impl Cluster {
             sim.obs()
                 .latency_snapshot()
                 .into_iter()
-                .flat_map(|(label, count, p50, p99)| {
+                .flat_map(|(label, count, p50, p99, p999)| {
                     vec![
                         (format!("{label}.count"), count as f64),
                         (format!("{label}.p50_ns"), p50),
                         (format!("{label}.p99_ns"), p99),
+                        (format!("{label}.p999_ns"), p999),
                     ]
                 })
                 .collect()

@@ -1,0 +1,223 @@
+//! pm2-scenario: service-traffic scenarios with SLO percentile scoring.
+//!
+//! The paper evaluates the engine on symmetric microbenchmarks (fig. 5
+//! ping-pong, fig. 6 stencil). This crate adds the workload class the
+//! ROADMAP north-star actually cares about: a communication *service* —
+//! many client streams per node with bursty/heavy-tailed arrivals, mixed
+//! eager/rendezvous sizes and fan-in incast hot-spots — plus two app
+//! kernels (halo-exchange stencil, allreduce-dominated training step)
+//! that reuse the pm2-coll engine.
+//!
+//! Scenarios are declared as data ([`ScenarioSpec`]) and scored from the
+//! pm2-obs latency histograms as p50/p99/p999 SLOs with pass/fail
+//! verdicts ([`ScenarioOutcome`]). Runs are deterministic per
+//! `(spec.seed, policy, fault seed)`: the same triple serializes to the
+//! same bytes, so `BENCH_scenarios.json` diffs track the service-latency
+//! trajectory PR-over-PR exactly like `BENCH_coll.json`.
+//!
+//! The suite runs under the PR-2 lossy-fabric fault matrix (the fault
+//! seed is a runner argument swept by `ci.sh`) and across all four PR-6
+//! Marcel policies (`hier`/`fifo`/`vruntime`/`comm`).
+
+mod runner;
+mod score;
+mod spec;
+
+pub use runner::run_scenario;
+pub use score::ScenarioOutcome;
+pub use spec::{ArrivalLaw, ScenarioSpec, SizeMix, SloSpec, TrafficPattern, Workload, MIN_PAYLOAD};
+
+use pm2_sim::SimTime;
+
+/// The four comparable Marcel policies every sweep iterates.
+pub const POLICIES: [&str; 4] = ["hier", "fifo", "vruntime", "comm"];
+
+/// Wedge guard shared by the suite; the slowest full-size scenario ends
+/// well under a virtual second.
+const DEADLINE: SimTime = SimTime::from_secs(60);
+
+/// The committed scenario suite. `smoke` shrinks ranks/streams/volume for
+/// the CI lane while keeping every law, pattern and verdict path alive —
+/// including the overload spec, which must fail its SLO at either size.
+///
+/// SLO thresholds are calibrated on the committed `BENCH_scenarios.json`
+/// with ≥ 2× headroom over the worst policy × fault-seed combination, so
+/// verdict flips signal real latency regressions, not noise.
+pub fn builtin_suite(smoke: bool) -> Vec<ScenarioSpec> {
+    let svc = |streams: usize, msgs: usize| {
+        if smoke {
+            (streams.min(8), msgs.min(2))
+        } else {
+            (streams, msgs)
+        }
+    };
+    let ranks = |r: usize| if smoke { r.min(4) } else { r };
+    let mut suite = Vec::new();
+
+    // Nominal service load: uniform peers, memoryless arrivals, mostly
+    // eager traffic with an occasional rendezvous payload, 1% frame loss.
+    let (streams, msgs) = svc(64, 4);
+    suite.push(ScenarioSpec {
+        name: "svc_uniform_poisson",
+        ranks: ranks(4),
+        seed: 0xA11CE,
+        workload: Workload::Service {
+            streams_per_rank: streams,
+            msgs_per_stream: msgs,
+            arrival: ArrivalLaw::Poisson { mean_gap_us: 50.0 },
+            sizes: SizeMix {
+                eager_frac: 0.9,
+                eager: (64, 8 << 10),
+                rdv: (48 << 10, 96 << 10),
+            },
+            pattern: TrafficPattern::Uniform,
+        },
+        fault_loss: 0.01,
+        slo: SloSpec {
+            p50_us: 1_000.0,
+            p99_us: 4_000.0,
+            p999_us: 6_000.0,
+        },
+        deadline: DEADLINE,
+    });
+
+    // Fan-in hot-spot under heavy-tailed (Pareto) arrivals: every remote
+    // stream converges on rank 0, bursts arrive back-to-back.
+    let (streams, msgs) = svc(32, 4);
+    suite.push(ScenarioSpec {
+        name: "svc_incast_pareto",
+        ranks: ranks(8),
+        seed: 0xB0B0,
+        workload: Workload::Service {
+            streams_per_rank: streams,
+            msgs_per_stream: msgs,
+            arrival: ArrivalLaw::Pareto {
+                scale_us: 5.0,
+                alpha: 1.5,
+                cap_us: 500.0,
+            },
+            sizes: SizeMix {
+                eager_frac: 0.95,
+                eager: (64, 4 << 10),
+                rdv: (48 << 10, 64 << 10),
+            },
+            pattern: TrafficPattern::Incast { hot: 0 },
+        },
+        fault_loss: 0.01,
+        slo: SloSpec {
+            p50_us: 1_200.0,
+            p99_us: 5_000.0,
+            p999_us: 8_200.0,
+        },
+        deadline: DEADLINE,
+    });
+
+    // Rendezvous-heavy mix on a clean fabric: the large-message service
+    // point (no faults, so this also pins the fault-free trajectory).
+    let (streams, msgs) = svc(32, 4);
+    suite.push(ScenarioSpec {
+        name: "svc_heavy_mix",
+        ranks: ranks(4),
+        seed: 0xCAFE,
+        workload: Workload::Service {
+            streams_per_rank: streams,
+            msgs_per_stream: msgs,
+            arrival: ArrivalLaw::Poisson { mean_gap_us: 30.0 },
+            sizes: SizeMix {
+                eager_frac: 0.6,
+                eager: (256, 16 << 10),
+                rdv: (48 << 10, 128 << 10),
+            },
+            pattern: TrafficPattern::Uniform,
+        },
+        fault_loss: 0.0,
+        slo: SloSpec {
+            p50_us: 1_500.0,
+            p99_us: 6_000.0,
+            p999_us: 8_200.0,
+        },
+        deadline: DEADLINE,
+    });
+
+    // Halo-exchange ring: per-iteration time of the fig. 6 communication
+    // shape, scored as an SLO instead of a mean.
+    suite.push(ScenarioSpec {
+        name: "stencil_halo",
+        ranks: ranks(8),
+        seed: 0xDECAF,
+        workload: Workload::Stencil {
+            iters: if smoke { 5 } else { 20 },
+            halo_bytes: 16 << 10,
+            compute_us: 20,
+        },
+        fault_loss: 0.01,
+        slo: SloSpec {
+            p50_us: 800.0,
+            p99_us: 3_000.0,
+            p999_us: 5_000.0,
+        },
+        deadline: DEADLINE,
+    });
+
+    // Allreduce-dominated training step over pm2-coll.
+    suite.push(ScenarioSpec {
+        name: "train_allreduce",
+        ranks: ranks(8),
+        seed: 0xF00D,
+        workload: Workload::AllreduceStep {
+            steps: if smoke { 3 } else { 10 },
+            grad_bytes: 256 << 10,
+            compute_us: 50,
+        },
+        fault_loss: 0.0,
+        slo: SloSpec {
+            p50_us: 5_000.0,
+            p99_us: 7_500.0,
+            p999_us: 8_200.0,
+        },
+        deadline: DEADLINE,
+    });
+
+    // Deliberate overload: unpaced rendezvous incast into one rank. The
+    // SLO is set where a healthy *nominal* service would sit, so this
+    // spec must FAIL — it proves the harness can detect regressions
+    // rather than rubber-stamp every run.
+    let (streams, msgs) = svc(32, 2);
+    suite.push(ScenarioSpec {
+        name: "svc_overload_incast",
+        ranks: ranks(8),
+        seed: 0xBAD,
+        workload: Workload::Service {
+            streams_per_rank: streams,
+            msgs_per_stream: msgs,
+            arrival: ArrivalLaw::Closed,
+            sizes: SizeMix::rdv_only(64 << 10, 64 << 10),
+            pattern: TrafficPattern::Incast { hot: 0 },
+        },
+        fault_loss: 0.0,
+        slo: SloSpec {
+            p50_us: 100.0,
+            p99_us: 250.0,
+            p999_us: 500.0,
+        },
+        deadline: DEADLINE,
+    });
+
+    suite
+}
+
+/// Specs that must pass their SLO (everything except the overload probe).
+pub fn nominal_suite(smoke: bool) -> Vec<ScenarioSpec> {
+    builtin_suite(smoke)
+        .into_iter()
+        .filter(|s| s.name != "svc_overload_incast")
+        .collect()
+}
+
+/// The deliberate-overload spec (must fail its SLO).
+pub fn overload_spec(smoke: bool) -> ScenarioSpec {
+    builtin_suite(smoke)
+        .into_iter()
+        .find(|s| s.name == "svc_overload_incast")
+        .expect("suite always carries the overload probe")
+}

@@ -1,0 +1,246 @@
+//! Building a cluster from a [`ScenarioSpec`], driving the workload and
+//! collecting the scored outcome.
+
+use crate::score::{score, ScenarioOutcome};
+use crate::spec::{ScenarioSpec, Workload, MIN_PAYLOAD};
+use pm2_coll::ReduceOp;
+use pm2_fabric::FaultPlan;
+use pm2_mpi::{Cluster, ClusterConfig, Comm};
+use pm2_newmad::{EngineKind, Tag};
+use pm2_sim::rng::Xoshiro256;
+use pm2_topo::NodeId;
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Stream-setup RNG salt (destination choices, independent of traffic).
+const SETUP_SALT: u64 = 0x5EED_5CEA_AA77_0001;
+/// Per-stream traffic RNG salt.
+const STREAM_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Tag bases keeping the stencil's two directions apart. Service streams
+/// use their global stream id as the tag, so kernel tags live far above
+/// any realistic stream count (and far below `RESERVED_TAG_BASE`).
+const STENCIL_RIGHT_BASE: u64 = 1 << 32;
+const STENCIL_LEFT_BASE: u64 = (1 << 32) + (1 << 16);
+
+/// Runs `spec` under the named Marcel policy and fault seed, asserting the
+/// structural invariants (every message delivered exactly once, message
+/// counters balanced, no leaked comm-signal wait brackets) and returning
+/// the SLO-scored outcome.
+///
+/// # Panics
+/// Panics when the run wedges past the spec deadline or loses/duplicates
+/// a delivery — scenario runs are experiments, but delivery is not up for
+/// negotiation.
+pub fn run_scenario(spec: &ScenarioSpec, policy: &str, fault_seed: u64) -> ScenarioOutcome {
+    let mut cfg = ClusterConfig {
+        nodes: spec.ranks,
+        seed: spec.seed,
+        ..ClusterConfig::paper_testbed(EngineKind::Pioman)
+    }
+    .with_sched_policy(policy);
+    if spec.fault_loss > 0.0 {
+        cfg.fabric.fault = FaultPlan::loss(fault_seed, spec.fault_loss);
+    }
+    let cluster = Cluster::build(cfg);
+    cluster.sim().obs().set_enabled(true);
+
+    let delivered = Rc::new(Cell::new(0u64));
+    install(&cluster, spec, &delivered);
+    let end = cluster.run_deadline(spec.deadline);
+
+    let expected = spec.expected_deliveries();
+    assert_eq!(
+        delivered.get(),
+        expected,
+        "scenario {}: deliveries lost or duplicated",
+        spec.name
+    );
+
+    // Message balance (the PR-2 invariant): retransmissions re-enter the
+    // wire as raw packs, so application sends and first transmissions
+    // agree exactly however many frames the fault plan destroyed.
+    let mut counters_balanced = true;
+    for node in 0..spec.ranks {
+        let c = cluster.session(node).counters();
+        if c.eager_msgs_tx + c.rdv_started != c.sends {
+            counters_balanced = false;
+        }
+    }
+    // Frame balance, fabric-global: every transmitted frame meets exactly
+    // one fate (delivered, dropped, CRC-discarded), duplication adds one.
+    let mut tx = 0u64;
+    let mut rx_or_lost = 0u64;
+    let mut dup = 0u64;
+    for node in 0..spec.ranks {
+        let n = cluster.nic_counters(node, 0);
+        tx += n.tx_frames;
+        rx_or_lost += n.rx_frames + n.faults_dropped + n.faults_corrupted;
+        dup += n.faults_duplicated;
+    }
+    if rx_or_lost != tx + dup {
+        counters_balanced = false;
+    }
+
+    // Comm-signal hygiene: a quiesced scheduler has no open wait bracket
+    // and never let its bounded table grow past the cap.
+    let mut waits_leaked = 0;
+    for node in 0..spec.ranks {
+        waits_leaked += cluster.marcel(node).comm_waiting();
+        assert!(
+            cluster.marcel(node).comm_tracked() <= pm2_marcel::MAX_TRACKED_REQS,
+            "scenario {}: comm-signal table over cap on node {node}",
+            spec.name
+        );
+    }
+
+    score(
+        spec,
+        policy,
+        fault_seed,
+        &cluster,
+        end,
+        counters_balanced,
+        waits_leaked,
+    )
+}
+
+fn install(cluster: &Cluster, spec: &ScenarioSpec, delivered: &Rc<Cell<u64>>) {
+    match &spec.workload {
+        Workload::Service {
+            streams_per_rank,
+            msgs_per_stream,
+            arrival,
+            sizes,
+            pattern,
+        } => {
+            let mut setup = Xoshiro256::new(spec.seed ^ SETUP_SALT);
+            for src in 0..spec.ranks {
+                for s in 0..*streams_per_rank {
+                    let id = src * streams_per_rank + s;
+                    let dest = pattern.dest(src, spec.ranks, &mut setup);
+                    let tag = Tag(id as u64);
+                    let msgs = *msgs_per_stream;
+                    {
+                        let sess = cluster.session(src).clone();
+                        let arrival = arrival.clone();
+                        let sizes = sizes.clone();
+                        let seed = spec.seed;
+                        cluster.spawn_on(src, format!("svc-tx{id}"), move |ctx| async move {
+                            let mut rng =
+                                Xoshiro256::new(seed ^ (id as u64 + 1).wrapping_mul(STREAM_SALT));
+                            for _ in 0..msgs {
+                                let gap = arrival.sample(&mut rng);
+                                if !gap.is_zero() {
+                                    ctx.compute(gap).await;
+                                }
+                                let len = sizes.sample(&mut rng);
+                                let mut data = vec![0u8; len];
+                                let t0 = ctx.marcel().sim().now().as_nanos();
+                                data[..MIN_PAYLOAD].copy_from_slice(&t0.to_le_bytes());
+                                sess.send(&ctx, NodeId(dest), tag, data).await;
+                            }
+                        });
+                    }
+                    {
+                        let sess = cluster.session(dest).clone();
+                        let delivered = Rc::clone(delivered);
+                        cluster.spawn_on(dest, format!("svc-rx{id}"), move |ctx| async move {
+                            for _ in 0..msgs {
+                                let data = sess.recv(&ctx, Some(NodeId(src)), tag).await;
+                                let t0 =
+                                    u64::from_le_bytes(data[..MIN_PAYLOAD].try_into().unwrap());
+                                let sim = ctx.marcel().sim();
+                                sim.obs().record_latency("svc", sim.now().as_nanos() - t0);
+                                delivered.set(delivered.get() + 1);
+                            }
+                        });
+                    }
+                }
+            }
+        }
+        Workload::Stencil {
+            iters,
+            halo_bytes,
+            compute_us,
+        } => {
+            for rank in 0..spec.ranks {
+                let left = (rank + spec.ranks - 1) % spec.ranks;
+                let right = (rank + 1) % spec.ranks;
+                let sess = cluster.session(rank).clone();
+                let delivered = Rc::clone(delivered);
+                let (iters, halo, compute) = (*iters, *halo_bytes, *compute_us);
+                cluster.spawn_on(rank, format!("stencil{rank}"), move |ctx| async move {
+                    for _ in 0..iters {
+                        let sim = ctx.marcel().sim().clone();
+                        let t0 = sim.now().as_nanos();
+                        ctx.compute(pm2_sim::SimDuration::from_micros(compute))
+                            .await;
+                        let hr = sess
+                            .isend(
+                                &ctx,
+                                NodeId(right),
+                                Tag(STENCIL_RIGHT_BASE + rank as u64),
+                                vec![rank as u8; halo.max(MIN_PAYLOAD)],
+                            )
+                            .await;
+                        let hl = sess
+                            .isend(
+                                &ctx,
+                                NodeId(left),
+                                Tag(STENCIL_LEFT_BASE + rank as u64),
+                                vec![rank as u8; halo.max(MIN_PAYLOAD)],
+                            )
+                            .await;
+                        let from_left = sess
+                            .recv(
+                                &ctx,
+                                Some(NodeId(left)),
+                                Tag(STENCIL_RIGHT_BASE + left as u64),
+                            )
+                            .await;
+                        let from_right = sess
+                            .recv(
+                                &ctx,
+                                Some(NodeId(right)),
+                                Tag(STENCIL_LEFT_BASE + right as u64),
+                            )
+                            .await;
+                        assert_eq!(from_left[0] as usize, left);
+                        assert_eq!(from_right[0] as usize, right);
+                        sess.swait_send(&hr, &ctx).await;
+                        sess.swait_send(&hl, &ctx).await;
+                        sim.obs()
+                            .record_latency("kernel", sim.now().as_nanos() - t0);
+                        delivered.set(delivered.get() + 2);
+                    }
+                });
+            }
+        }
+        Workload::AllreduceStep {
+            steps,
+            grad_bytes,
+            compute_us,
+        } => {
+            for (rank, comm) in Comm::world(cluster).into_iter().enumerate() {
+                let delivered = Rc::clone(delivered);
+                let (steps, grad, compute) = (*steps, *grad_bytes, *compute_us);
+                cluster.spawn_on(rank, format!("train{rank}"), move |ctx| async move {
+                    for _ in 0..steps {
+                        let sim = ctx.marcel().sim().clone();
+                        let t0 = sim.now().as_nanos();
+                        ctx.compute(pm2_sim::SimDuration::from_micros(compute))
+                            .await;
+                        let out = comm
+                            .allreduce(&ctx, vec![1u8; grad], ReduceOp::WrapAdd8)
+                            .await;
+                        assert_eq!(out.len(), grad);
+                        sim.obs()
+                            .record_latency("kernel", sim.now().as_nanos() - t0);
+                        delivered.set(delivered.get() + 1);
+                    }
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! SLO scoring: turning the pm2-obs latency histograms into a pass/fail
+//! verdict and a JSON fragment for `BENCH_scenarios.json`.
+
+use crate::spec::{ScenarioSpec, SloSpec};
+use pm2_mpi::Cluster;
+use pm2_sim::SimTime;
+
+/// Everything a scenario run produced, scored against its SLO.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Spec name.
+    pub name: &'static str,
+    /// Marcel policy the run used.
+    pub policy: String,
+    /// Fault-plan seed (meaningless when the spec is clean).
+    pub fault_seed: u64,
+    /// Final virtual time, µs.
+    pub end_us: f64,
+    /// Latency samples scored.
+    pub samples: u64,
+    /// Median latency, µs.
+    pub p50_us: f64,
+    /// 99th-percentile latency, µs.
+    pub p99_us: f64,
+    /// 99.9th-percentile latency, µs.
+    pub p999_us: f64,
+    /// True when every enabled SLO line held.
+    pub slo_pass: bool,
+    /// Human-readable description of each violated line.
+    pub violations: Vec<String>,
+    /// Message/frame conservation held (see the runner).
+    pub counters_balanced: bool,
+    /// Comm-signal wait brackets still open after quiescence (must be 0).
+    pub waits_leaked: usize,
+}
+
+/// Scores the cluster's latency histogram under `spec.slo`.
+pub(crate) fn score(
+    spec: &ScenarioSpec,
+    policy: &str,
+    fault_seed: u64,
+    cluster: &Cluster,
+    end: SimTime,
+    counters_balanced: bool,
+    waits_leaked: usize,
+) -> ScenarioOutcome {
+    let label = spec.workload.latency_label();
+    let (samples, p50_ns, p99_ns, p999_ns) = cluster
+        .sim()
+        .obs()
+        .latency_snapshot()
+        .into_iter()
+        .find(|(l, ..)| *l == label)
+        .map(|(_, count, p50, p99, p999)| (count, p50, p99, p999))
+        .unwrap_or((0, 0.0, 0.0, 0.0));
+    let (p50_us, p99_us, p999_us) = (p50_ns / 1e3, p99_ns / 1e3, p999_ns / 1e3);
+
+    let mut violations = Vec::new();
+    for (line, got, limit) in [
+        ("p50", p50_us, spec.slo.p50_us),
+        ("p99", p99_us, spec.slo.p99_us),
+        ("p999", p999_us, spec.slo.p999_us),
+    ] {
+        if limit != SloSpec::NONE && got > limit {
+            violations.push(format!("{line} {got:.1}us > {limit:.1}us"));
+        }
+    }
+    if samples == 0 {
+        violations.push("no latency samples recorded".into());
+    }
+
+    ScenarioOutcome {
+        name: spec.name,
+        policy: policy.to_string(),
+        fault_seed,
+        end_us: end.as_micros_f64(),
+        samples,
+        p50_us,
+        p99_us,
+        p999_us,
+        slo_pass: violations.is_empty(),
+        violations,
+        counters_balanced,
+        waits_leaked,
+    }
+}
+
+impl ScenarioOutcome {
+    /// The per-policy JSON object embedded in `BENCH_scenarios.json`.
+    /// Formatting is fixed-precision so identical runs serialize to
+    /// identical bytes (the determinism test relies on this).
+    pub fn to_json(&self) -> String {
+        let violations = self
+            .violations
+            .iter()
+            .map(|v| format!("\"{v}\""))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"samples\": {}, \"p50_us\": {:.3}, \"p99_us\": {:.3}, \
+             \"p999_us\": {:.3}, \"end_us\": {:.3}, \"slo_pass\": {}, \
+             \"counters_balanced\": {}, \"violations\": [{}]}}",
+            self.samples,
+            self.p50_us,
+            self.p99_us,
+            self.p999_us,
+            self.end_us,
+            self.slo_pass,
+            self.counters_balanced,
+            violations
+        )
+    }
+}

@@ -1,0 +1,276 @@
+//! Scenario declarations: everything a run needs, as plain data.
+//!
+//! A [`ScenarioSpec`] describes a service-traffic experiment the way
+//! `BENCH_coll.json` describes a collective sweep point: ranks, client
+//! streams, the stochastic laws their traffic follows, the fault plan and
+//! the latency SLO the run is scored against. Specs are pure data so the
+//! suite in [`crate::builtin_suite`] can be iterated by the sweep bin,
+//! the CI smoke lane and the determinism tests without code changes.
+
+use pm2_sim::rng::Xoshiro256;
+use pm2_sim::{SimDuration, SimTime};
+
+/// Inter-arrival law of a client stream.
+///
+/// Both laws are sampled from the stream's own [`Xoshiro256`] (seeded from
+/// the spec seed and the stream id), never from the simulation RNG, so
+/// traffic shape is independent of protocol timing.
+#[derive(Debug, Clone)]
+pub enum ArrivalLaw {
+    /// Memoryless arrivals: exponential gaps with the given mean.
+    Poisson {
+        /// Mean inter-arrival gap in microseconds.
+        mean_gap_us: f64,
+    },
+    /// Heavy-tailed (Pareto) gaps: bursts of back-to-back messages
+    /// separated by occasional long silences. Sampled by inverse CDF,
+    /// `gap = scale / u^(1/alpha)`, clamped to `cap_us`.
+    Pareto {
+        /// Minimum gap (the Pareto scale `x_m`), microseconds.
+        scale_us: f64,
+        /// Tail index; smaller = heavier tail. Must be > 0.
+        alpha: f64,
+        /// Upper clamp so a single sample cannot stall a stream forever.
+        cap_us: f64,
+    },
+    /// No pacing at all: every message is posted as soon as the previous
+    /// one completes. The overload specs use this.
+    Closed,
+}
+
+impl ArrivalLaw {
+    /// Draws the next inter-arrival gap.
+    pub fn sample(&self, rng: &mut Xoshiro256) -> SimDuration {
+        match self {
+            ArrivalLaw::Poisson { mean_gap_us } => {
+                SimDuration::from_micros_f64(rng.gen_exp(*mean_gap_us))
+            }
+            ArrivalLaw::Pareto {
+                scale_us,
+                alpha,
+                cap_us,
+            } => {
+                // gen_f64 is in [0, 1); shift to (0, 1] so the inverse CDF
+                // never divides by zero.
+                let u = 1.0 - rng.gen_f64();
+                let gap = scale_us / u.powf(1.0 / alpha);
+                SimDuration::from_micros_f64(gap.min(*cap_us))
+            }
+            ArrivalLaw::Closed => SimDuration::ZERO,
+        }
+    }
+
+    /// `(lo, hi)` bound every sample respects, in microseconds (inclusive,
+    /// after rounding to nanoseconds). The law-bounds property test holds
+    /// each law to its own advertisement.
+    pub fn bounds_us(&self) -> (f64, f64) {
+        match self {
+            ArrivalLaw::Poisson { .. } => (0.0, f64::INFINITY),
+            ArrivalLaw::Pareto {
+                scale_us, cap_us, ..
+            } => (*scale_us, *cap_us),
+            ArrivalLaw::Closed => (0.0, 0.0),
+        }
+    }
+}
+
+/// Bimodal message-size law: a coin decides eager vs rendezvous, then the
+/// size is uniform within the chosen band.
+#[derive(Debug, Clone)]
+pub struct SizeMix {
+    /// Probability a message is eager-sized.
+    pub eager_frac: f64,
+    /// Inclusive eager band in bytes; keep `hi` under the rendezvous
+    /// threshold (32 KiB on the paper testbed).
+    pub eager: (usize, usize),
+    /// Inclusive rendezvous band in bytes; keep `lo` at or above the
+    /// threshold.
+    pub rdv: (usize, usize),
+}
+
+/// Every payload starts with the 8-byte send timestamp the receiver
+/// subtracts to score delivery latency, so no sample may be shorter.
+pub const MIN_PAYLOAD: usize = 8;
+
+impl SizeMix {
+    /// Eager-only mix within `(lo, hi)`.
+    pub fn eager_only(lo: usize, hi: usize) -> SizeMix {
+        SizeMix {
+            eager_frac: 1.0,
+            eager: (lo, hi),
+            rdv: (hi, hi),
+        }
+    }
+
+    /// Rendezvous-only mix within `(lo, hi)`.
+    pub fn rdv_only(lo: usize, hi: usize) -> SizeMix {
+        SizeMix {
+            eager_frac: 0.0,
+            eager: (lo, lo),
+            rdv: (lo, hi),
+        }
+    }
+
+    /// Draws the next payload length.
+    pub fn sample(&self, rng: &mut Xoshiro256) -> usize {
+        let (lo, hi) = if rng.gen_bool(self.eager_frac) {
+            self.eager
+        } else {
+            self.rdv
+        };
+        let len = if hi > lo {
+            lo + rng.gen_below((hi - lo + 1) as u64) as usize
+        } else {
+            lo
+        };
+        len.max(MIN_PAYLOAD)
+    }
+}
+
+/// Who each client stream talks to.
+#[derive(Debug, Clone, Copy)]
+pub enum TrafficPattern {
+    /// Every stream picks a uniformly random peer rank (never its own).
+    Uniform,
+    /// Fan-in hot-spot: every stream targets `hot`; streams originating on
+    /// `hot` fall back to uniform so no stream talks to itself.
+    Incast {
+        /// The rank all remote streams converge on.
+        hot: usize,
+    },
+}
+
+impl TrafficPattern {
+    /// Destination rank for a stream on `src` (drawn from the setup RNG,
+    /// once per stream at install time).
+    pub fn dest(&self, src: usize, ranks: usize, rng: &mut Xoshiro256) -> usize {
+        debug_assert!(ranks >= 2, "traffic needs a peer");
+        let uniform = |rng: &mut Xoshiro256| {
+            let d = rng.gen_below((ranks - 1) as u64) as usize;
+            if d >= src {
+                d + 1
+            } else {
+                d
+            }
+        };
+        match self {
+            TrafficPattern::Uniform => uniform(rng),
+            TrafficPattern::Incast { hot } => {
+                if src == *hot {
+                    uniform(rng)
+                } else {
+                    *hot
+                }
+            }
+        }
+    }
+}
+
+/// What the ranks actually run.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// The service proper: `streams_per_rank` independent client streams
+    /// per rank, each sending `msgs_per_stream` timestamped messages to
+    /// its pattern-chosen destination, paced by `arrival` and sized by
+    /// `sizes`. Latency is scored on the receive side (post-to-delivery,
+    /// label `"svc"`).
+    Service {
+        /// Client streams installed on every rank.
+        streams_per_rank: usize,
+        /// Messages each stream sends before retiring.
+        msgs_per_stream: usize,
+        /// Inter-arrival law.
+        arrival: ArrivalLaw,
+        /// Payload-size law.
+        sizes: SizeMix,
+        /// Destination-choice law.
+        pattern: TrafficPattern,
+    },
+    /// Halo-exchange ring: each rank swaps `halo_bytes` with both ring
+    /// neighbours every iteration after `compute_us` of local work.
+    /// Latency is the full iteration time (label `"kernel"`).
+    Stencil {
+        /// Iterations per rank.
+        iters: usize,
+        /// Halo payload per neighbour, bytes.
+        halo_bytes: usize,
+        /// Local compute per iteration, microseconds.
+        compute_us: u64,
+    },
+    /// Allreduce-dominated training step: `compute_us` of gradient work
+    /// then a byte-wise sum allreduce of `grad_bytes`, `steps` times.
+    /// Latency is the full step time (label `"kernel"`).
+    AllreduceStep {
+        /// Training steps per rank.
+        steps: usize,
+        /// Gradient payload, bytes.
+        grad_bytes: usize,
+        /// Per-step compute, microseconds.
+        compute_us: u64,
+    },
+}
+
+impl Workload {
+    /// Label the workload records its latency samples under.
+    pub fn latency_label(&self) -> &'static str {
+        match self {
+            Workload::Service { .. } => "svc",
+            Workload::Stencil { .. } | Workload::AllreduceStep { .. } => "kernel",
+        }
+    }
+}
+
+/// Latency SLO the scenario is scored against, in microseconds. A
+/// percentile passes when it is at or under its threshold;
+/// [`SloSpec::NONE`] disables a line.
+#[derive(Debug, Clone, Copy)]
+pub struct SloSpec {
+    /// Median threshold, µs.
+    pub p50_us: f64,
+    /// 99th-percentile threshold, µs.
+    pub p99_us: f64,
+    /// 99.9th-percentile threshold, µs.
+    pub p999_us: f64,
+}
+
+impl SloSpec {
+    /// Sentinel disabling a percentile line.
+    pub const NONE: f64 = f64::INFINITY;
+}
+
+/// One complete scenario: build recipe, workload, faults and SLO.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Stable name, used as the JSON key and in test messages.
+    pub name: &'static str,
+    /// Ranks (= simulated nodes).
+    pub ranks: usize,
+    /// Simulation seed; same seed and policy ⇒ byte-identical report.
+    pub seed: u64,
+    /// What the ranks run.
+    pub workload: Workload,
+    /// Uniform frame-loss rate of the lossy-fabric plan; `0.0` keeps the
+    /// fabric clean (and the reliability layer off). The fault *seed*
+    /// comes from the runner so `ci.sh` can sweep its matrix.
+    pub fault_loss: f64,
+    /// Latency SLO scored from the pm2-obs histograms.
+    pub slo: SloSpec,
+    /// Wedge guard passed to [`pm2_mpi::Cluster::run_deadline`].
+    pub deadline: SimTime,
+}
+
+impl ScenarioSpec {
+    /// Messages the workload must deliver for the run to count.
+    pub fn expected_deliveries(&self) -> u64 {
+        match &self.workload {
+            Workload::Service {
+                streams_per_rank,
+                msgs_per_stream,
+                ..
+            } => (self.ranks * streams_per_rank * msgs_per_stream) as u64,
+            // Two halos per rank per iteration.
+            Workload::Stencil { iters, .. } => (self.ranks * iters * 2) as u64,
+            Workload::AllreduceStep { steps, .. } => (self.ranks * steps) as u64,
+        }
+    }
+}

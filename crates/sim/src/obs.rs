@@ -385,14 +385,14 @@ impl Obs {
         self.inner.borrow().events.iter().copied().collect()
     }
 
-    /// Per-label latency summary: `(label, count, p50_ns, p99_ns)`, sorted
-    /// by label.
-    pub fn latency_snapshot(&self) -> Vec<(&'static str, u64, f64, f64)> {
+    /// Per-label latency summary: `(label, count, p50_ns, p99_ns,
+    /// p999_ns)`, sorted by label.
+    pub fn latency_snapshot(&self) -> Vec<(&'static str, u64, f64, f64, f64)> {
         self.inner
             .borrow()
             .latency
             .iter()
-            .map(|(label, h)| (*label, h.count(), h.p50(), h.p99()))
+            .map(|(label, h)| (*label, h.count(), h.p50(), h.p99(), h.p999()))
             .collect()
     }
 
@@ -911,10 +911,12 @@ mod tests {
         }
         let snap = obs.latency_snapshot();
         assert_eq!(snap.len(), 1);
-        let (label, count, p50, _p99) = snap[0];
+        let (label, count, p50, p99, p999) = snap[0];
         assert_eq!(label, "isend");
         assert_eq!(count, 3);
         assert!(p50 > 0.0);
+        // Three samples: every tail percentile answers the same bucket.
+        assert_eq!(p99, p999);
     }
 
     #[test]

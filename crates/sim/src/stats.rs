@@ -210,6 +210,13 @@ impl Histogram {
     pub fn p99(&self) -> f64 {
         self.percentile(99.0)
     }
+
+    /// 99.9th-percentile shortcut (bucket-upper-edge convention of
+    /// [`Histogram::percentile`]) — the tail the service-scenario SLOs
+    /// are scored on.
+    pub fn p999(&self) -> f64 {
+        self.percentile(99.9)
+    }
 }
 
 #[cfg(test)]
@@ -276,6 +283,35 @@ mod tests {
         let mut h = Histogram::new(1.0, 10);
         h.record(1e9);
         assert_eq!(h.percentile(100.0), 10.0);
+    }
+
+    #[test]
+    fn p999_separates_the_tail_p99_misses() {
+        // 999 fast samples and one straggler: p99 stays at the bulk edge
+        // while p999 reaches the straggler's bucket.
+        let mut h = Histogram::new(1.0, 100);
+        for _ in 0..999 {
+            h.record(0.5);
+        }
+        h.record(80.5);
+        assert_eq!(h.p99(), 1.0);
+        assert_eq!(h.p999(), 81.0);
+    }
+
+    #[test]
+    fn p999_edge_cases_mirror_percentile_conventions() {
+        // Empty: 0, like every other percentile.
+        let empty = Histogram::new(1.0, 10);
+        assert_eq!(empty.p999(), 0.0);
+        // Single sample: the one bucket's upper edge.
+        let mut one = Histogram::new(1.0, 10);
+        one.record(2.5);
+        assert_eq!(one.p999(), 3.0);
+        assert_eq!(one.p999(), one.percentile(100.0));
+        // Overflow: clamps to the top bucket edge.
+        let mut over = Histogram::new(1.0, 10);
+        over.record(1e9);
+        assert_eq!(over.p999(), 10.0);
     }
 
     #[test]

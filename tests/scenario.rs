@@ -1,0 +1,222 @@
+//! pm2-scenario suite tests: determinism of the scored reports, law
+//! bounds of the traffic generators, SLO verdicts in both directions
+//! (nominal specs pass, the overload probe fails) and comm-signal
+//! hygiene under thousands of concurrent client streams.
+//!
+//! `ci.sh` runs this file across the published fault-seed matrix
+//! (`PM2_FAULT_SEED` ∈ {1, 7, 42}), so every assertion here holds under
+//! injected frame loss as well as on a clean fabric.
+
+use pm2_scenario::{
+    builtin_suite, nominal_suite, overload_spec, run_scenario, ArrivalLaw, ScenarioSpec, SizeMix,
+    SloSpec, TrafficPattern, Workload, MIN_PAYLOAD, POLICIES,
+};
+use pm2_sim::rng::Xoshiro256;
+use pm2_sim::SimTime;
+
+/// Seed of the fault-plan stream; `ci.sh` sweeps the published matrix.
+fn fault_seed() -> u64 {
+    std::env::var("PM2_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Same `(spec seed, policy, fault seed)` ⇒ byte-identical scored report:
+/// the property `BENCH_scenarios.json` diffs rely on.
+#[test]
+fn same_seed_same_policy_byte_identical_report() {
+    let spec = &builtin_suite(true)[1]; // incast + Pareto: the busiest laws
+    for policy in ["hier", "comm"] {
+        let a = run_scenario(spec, policy, fault_seed());
+        let b = run_scenario(spec, policy, fault_seed());
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "{policy}: scenario replay diverged"
+        );
+        assert_eq!(a.end_us, b.end_us);
+    }
+}
+
+/// Arrival laws never step outside their advertised bounds, across seeds
+/// and thousands of samples (hand-rolled property loop, repo idiom).
+#[test]
+fn arrival_laws_respect_their_bounds() {
+    let laws = [
+        ArrivalLaw::Poisson { mean_gap_us: 50.0 },
+        ArrivalLaw::Pareto {
+            scale_us: 5.0,
+            alpha: 1.5,
+            cap_us: 500.0,
+        },
+        ArrivalLaw::Pareto {
+            scale_us: 1.0,
+            alpha: 0.8, // infinite-mean tail still respects the clamp
+            cap_us: 10_000.0,
+        },
+        ArrivalLaw::Closed,
+    ];
+    for seed in [1u64, 7, 42, 0xDEAD] {
+        for law in &laws {
+            let (lo, hi) = law.bounds_us();
+            let mut rng = Xoshiro256::new(seed);
+            let mut sum = 0.0;
+            for _ in 0..10_000 {
+                let gap = law.sample(&mut rng).as_micros_f64();
+                // Samples round to nanoseconds, so allow that much slack
+                // on the lower edge.
+                assert!(
+                    gap >= lo - 1e-3 && gap <= hi,
+                    "{law:?} seed {seed}: gap {gap}us outside [{lo}, {hi}]"
+                );
+                sum += gap;
+            }
+            if let ArrivalLaw::Poisson { mean_gap_us } = law {
+                let mean = sum / 10_000.0;
+                assert!(
+                    (mean - mean_gap_us).abs() < mean_gap_us * 0.2,
+                    "seed {seed}: Poisson mean drifted to {mean}us"
+                );
+            }
+        }
+    }
+}
+
+/// Size mixes stay inside their declared band(s), never under the
+/// timestamp floor, and the suite's service specs keep the bands on the
+/// correct side of the paper testbed's 32 KiB rendezvous threshold.
+#[test]
+fn size_mixes_respect_bands_and_threshold() {
+    const RDV_THRESHOLD: usize = 32 << 10;
+    for seed in [1u64, 7, 42] {
+        let mix = SizeMix {
+            eager_frac: 0.7,
+            eager: (64, 8 << 10),
+            rdv: (48 << 10, 96 << 10),
+        };
+        let mut rng = Xoshiro256::new(seed);
+        let (mut saw_eager, mut saw_rdv) = (false, false);
+        for _ in 0..10_000 {
+            let len = mix.sample(&mut rng);
+            assert!(len >= MIN_PAYLOAD);
+            let in_eager = (mix.eager.0..=mix.eager.1).contains(&len);
+            let in_rdv = (mix.rdv.0..=mix.rdv.1).contains(&len);
+            assert!(
+                in_eager || in_rdv,
+                "seed {seed}: {len} B outside both bands"
+            );
+            saw_eager |= in_eager;
+            saw_rdv |= in_rdv;
+        }
+        assert!(saw_eager && saw_rdv, "seed {seed}: mix never used one band");
+        // Degenerate mixes stay on their single band.
+        let mut rng = Xoshiro256::new(seed);
+        let eager_only = SizeMix::eager_only(4, 1024);
+        for _ in 0..1_000 {
+            let len = eager_only.sample(&mut rng);
+            assert!((MIN_PAYLOAD..=1024).contains(&len));
+        }
+    }
+    // Bands the suite actually draws from must sit on the correct side
+    // of the threshold (a degenerate mix's unused band is exempt).
+    for spec in builtin_suite(false) {
+        if let Workload::Service { sizes, .. } = &spec.workload {
+            if sizes.eager_frac > 0.0 {
+                assert!(
+                    sizes.eager.1 < RDV_THRESHOLD,
+                    "{}: eager band crosses the rendezvous threshold",
+                    spec.name
+                );
+            }
+            if sizes.eager_frac < 1.0 {
+                assert!(
+                    sizes.rdv.0 >= RDV_THRESHOLD,
+                    "{}: rdv band below the rendezvous threshold",
+                    spec.name
+                );
+            }
+        }
+    }
+}
+
+/// Every nominal spec passes its SLO — across the whole policy set and
+/// whatever fault seed the matrix supplies — and conserves messages.
+#[test]
+fn nominal_specs_pass_their_slo_under_every_policy() {
+    for spec in nominal_suite(true) {
+        for policy in POLICIES {
+            let o = run_scenario(&spec, policy, fault_seed());
+            assert!(
+                o.slo_pass,
+                "{}/{policy} seed {}: SLO violated: {:?} \
+                 (p50 {:.1} p99 {:.1} p999 {:.1})",
+                spec.name,
+                fault_seed(),
+                o.violations,
+                o.p50_us,
+                o.p99_us,
+                o.p999_us
+            );
+            assert!(o.samples > 0);
+            assert!(
+                o.counters_balanced,
+                "{}/{policy}: counters out of balance",
+                spec.name
+            );
+            assert_eq!(o.waits_leaked, 0, "{}/{policy}", spec.name);
+        }
+    }
+}
+
+/// The deliberate-overload probe must FAIL its SLO: a harness that cannot
+/// flag a saturated service cannot flag a regression either. Delivery
+/// still completes (the runner asserts exactly-once internally) — the
+/// service is slow, not broken.
+#[test]
+fn overload_spec_fails_its_slo() {
+    for smoke in [true, false] {
+        let spec = overload_spec(smoke);
+        let o = run_scenario(&spec, "hier", fault_seed());
+        assert!(
+            !o.slo_pass,
+            "smoke={smoke}: overload incast met a nominal SLO \
+             (p50 {:.1} p99 {:.1} p999 {:.1}) — thresholds are too loose \
+             to catch regressions",
+            o.p50_us, o.p99_us, o.p999_us
+        );
+        assert!(!o.violations.is_empty());
+        assert!(o.counters_balanced, "smoke={smoke}");
+    }
+}
+
+/// Comm-signal hygiene at service scale: thousands of concurrent client
+/// streams, each bracketing waits through the Marcel signal table. After
+/// quiescence no bracket stays open and the bounded table has not grown
+/// past its cap (the runner asserts the cap on every node).
+#[test]
+fn comm_signals_quiesce_under_thousands_of_streams() {
+    let spec = ScenarioSpec {
+        name: "signal_storm",
+        ranks: 2,
+        seed: 0x516,
+        workload: Workload::Service {
+            streams_per_rank: 1_024,
+            msgs_per_stream: 1,
+            arrival: ArrivalLaw::Closed,
+            sizes: SizeMix::eager_only(64, 256),
+            pattern: TrafficPattern::Uniform,
+        },
+        fault_loss: 0.0,
+        slo: SloSpec {
+            p50_us: SloSpec::NONE,
+            p99_us: SloSpec::NONE,
+            p999_us: SloSpec::NONE,
+        },
+        deadline: SimTime::from_secs(60),
+    };
+    let o = run_scenario(&spec, "comm", fault_seed());
+    assert_eq!(o.samples, 2_048, "one latency sample per stream");
+    assert_eq!(o.waits_leaked, 0, "open wait brackets after quiescence");
+    assert!(o.counters_balanced);
+}

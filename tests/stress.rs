@@ -2,7 +2,7 @@
 //! injection, long-running stability. These complement the shape tests in
 //! `integration.rs`.
 
-use pm2_fabric::FabricParams;
+use pm2_fabric::{FabricParams, FaultPlan};
 use pm2_mpi::{Cluster, ClusterConfig, Comm, StrategyKind};
 use pm2_newmad::{EngineKind, Tag};
 use pm2_sim::rng::Xoshiro256;
@@ -15,6 +15,16 @@ use std::rc::Rc;
 /// around 15 ms of virtual time, so a run still busy at one virtual
 /// minute has stopped converging and should fail instead of hanging CI.
 const STRESS_DEADLINE: SimTime = SimTime::from_secs(60);
+
+/// Seed of the fault-matrix soak below; `ci.sh` sweeps the same published
+/// values (1/7/42) it uses for `tests/faults.rs`, so stress and fault
+/// injection are exercised together, not only in isolation.
+fn fault_seed() -> u64 {
+    std::env::var("PM2_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
 
 /// 6 nodes × 4 threads each, random rings of mixed-size messages under
 /// jitter: everything arrives intact, under both engines.
@@ -89,6 +99,117 @@ fn long_running_stencil_stability() {
         assert_eq!(sends, recvs, "every halo send has a matching receive");
         assert_eq!(sends, 4 * 2 * 10, "4 threads x 2 neighbours x 10 iters");
     }
+}
+
+/// The six-node soak again, but on a lossy fabric: 2% of all frames
+/// dropped under whatever `PM2_FAULT_SEED` the matrix supplies. Every
+/// message still arrives exactly once and the PR-2 conservation
+/// invariants hold across the whole mesh:
+///
+/// * per node, `eager_msgs_tx + rdv_started == sends` — retransmissions
+///   re-enter the wire as raw packs, never as application messages;
+/// * fabric-wide, `Σ rx + Σ dropped + Σ corrupted == Σ tx + Σ duplicated`
+///   — every transmitted frame meets exactly one fate.
+///
+/// PIOMAN engine only: the sequential engine cannot retransmit once the
+/// application has left the library (see `tests/faults.rs`), and a soak
+/// with per-thread send/recv loops has no natural re-entry point.
+#[test]
+fn random_traffic_soak_under_fault_matrix() {
+    const NODES: usize = 4;
+    const STREAMS_PER_NODE: usize = 4;
+    const MSGS_PER_STREAM: usize = 6;
+    let mut fabric = FabricParams::myri10g();
+    fabric.fault = FaultPlan::loss(fault_seed(), 0.02);
+    let cluster = Cluster::build(ClusterConfig {
+        nodes: NODES,
+        fabric,
+        seed: 7,
+        ..ClusterConfig::paper_testbed(EngineKind::Pioman)
+    });
+    let delivered = Rc::new(Cell::new(0u32));
+    let mut rng = Xoshiro256::new(fault_seed() ^ 0x50AC);
+    let mut expected = 0u32;
+    for node in 0..NODES {
+        for t in 0..STREAMS_PER_NODE {
+            let id = node * STREAMS_PER_NODE + t;
+            let peer = {
+                let p = rng.gen_below((NODES - 1) as u64) as usize;
+                if p >= node {
+                    p + 1
+                } else {
+                    p
+                }
+            };
+            // Mixed sizes: mostly eager, every fourth stream rendezvous,
+            // so both retransmit paths (ack timeout, RTS/CTS re-issue)
+            // see traffic.
+            let len = if id % 4 == 0 {
+                (40 << 10) + rng.gen_below(24 << 10) as usize
+            } else {
+                64 + rng.gen_below(8 << 10) as usize
+            };
+            expected += MSGS_PER_STREAM as u32;
+            // One tag per message (the faults.rs idiom): a retransmitted
+            // eager frame may be overtaken by its successors, so same-tag
+            // ordering is not part of the exactly-once contract.
+            let base = (id * MSGS_PER_STREAM) as u64;
+            {
+                let s = cluster.session(node).clone();
+                cluster.spawn_on(node, format!("tx{id}"), move |ctx| async move {
+                    for m in 0..MSGS_PER_STREAM {
+                        s.send(
+                            &ctx,
+                            NodeId(peer),
+                            Tag(base + m as u64),
+                            vec![(id + m) as u8; len],
+                        )
+                        .await;
+                    }
+                });
+            }
+            {
+                let s = cluster.session(peer).clone();
+                let delivered = Rc::clone(&delivered);
+                cluster.spawn_on(peer, format!("rx{id}"), move |ctx| async move {
+                    for m in 0..MSGS_PER_STREAM {
+                        let data = s.recv(&ctx, Some(NodeId(node)), Tag(base + m as u64)).await;
+                        assert_eq!(data.len(), len, "stream {id} msg {m}");
+                        assert!(data.iter().all(|&b| b == (id + m) as u8));
+                        delivered.set(delivered.get() + 1);
+                    }
+                });
+            }
+        }
+    }
+    cluster.run_deadline(STRESS_DEADLINE);
+    let seed = fault_seed();
+    assert_eq!(
+        delivered.get(),
+        expected,
+        "seed {seed}: soak lost or duplicated messages"
+    );
+    let (mut tx, mut rx_or_lost, mut dup, mut injected) = (0u64, 0u64, 0u64, 0u64);
+    for node in 0..NODES {
+        let c = cluster.session(node).counters();
+        assert_eq!(
+            c.eager_msgs_tx + c.rdv_started,
+            c.sends,
+            "seed {seed} node {node}: retransmissions leaked into \
+             message counters: {c:?}"
+        );
+        let n = cluster.nic_counters(node, 0);
+        tx += n.tx_frames;
+        rx_or_lost += n.rx_frames + n.faults_dropped + n.faults_corrupted;
+        dup += n.faults_duplicated;
+        injected += n.faults_dropped + n.faults_duplicated + n.faults_corrupted;
+    }
+    assert!(injected >= 1, "seed {seed}: fault plan never fired");
+    assert_eq!(
+        rx_or_lost,
+        tx + dup,
+        "seed {seed}: frame fates do not balance across the mesh"
+    );
 }
 
 /// Wildcard receivers under bursty multi-sender load: each message is
