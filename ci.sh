@@ -52,6 +52,14 @@ for seed in 1 7 42; do
   PM2_FAULT_SEED=$seed cargo test -q --release -p pm2-bench --test sched
 done
 
+echo "== one-sided RMA matrix (seeds 1 7 42)"
+# tests/rma.rs: passive-target put/get/accumulate in both progression
+# modes (stolen idle cores and the dedicated progress thread), with the
+# lossy lane asserting exactly-once accumulate across the seed matrix.
+for seed in 1 7 42; do
+  PM2_FAULT_SEED=$seed cargo test -q --release -p pm2-bench --test rma
+done
+
 echo "== service-scenario suite (seeds 1 7 42, all four policies)"
 # tests/scenario.rs: report determinism, generator law bounds, nominal
 # specs pass their SLO under every policy, the overload probe fails its
@@ -63,7 +71,7 @@ done
 echo "== scenario sweep smoke (BENCH_scenarios.json schema)"
 PM2_SCENARIO_SMOKE=1 ./target/release/scenario_sweep > /tmp/scenario_smoke.json
 for key in pm2-scenarios/v1 svc_uniform_poisson svc_incast_pareto svc_heavy_mix \
-           stencil_halo train_allreduce svc_overload_incast \
+           stencil_halo train_allreduce rma_incast_mix svc_overload_incast \
            hier fifo vruntime comm p50_us p99_us p999_us slo_pass; do
   grep -q "\"$key\"" /tmp/scenario_smoke.json \
     || { echo "BENCH_scenarios smoke output misses key \"$key\""; exit 1; }

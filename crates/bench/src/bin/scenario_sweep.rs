@@ -32,6 +32,7 @@ fn main() {
             Workload::Service { .. } => "service",
             Workload::Stencil { .. } => "stencil",
             Workload::AllreduceStep { .. } => "allreduce",
+            Workload::RmaMix { .. } => "rma",
         };
         out.push_str(&format!("    \"{}\": {{\n", spec.name));
         out.push_str(&format!(

@@ -60,6 +60,14 @@ pub struct PiomanConfig {
     /// longest burst actually observed so workloads can verify the
     /// valve never had to fire.
     pub submission_burst_limit: u32,
+    /// Dedicate a Marcel thread to progression (the zero-idle-core
+    /// fallback): the thread busy-polls the registry whenever any driver
+    /// has work, parking when everything is quiet. With every core
+    /// saturated by compute, stolen progression has nowhere to run —
+    /// this thread *is* the progress engine then, at the price of one
+    /// core. Off by default (stolen progression costs nothing when idle
+    /// cores exist).
+    pub progress_thread: bool,
 }
 
 impl Default for PiomanConfig {
@@ -78,6 +86,7 @@ impl Default for PiomanConfig {
             blocking_wake_latency: SimDuration::from_micros(2),
             inline_poll_pause: SimDuration::from_nanos(300),
             submission_burst_limit: 64,
+            progress_thread: false,
         }
     }
 }

@@ -69,5 +69,6 @@ mod server;
 pub use config::{LockModel, PiomanConfig};
 pub use req::PiomReq;
 pub use server::{
-    DriverHealthReport, DriverId, DriverPending, Pioman, PiomanStats, Progress, ProgressDriver,
+    DriverHealthReport, DriverId, DriverPending, InjectionEndpoint, Pioman, PiomanStats, Progress,
+    ProgressDriver,
 };

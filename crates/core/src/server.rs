@@ -8,12 +8,13 @@
 
 use crate::config::{LockModel, PiomanConfig};
 use crate::req::PiomReq;
-use pm2_marcel::{HookResult, Marcel, TaskletId, ThreadCtx};
+use pm2_marcel::{HookResult, Marcel, Priority, TaskletId, ThreadCtx, ThreadId};
 use pm2_sim::obs::EventKind;
 use pm2_sim::trace::Category;
 use pm2_sim::{Sim, SimDuration, SimTime, Site, Trigger};
 use pm2_topo::CoreId;
 use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
 use std::rc::{Rc, Weak};
 
 /// Outcome of one driver progress step.
@@ -105,6 +106,88 @@ pub trait ProgressDriver {
     fn hw_trigger(&self) -> Option<Trigger>;
 }
 
+/// A per-application-thread injection queue: the "progress for all"
+/// substrate.
+///
+/// An application thread stages work locally and [`inject`]s a costed
+/// closure; the closure executes on *whoever runs progression next* — a
+/// stolen idle core, the progress tasklet, the dedicated progress thread
+/// ([`PiomanConfig::progress_thread`]), or an inline `wait`. Endpoints
+/// are ordinary [`ProgressDriver`]s in the registry, so the oldest-first
+/// submission rank replays the global injection order across per-thread
+/// queues and the submission-burst valve applies unchanged.
+///
+/// [`inject`]: InjectionEndpoint::inject
+pub struct InjectionEndpoint {
+    driver: Rc<EndpointDriver>,
+    id: DriverId,
+    pioman: Pioman,
+}
+
+/// A deferred injection: global rank plus the costed closure.
+type Injection = (u64, Box<dyn FnOnce() -> SimDuration>);
+
+/// The registry-facing side of an [`InjectionEndpoint`]: a FIFO of
+/// (rank, costed closure) pairs, drained one per progress call.
+struct EndpointDriver {
+    queue: RefCell<VecDeque<Injection>>,
+}
+
+impl ProgressDriver for EndpointDriver {
+    fn progress(&self) -> Progress {
+        // Take the item out before running it so a closure that re-enters
+        // the endpoint (or the registry) never sees the queue borrowed.
+        let item = self.queue.borrow_mut().pop_front();
+        match item {
+            Some((_, f)) => Progress {
+                cost: f(),
+                did_work: true,
+            },
+            None => Progress::NONE,
+        }
+    }
+
+    fn pending(&self) -> DriverPending {
+        let q = self.queue.borrow();
+        DriverPending {
+            submissions: !q.is_empty(),
+            armed: false,
+            oldest_submission: q.front().map(|(rank, _)| *rank),
+        }
+    }
+
+    fn hw_trigger(&self) -> Option<Trigger> {
+        None
+    }
+}
+
+impl InjectionEndpoint {
+    /// Enqueues one unit of deferred work. `f` runs exactly once, on the
+    /// core that drains it, and returns the host-CPU cost charged to that
+    /// core. `origin` is the injecting core (locality hint for the
+    /// tasklet, as in [`Pioman::notify_work`]).
+    pub fn inject(&self, origin: Option<CoreId>, f: impl FnOnce() -> SimDuration + 'static) {
+        let rank = self.pioman.inner.endpoint_rank.get();
+        self.pioman.inner.endpoint_rank.set(rank + 1);
+        self.driver
+            .queue
+            .borrow_mut()
+            .push_back((rank, Box::new(f)));
+        self.pioman.notify_work(origin);
+    }
+
+    /// Closures injected but not yet drained.
+    pub fn queued(&self) -> usize {
+        self.driver.queue.borrow().len()
+    }
+
+    /// The endpoint's slot in the driver registry (for
+    /// [`Pioman::driver_stats`]).
+    pub fn driver_id(&self) -> DriverId {
+        self.id
+    }
+}
+
 /// Cumulative PIOMAN counters.
 ///
 /// The same struct is used both for the global tally ([`Pioman::stats`])
@@ -128,6 +211,9 @@ pub struct PiomanStats {
     /// before a completion poll (bounded by
     /// [`PiomanConfig::submission_burst_limit`]).
     pub max_submission_burst: u64,
+    /// Progress calls made by the dedicated progress thread
+    /// ([`PiomanConfig::progress_thread`]).
+    pub thread_progress: u64,
 }
 
 struct Inner {
@@ -155,6 +241,13 @@ struct Inner {
     carried_cost: Cell<SimDuration>,
     watcher_active: Cell<bool>,
     stats: RefCell<PiomanStats>,
+    /// Global rank counter shared by every injection endpoint, so the
+    /// registry replays injection order across per-thread queues exactly
+    /// as it replays pack order across per-transport queues.
+    endpoint_rank: Cell<u64>,
+    /// The dedicated progress thread, when
+    /// [`PiomanConfig::progress_thread`] is set.
+    progress_thread: Cell<Option<ThreadId>>,
 }
 
 /// Handle to one node's PIOMAN server (cheap to clone).
@@ -168,6 +261,10 @@ enum CallSite {
     Inline,
     Hook,
     Tasklet,
+    /// The dedicated progress thread; reported to pm2-obs as offloaded
+    /// (tasklet-class) progression, tallied separately in
+    /// [`PiomanStats::thread_progress`].
+    Thread,
 }
 
 impl CallSite {
@@ -176,7 +273,7 @@ impl CallSite {
         match self {
             CallSite::Inline => Site::Inline,
             CallSite::Hook => Site::Hook,
-            CallSite::Tasklet => Site::Tasklet,
+            CallSite::Tasklet | CallSite::Thread => Site::Tasklet,
         }
     }
 }
@@ -200,6 +297,8 @@ impl Pioman {
             carried_cost: Cell::new(SimDuration::ZERO),
             watcher_active: Cell::new(false),
             stats: RefCell::new(PiomanStats::default()),
+            endpoint_rank: Cell::new(0),
+            progress_thread: Cell::new(None),
         });
         let pioman = Pioman {
             inner: Rc::clone(&inner),
@@ -268,6 +367,49 @@ impl Pioman {
             }
         }
 
+        // Dedicated progress thread (the zero-idle-core fallback): a
+        // normal Marcel thread that busy-polls the registry while any
+        // driver has work and parks when everything is quiet.
+        // `notify_work` unparks it. Running as a plain high-priority
+        // thread means it competes for a core like any application
+        // thread — which is the point: it guarantees progression even
+        // when every core is saturated by compute.
+        if inner.cfg.progress_thread {
+            let weak = Rc::downgrade(&inner);
+            let id = marcel.spawn(
+                "pioman-progress-thread",
+                Priority::High,
+                None,
+                move |ctx| async move {
+                    loop {
+                        let Some(inner) = weak.upgrade() else { return };
+                        let pioman = Pioman { inner };
+                        if !pioman.drivers_pending().any() {
+                            drop(pioman);
+                            ctx.park().await;
+                            continue;
+                        }
+                        let (p, _) = pioman.locked_progress(CallSite::Thread);
+                        let carried = pioman.inner.carried_cost.replace(SimDuration::ZERO);
+                        let pause = pioman.inner.cfg.inline_poll_pause;
+                        let productive = p.did_work;
+                        drop(pioman);
+                        let mut cost = p.cost + carried;
+                        if !productive {
+                            // Unproductive poll: pace the busy loop so a
+                            // waiting driver is not hammered at zero cost.
+                            cost += pause;
+                        }
+                        if !cost.is_zero() {
+                            ctx.compute(cost).await;
+                        }
+                        ctx.yield_now().await;
+                    }
+                },
+            );
+            inner.progress_thread.set(Some(id));
+        }
+
         pioman
     }
 
@@ -288,6 +430,24 @@ impl Pioman {
             .borrow_mut()
             .push(DriverHealth::default());
         DriverId(drivers.len() - 1)
+    }
+
+    /// Creates a per-application-thread [`InjectionEndpoint`] and
+    /// registers it with the driver registry. Endpoints share one global
+    /// rank counter, so injections from different threads drain in the
+    /// order they were made.
+    pub fn create_endpoint(&self) -> InjectionEndpoint {
+        let driver = Rc::new(EndpointDriver {
+            queue: RefCell::new(VecDeque::new()),
+        });
+        let id = self.attach_driver(Rc::clone(&driver) as Rc<dyn ProgressDriver>);
+        InjectionEndpoint {
+            driver,
+            id,
+            pioman: Pioman {
+                inner: Rc::clone(&self.inner),
+            },
+        }
     }
 
     /// Unregisters a driver; its slot is retired (ids of the remaining
@@ -482,7 +642,20 @@ impl Pioman {
         if let Some(t) = self.inner.tasklet.get() {
             self.inner.marcel.tasklet_schedule(t, origin);
         }
+        if let Some(th) = self.inner.progress_thread.get() {
+            self.inner.marcel.unpark(th);
+        }
         self.ensure_watcher();
+    }
+
+    /// Wakes the dedicated progress thread if one exists and is parked
+    /// (no-op otherwise). The communication library calls this from its
+    /// frame-arrival doorbell: idle-core kicks cannot reach the thread —
+    /// it blocks parked, not idle.
+    pub fn wake_progress_thread(&self) {
+        if let Some(th) = self.inner.progress_thread.get() {
+            self.inner.marcel.unpark(th);
+        }
     }
 
     /// One scheduling decision of the registry: either feed the oldest
@@ -624,6 +797,7 @@ impl Pioman {
                 CallSite::Inline => st.inline_progress += 1,
                 CallSite::Hook => st.hook_progress += 1,
                 CallSite::Tasklet => st.tasklet_progress += 1,
+                CallSite::Thread => st.thread_progress += 1,
             }
         }
         if let Some(DriverId(i)) = who {
@@ -633,6 +807,7 @@ impl Pioman {
                     CallSite::Inline => st.inline_progress += 1,
                     CallSite::Hook => st.hook_progress += 1,
                     CallSite::Tasklet => st.tasklet_progress += 1,
+                    CallSite::Thread => st.thread_progress += 1,
                 }
             }
         }
@@ -1523,5 +1698,71 @@ mod tests {
         // detected shortly after its 2µs deadline, not after the flood.
         assert!(done.get() < 20, "victim starved until t={}µs", done.get());
         assert_eq!(pioman.stats().max_submission_burst, 4);
+    }
+
+    #[test]
+    fn injection_endpoints_drain_in_global_injection_order() {
+        let (sim, marcel, pioman, _driver) = setup(2, PiomanConfig::default());
+        let ep_a = pioman.create_endpoint();
+        let ep_b = pioman.create_endpoint();
+        let order: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        let req = PiomReq::new(&sim, "send");
+        // Interleave injections across the two endpoints; drain order must
+        // follow injection order, not endpoint registration order.
+        for (i, ep) in [(0u32, &ep_a), (1, &ep_b), (2, &ep_b), (3, &ep_a)] {
+            let order = Rc::clone(&order);
+            let done = (i == 3).then(|| (req.clone(), sim.clone()));
+            ep.inject(None, move || {
+                order.borrow_mut().push(i);
+                if let Some((req, sim)) = done {
+                    req.complete(&sim);
+                }
+                SimDuration::from_nanos(400)
+            });
+        }
+        assert_eq!(ep_a.queued() + ep_b.queued(), 4);
+        let pioman2 = pioman.clone();
+        let req2 = req.clone();
+        marcel.spawn("app", Priority::Normal, None, move |ctx| async move {
+            pioman2.wait(&req2, &ctx).await;
+        });
+        sim.run();
+        assert_eq!(*order.borrow(), vec![0, 1, 2, 3]);
+        assert_eq!(ep_a.queued() + ep_b.queued(), 0);
+        assert!(pioman.driver_stats(ep_a.driver_id()) != PiomanStats::default());
+    }
+
+    #[test]
+    fn progress_thread_detects_armed_completion_without_idle_hook() {
+        // Zero-idle-core fallback: idle hook, timer and blocking call all
+        // disabled, the application thread computes without ever calling
+        // into the library, and the armed completion (detectable only by
+        // *polling*) arrives mid-compute. The tasklet cannot help — it
+        // reschedules only while productive — so detection before the
+        // compute ends proves the dedicated thread busy-polled.
+        let cfg = PiomanConfig {
+            idle_poll: false,
+            timer_poll: false,
+            blocking_call: false,
+            progress_thread: true,
+            ..PiomanConfig::default()
+        };
+        let (sim, marcel, pioman, driver) = setup(2, cfg);
+        let req = PiomReq::new(&sim, "recv");
+        driver.arm(SimTime::from_micros(50), req.clone());
+        marcel.spawn(
+            "compute",
+            Priority::Normal,
+            Some(CoreId(0)),
+            move |ctx| async move {
+                ctx.compute(SimDuration::from_micros(100)).await;
+            },
+        );
+        sim.run();
+        assert!(req.is_complete(), "progress thread never polled the driver");
+        let t = req.completed_at().unwrap().as_micros();
+        assert!((50..52).contains(&t), "detected at t={t}µs");
+        assert!(pioman.stats().thread_progress >= 1);
+        assert_eq!(pioman.stats().hook_progress, 0);
     }
 }

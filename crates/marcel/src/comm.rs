@@ -27,6 +27,12 @@ pub enum CommStage {
     Handshake,
     /// Payload moving (DMA chunks queued or arriving): completion is near.
     Transfer,
+    /// A one-sided (RMA) operation the thread is flushing: the flush has
+    /// begun but the op is still queued on its injection endpoint.
+    RmaFlush,
+    /// The flushed RMA op has drained onto the wire; only the remote
+    /// apply + ack remain, so completion is imminent.
+    RmaDrain,
 }
 
 /// Bound on tracked requests: ids are monotonic, so when the table
@@ -166,6 +172,16 @@ mod tests {
     }
 
     #[test]
+    fn rma_stages_rank_above_transfer_and_stay_monotone() {
+        assert!(CommStage::RmaFlush > CommStage::Transfer);
+        assert!(CommStage::RmaDrain > CommStage::RmaFlush);
+        let mut c = CommSignals::default();
+        c.note_stage(3, CommStage::RmaDrain);
+        c.note_stage(3, CommStage::RmaFlush); // late, lower: ignored
+        assert_eq!(c.stage(3), Some(CommStage::RmaDrain));
+    }
+
+    #[test]
     fn wait_links_thread_to_request() {
         let mut c = CommSignals::default();
         let t = ThreadId(3);
@@ -218,12 +234,14 @@ mod tests {
                             c.wait_end(t);
                         }
                     }
-                    // Progress a random tracked request.
+                    // Progress a random tracked request (two-sided or RMA).
                     2 => {
-                        let stage = match rng.gen_below(3) {
+                        let stage = match rng.gen_below(5) {
                             0 => CommStage::Posted,
                             1 => CommStage::Handshake,
-                            _ => CommStage::Transfer,
+                            2 => CommStage::Transfer,
+                            3 => CommStage::RmaFlush,
+                            _ => CommStage::RmaDrain,
                         };
                         c.note_stage(rng.gen_below(next_req.max(1)), stage);
                     }

@@ -30,11 +30,18 @@ impl CommAwarePolicy {
         }
     }
 
-    /// True if `th` waits on a request whose completion is near.
+    /// True if `th` waits on a request whose completion is near: a
+    /// rendezvous past its handshake, or a one-sided op being flushed
+    /// (the flushing thread is on the RMA critical path either way).
     fn near_completion(ctx: &PolicyCtx<'_>, th: &ThreadView) -> bool {
         matches!(
             ctx.comm().wait_stage(th.id),
-            Some(CommStage::Handshake | CommStage::Transfer)
+            Some(
+                CommStage::Handshake
+                    | CommStage::Transfer
+                    | CommStage::RmaFlush
+                    | CommStage::RmaDrain
+            )
         )
     }
 }

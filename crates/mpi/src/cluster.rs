@@ -8,6 +8,7 @@ use pm2_newmad::{
     AggregStrategy, EngineKind, FifoStrategy, OffloadPolicy, Session, SessionConfig, ShmMsg,
     ShortestFirstStrategy, Strategy, WireMsg,
 };
+use pm2_rma::RmaEngine;
 use pm2_sim::{MetricsRegistry, Sim, SimTime};
 use pm2_topo::{NodeId, Topology};
 use std::future::Future;
@@ -140,6 +141,7 @@ pub struct Cluster {
     marcels: Vec<Marcel>,
     piomans: Vec<Option<Pioman>>,
     sessions: Vec<Session>,
+    rmas: Vec<RmaEngine>,
     coll: CollTuning,
 }
 
@@ -187,6 +189,7 @@ impl Cluster {
             piomans.push(pioman);
             sessions.push(session);
         }
+        let rmas = sessions.iter().map(RmaEngine::new).collect();
         Cluster {
             sim,
             topo,
@@ -195,6 +198,7 @@ impl Cluster {
             marcels,
             piomans,
             sessions,
+            rmas,
             coll: cfg.coll,
         }
     }
@@ -239,6 +243,13 @@ impl Cluster {
         &self.sessions[node]
     }
 
+    /// The one-sided (RMA) engine of `node`: create windows with
+    /// [`RmaEngine::window_create`] and issue `put`/`get`/`accumulate`
+    /// against remote windows with passive-target completion.
+    pub fn rma(&self, node: usize) -> &RmaEngine {
+        &self.rmas[node]
+    }
+
     /// Traffic and fault counters of `node`'s NIC on `rail` (the
     /// fault-scenario tests read injection tallies through this).
     pub fn nic_counters(&self, node: usize, rail: usize) -> pm2_fabric::NicCounters {
@@ -276,6 +287,11 @@ impl Cluster {
                     ("acks_sent".into(), c.acks_sent as f64),
                     ("dup_suppressed".into(), c.dup_suppressed as f64),
                     ("retries_exhausted".into(), c.retries_exhausted as f64),
+                    ("rma_puts".into(), c.rma_puts as f64),
+                    ("rma_gets".into(), c.rma_gets as f64),
+                    ("rma_accs".into(), c.rma_accs as f64),
+                    ("rma_applied".into(), c.rma_applied as f64),
+                    ("rma_acks_tx".into(), c.rma_acks_tx as f64),
                 ]
             });
             if let Some(pioman) = self.piomans[n].clone() {
@@ -289,6 +305,7 @@ impl Cluster {
                         ("lock_contentions".into(), s.lock_contentions as f64),
                         ("waits".into(), s.waits as f64),
                         ("max_submission_burst".into(), s.max_submission_burst as f64),
+                        ("thread_progress".into(), s.thread_progress as f64),
                     ]
                 });
             }

@@ -144,4 +144,15 @@ pub struct NmCounters {
     pub dup_suppressed: u64,
     /// Envelopes abandoned after the retry budget ran out.
     pub retries_exhausted: u64,
+    /// One-sided puts issued (origin side, any size).
+    pub rma_puts: u64,
+    /// One-sided gets issued (origin side).
+    pub rma_gets: u64,
+    /// One-sided accumulates issued (origin side).
+    pub rma_accs: u64,
+    /// One-sided ops applied to a local window (target side; a chunked
+    /// put counts once, on its final chunk).
+    pub rma_applied: u64,
+    /// RMA completion frames (acks and get replies) queued by the target.
+    pub rma_acks_tx: u64,
 }

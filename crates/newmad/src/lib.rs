@@ -61,6 +61,7 @@ mod msg;
 mod progress;
 mod reliability;
 mod rendezvous;
+mod rma;
 mod session;
 mod strategy;
 
@@ -70,6 +71,7 @@ mod tests;
 pub use config::{EngineKind, NmCounters, OffloadPolicy, SessionConfig};
 pub use handles::{RecvHandle, SendHandle};
 pub use msg::{EagerPart, ShmMsg, Tag, WireMsg, EAGER_HEADER_BYTES, RDV_HEADER_BYTES};
+pub use rma::RmaOpKind;
 pub use session::{Session, SessionDebugState};
 pub use strategy::{
     AggregStrategy, FifoStrategy, Pack, ShortestFirstStrategy, Strategy, Submission,

@@ -8,6 +8,7 @@
 use crate::config::NmCounters;
 use crate::reliability::RelPending;
 use crate::rendezvous::{RdvRecv, RdvSend};
+use crate::rma::{RmaChunks, RmaOp};
 use crate::strategy::{Pack, PackKind};
 use pioman::PiomReq;
 use pm2_topo::NodeId;
@@ -100,6 +101,18 @@ pub(crate) struct NmState {
     pub(crate) rel_pending: HashMap<(NodeId, u64), RelPending>,
     /// Reliability: per-source duplicate-suppression windows.
     pub(crate) rel_rx: HashMap<NodeId, SeqWindow>,
+    /// One-sided windows exposed by this node: id → window memory.
+    pub(crate) rma_windows: HashMap<u64, Vec<u8>>,
+    /// Origin-side one-sided ops (staged, in flight, or holding an
+    /// untaken get result).
+    pub(crate) rma_ops: HashMap<u64, RmaOp>,
+    /// Ops issued to a remote target and not yet acked — drives driver
+    /// arming (a completed get whose result sits untaken does not).
+    pub(crate) rma_inflight: usize,
+    /// Next origin-scoped op id.
+    pub(crate) next_rma_op: u64,
+    /// Target-side chunk assembly for large puts, keyed (origin, op).
+    pub(crate) rma_chunks: HashMap<(NodeId, u64), RmaChunks>,
     pub(crate) rail_rr: usize,
     pub(crate) poll_rotor: usize,
     /// Productive progress steps per driver shard (rails…, then shm).
@@ -126,6 +139,11 @@ impl NmState {
             rel_next_tx: HashMap::new(),
             rel_pending: HashMap::new(),
             rel_rx: HashMap::new(),
+            rma_windows: HashMap::new(),
+            rma_ops: HashMap::new(),
+            rma_inflight: 0,
+            next_rma_op: 1,
+            rma_chunks: HashMap::new(),
             rail_rr: 0,
             poll_rotor: 0,
             driver_work: vec![0; n_rails + 1],

@@ -90,6 +90,75 @@ pub enum WireMsg {
         /// The acknowledged envelope sequence number.
         rel: u64,
     },
+    /// One-sided put small enough for a single eager-class frame. The
+    /// target applies it to its window without any posted receive
+    /// (matching-free) and answers with an [`WireMsg::RmaAck`].
+    RmaPut {
+        /// Target window id.
+        win: u64,
+        /// Byte offset inside the window.
+        offset: usize,
+        /// Origin-scoped op id, echoed in the ack.
+        op: u64,
+        /// Bytes to store.
+        data: Vec<u8>,
+    },
+    /// One chunk of a large one-sided put (rendezvous-style DMA). Unlike
+    /// the two-sided path there is no RTS/CTS handshake: the window was
+    /// registered at creation, so chunks flow immediately.
+    RmaPutData {
+        /// Target window id.
+        win: u64,
+        /// Byte offset of the whole put inside the window.
+        offset: usize,
+        /// Origin-scoped op id, echoed in the ack after the last chunk.
+        op: u64,
+        /// Chunk index.
+        chunk: u32,
+        /// Total chunks of this put.
+        chunks: u32,
+        /// Chunk payload.
+        data: Vec<u8>,
+    },
+    /// One-sided read request: the target answers with an
+    /// [`WireMsg::RmaGetReply`] carrying the window bytes.
+    RmaGet {
+        /// Target window id.
+        win: u64,
+        /// Byte offset inside the window.
+        offset: usize,
+        /// Bytes to read.
+        len: usize,
+        /// Origin-scoped op id, echoed in the reply.
+        op: u64,
+    },
+    /// Window bytes answering an [`WireMsg::RmaGet`].
+    RmaGetReply {
+        /// The origin's op id.
+        op: u64,
+        /// The bytes read.
+        data: Vec<u8>,
+    },
+    /// One-sided byte-wise wrapping-add accumulate (`WrapAdd8`). Applied
+    /// exactly once: the reliability envelope suppresses retransmitted
+    /// duplicates before they can reach the window.
+    RmaAcc {
+        /// Target window id.
+        win: u64,
+        /// Byte offset inside the window.
+        offset: usize,
+        /// Origin-scoped op id, echoed in the ack.
+        op: u64,
+        /// Bytes to add (wrapping, per byte).
+        data: Vec<u8>,
+    },
+    /// Target → origin completion ack for a put or accumulate. Unlike the
+    /// reliability-level [`WireMsg::Ack`] this is an application frame and
+    /// *is* itself wrapped in a reliability envelope on lossy fabrics.
+    RmaAck {
+        /// The completed op id.
+        op: u64,
+    },
 }
 
 impl WireMsg {
@@ -105,6 +174,12 @@ impl WireMsg {
             WireMsg::RdvData { data, .. } => RDV_HEADER_BYTES + data.len(),
             WireMsg::Rel { inner, .. } => REL_HEADER_BYTES + inner.wire_bytes(),
             WireMsg::Ack { .. } => 64,
+            WireMsg::RmaPut { data, .. } | WireMsg::RmaAcc { data, .. } => {
+                EAGER_HEADER_BYTES + data.len()
+            }
+            WireMsg::RmaPutData { data, .. } => RDV_HEADER_BYTES + data.len(),
+            WireMsg::RmaGetReply { data, .. } => EAGER_HEADER_BYTES + data.len(),
+            WireMsg::RmaGet { .. } | WireMsg::RmaAck { .. } => 64,
         }
     }
 
@@ -117,6 +192,11 @@ impl WireMsg {
             WireMsg::RdvData { data, .. } => data.len(),
             WireMsg::Rel { inner, .. } => inner.app_bytes(),
             WireMsg::Ack { .. } => 0,
+            WireMsg::RmaPut { data, .. }
+            | WireMsg::RmaPutData { data, .. }
+            | WireMsg::RmaAcc { data, .. }
+            | WireMsg::RmaGetReply { data, .. } => data.len(),
+            WireMsg::RmaGet { .. } | WireMsg::RmaAck { .. } => 0,
         }
     }
 }
@@ -186,5 +266,55 @@ mod tests {
         assert_eq!(m.app_bytes(), 100);
         assert_eq!(WireMsg::Ack { rel: 3 }.wire_bytes(), 64);
         assert_eq!(WireMsg::Ack { rel: 3 }.app_bytes(), 0);
+    }
+
+    #[test]
+    fn rma_frames_pin_their_byte_accounting() {
+        let put = WireMsg::RmaPut {
+            win: 1,
+            offset: 0,
+            op: 9,
+            data: vec![0; 100],
+        };
+        assert_eq!(put.wire_bytes(), EAGER_HEADER_BYTES + 100);
+        assert_eq!(put.app_bytes(), 100);
+        let acc = WireMsg::RmaAcc {
+            win: 1,
+            offset: 0,
+            op: 9,
+            data: vec![0; 8],
+        };
+        assert_eq!(acc.wire_bytes(), EAGER_HEADER_BYTES + 8);
+        let chunk = WireMsg::RmaPutData {
+            win: 1,
+            offset: 0,
+            op: 9,
+            chunk: 0,
+            chunks: 4,
+            data: vec![0; 1 << 14],
+        };
+        assert_eq!(chunk.wire_bytes(), RDV_HEADER_BYTES + (1 << 14));
+        let get = WireMsg::RmaGet {
+            win: 1,
+            offset: 0,
+            len: 1 << 10,
+            op: 9,
+        };
+        assert_eq!(get.wire_bytes(), 64);
+        assert_eq!(get.app_bytes(), 0);
+        let reply = WireMsg::RmaGetReply {
+            op: 9,
+            data: vec![0; 1 << 10],
+        };
+        assert_eq!(reply.wire_bytes(), EAGER_HEADER_BYTES + (1 << 10));
+        assert_eq!(reply.app_bytes(), 1 << 10);
+        assert_eq!(WireMsg::RmaAck { op: 9 }.wire_bytes(), 64);
+        // An RMA ack rides inside a reliability envelope on lossy fabrics
+        // (unlike the rel-level Ack, which never does).
+        let wrapped = WireMsg::Rel {
+            rel: 1,
+            inner: Box::new(WireMsg::RmaAck { op: 9 }),
+        };
+        assert_eq!(wrapped.wire_bytes(), REL_HEADER_BYTES + 64);
     }
 }

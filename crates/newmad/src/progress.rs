@@ -90,6 +90,10 @@ impl Session {
                 || !st.rdv_recvs.is_empty()
                 // Unacked reliability envelopes wait for their acks.
                 || !st.rel_pending.is_empty()
+                // In-flight one-sided ops wait for their acks/replies, and
+                // half-assembled chunked puts for their remaining chunks.
+                || st.rma_inflight > 0
+                || !st.rma_chunks.is_empty()
                 // Unsolicited traffic (unexpected messages, incoming RTS)
                 // must be drained even with nothing posted.
                 || self.inner.rails[idx].rx_pending(),
@@ -118,6 +122,8 @@ impl Session {
                 || !st.rdv_sends.is_empty()
                 || !st.rdv_recvs.is_empty()
                 || !st.rel_pending.is_empty()
+                || st.rma_inflight > 0
+                || !st.rma_chunks.is_empty()
                 || self.inner.rails.iter().any(|r| r.rx_pending())
                 || self.inner.shm.pending(),
             oldest_submission: match (
@@ -438,7 +444,37 @@ impl Session {
                         },
                     );
                 }
-                WireMsg::Credit { .. } | WireMsg::Rel { .. } | WireMsg::Ack { .. } => {}
+                WireMsg::RmaPut { win, op, data, .. }
+                | WireMsg::RmaPutData { win, op, data, .. }
+                | WireMsg::RmaAcc { win, op, data, .. } => {
+                    sim.obs().emit(
+                        now,
+                        node,
+                        EventKind::RmaIssue {
+                            op: *op,
+                            dest: sub.dest.0,
+                            win: *win,
+                            bytes: data.len(),
+                        },
+                    );
+                }
+                WireMsg::RmaGet { win, len, op, .. } => {
+                    sim.obs().emit(
+                        now,
+                        node,
+                        EventKind::RmaIssue {
+                            op: *op,
+                            dest: sub.dest.0,
+                            win: *win,
+                            bytes: *len,
+                        },
+                    );
+                }
+                WireMsg::Credit { .. }
+                | WireMsg::Rel { .. }
+                | WireMsg::Ack { .. }
+                | WireMsg::RmaGetReply { .. }
+                | WireMsg::RmaAck { .. } => {}
             }
         }
         // Lossy-fabric mode: wrap the frame in a reliability envelope
@@ -496,6 +532,34 @@ impl Session {
             } => self.handle_rdv_data(src, rdv, chunk, chunks, data),
             WireMsg::Rel { rel, inner } => self.handle_rel(src, rel, *inner),
             WireMsg::Ack { rel } => self.handle_ack(src, rel),
+            WireMsg::RmaPut {
+                win,
+                offset,
+                op,
+                data,
+            } => self.handle_rma_put(src, win, offset, op, data),
+            WireMsg::RmaPutData {
+                win,
+                offset,
+                op,
+                chunk,
+                chunks,
+                data,
+            } => self.handle_rma_put_chunk(src, win, offset, op, chunk, chunks, data),
+            WireMsg::RmaGet {
+                win,
+                offset,
+                len,
+                op,
+            } => self.handle_rma_get(src, win, offset, len, op),
+            WireMsg::RmaGetReply { op, data } => self.handle_rma_get_reply(src, op, data),
+            WireMsg::RmaAcc {
+                win,
+                offset,
+                op,
+                data,
+            } => self.handle_rma_acc(src, win, offset, op, data),
+            WireMsg::RmaAck { op } => self.handle_rma_ack(src, op),
         }
     }
 }
@@ -510,8 +574,13 @@ fn submit_cost_for(rail: &pm2_fabric::Nic<WireMsg>, msg: &WireMsg) -> SimDuratio
         WireMsg::Rts { .. }
         | WireMsg::Cts { .. }
         | WireMsg::Credit { .. }
-        | WireMsg::Ack { .. } => rail.submit_cost(64),
-        WireMsg::RdvData { .. } => rail.params().dma_setup,
+        | WireMsg::Ack { .. }
+        | WireMsg::RmaGet { .. }
+        | WireMsg::RmaAck { .. } => rail.submit_cost(64),
+        WireMsg::RdvData { .. } | WireMsg::RmaPutData { .. } => rail.params().dma_setup,
+        WireMsg::RmaPut { data, .. }
+        | WireMsg::RmaAcc { data, .. }
+        | WireMsg::RmaGetReply { data, .. } => rail.submit_cost(data.len()),
         WireMsg::Rel { inner, .. } => submit_cost_for(rail, inner),
     }
 }

@@ -70,6 +70,13 @@ pub struct SessionDebugState {
     pub net_packs: usize,
     /// Packs queued for the shared-memory channel.
     pub shm_packs: usize,
+    /// One-sided op entries still tracked (in flight, staged, or holding
+    /// an untaken get result).
+    pub rma_ops: usize,
+    /// One-sided ops issued to a remote target and not yet acked.
+    pub rma_inflight: usize,
+    /// Target-side chunked puts still assembling.
+    pub rma_chunks: usize,
 }
 
 impl SessionDebugState {
@@ -145,7 +152,17 @@ impl Session {
         // doorbell the moment it flips.
         let marcel_weak = {
             let m = inner.marcel.clone();
-            move || m.kick_all_idle()
+            let p = inner.pioman.clone();
+            move || {
+                m.kick_all_idle();
+                // A parked dedicated progress thread is summoned by the
+                // doorbell too (it blocks parked, not idle, so the kick
+                // above cannot reach it). No-op unless
+                // `PiomanConfig::progress_thread` spawned one.
+                if let Some(p) = &p {
+                    p.wake_progress_thread();
+                }
+            }
         };
         for rail in &inner.rails {
             let kick = marcel_weak.clone();
@@ -189,12 +206,22 @@ impl Session {
             rel_pending: st.rel_pending.len(),
             net_packs: st.net_packs.len(),
             shm_packs: st.shm_packs.len(),
+            rma_ops: st.rma_ops.len(),
+            rma_inflight: st.rma_inflight,
+            rma_chunks: st.rma_chunks.len(),
         }
     }
 
     /// The registration cache (rendezvous ablations inspect its stats).
     pub fn registry(&self) -> &MemoryRegistry {
         &self.inner.registry
+    }
+
+    /// The PIOMAN server driving this session, if the engine is
+    /// [`EngineKind::Pioman`] (`None` under the sequential engine).
+    /// pm2-rma uses it to create per-thread injection endpoints.
+    pub fn pioman(&self) -> Option<Pioman> {
+        self.inner.pioman.clone()
     }
 
     /// The strategy name (for benchmark reports).

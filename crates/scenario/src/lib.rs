@@ -106,8 +106,8 @@ pub fn builtin_suite(smoke: bool) -> Vec<ScenarioSpec> {
         fault_loss: 0.01,
         slo: SloSpec {
             p50_us: 1_200.0,
-            p99_us: 5_000.0,
-            p999_us: 8_200.0,
+            p99_us: 2_200.0,
+            p999_us: 2_500.0,
         },
         deadline: DEADLINE,
     });
@@ -133,8 +133,8 @@ pub fn builtin_suite(smoke: bool) -> Vec<ScenarioSpec> {
         fault_loss: 0.0,
         slo: SloSpec {
             p50_us: 1_500.0,
-            p99_us: 6_000.0,
-            p999_us: 8_200.0,
+            p99_us: 5_500.0,
+            p999_us: 6_000.0,
         },
         deadline: DEADLINE,
     });
@@ -171,9 +171,32 @@ pub fn builtin_suite(smoke: bool) -> Vec<ScenarioSpec> {
         },
         fault_loss: 0.0,
         slo: SloSpec {
-            p50_us: 5_000.0,
-            p99_us: 7_500.0,
-            p999_us: 8_200.0,
+            p50_us: 1_600.0,
+            p99_us: 1_900.0,
+            p999_us: 2_000.0,
+        },
+        deadline: DEADLINE,
+    });
+
+    // One-sided incast: put-heavy traffic with accumulate contention
+    // converging on rank 0's window while rank 0 spins in pure compute —
+    // the passive-target path under load (and under 1% frame loss, so
+    // exactly-once accumulate is exercised by every sweep).
+    suite.push(ScenarioSpec {
+        name: "rma_incast_mix",
+        ranks: ranks(8),
+        seed: 0x17A6E7,
+        workload: Workload::RmaMix {
+            ops_per_rank: if smoke { 8 } else { 48 },
+            put_bytes: (256, 48 << 10),
+            acc_frac: 0.3,
+            flush_every: 8,
+        },
+        fault_loss: 0.01,
+        slo: SloSpec {
+            p50_us: 300.0,
+            p99_us: 800.0,
+            p999_us: 1_200.0,
         },
         deadline: DEADLINE,
     });

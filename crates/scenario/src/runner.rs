@@ -23,6 +23,12 @@ const STREAM_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 const STENCIL_RIGHT_BASE: u64 = 1 << 32;
 const STENCIL_LEFT_BASE: u64 = (1 << 32) + (1 << 16);
 
+/// Window id of the RMA-incast workload's single hot window.
+const RMA_WIN: u64 = 7;
+/// Bytes at the front of the hot window shared by every origin's
+/// accumulates (the contention region; 8 slots of 8 bytes).
+const RMA_ACC_REGION: usize = 64;
+
 /// Runs `spec` under the named Marcel policy and fault seed, asserting the
 /// structural invariants (every message delivered exactly once, message
 /// counters balanced, no leaked comm-signal wait brackets) and returning
@@ -239,6 +245,60 @@ fn install(cluster: &Cluster, spec: &ScenarioSpec, delivered: &Rc<Cell<u64>>) {
                             .record_latency("kernel", sim.now().as_nanos() - t0);
                         delivered.set(delivered.get() + 1);
                     }
+                });
+            }
+        }
+        Workload::RmaMix {
+            ops_per_rank,
+            put_bytes,
+            acc_frac,
+            flush_every,
+        } => {
+            let hot = 0usize;
+            let (lo, hi) = *put_bytes;
+            // Window layout on the hot rank: a shared 64-byte accumulate
+            // region, then one private put region per origin rank.
+            let win_len = RMA_ACC_REGION + (spec.ranks - 1) * hi;
+            {
+                let rma = cluster.rma(hot).clone();
+                cluster.spawn_on(hot, "rma-target", move |ctx| async move {
+                    rma.window_create(&ctx, RMA_WIN, win_len).await;
+                    // Passive target: pure compute from here on — every
+                    // incoming op is applied by stolen progression.
+                    ctx.compute(pm2_sim::SimDuration::from_millis(5)).await;
+                });
+            }
+            for src in 1..spec.ranks {
+                let rma = cluster.rma(src).clone();
+                let delivered = Rc::clone(delivered);
+                let (ops, acc_frac, flush_every, seed) =
+                    (*ops_per_rank, *acc_frac, *flush_every, spec.seed);
+                cluster.spawn_on(src, format!("rma-origin{src}"), move |ctx| async move {
+                    let mut rng =
+                        Xoshiro256::new(seed ^ (src as u64 + 1).wrapping_mul(STREAM_SALT));
+                    // Let the target's t=0 window registration land first.
+                    ctx.compute(pm2_sim::SimDuration::from_micros(5)).await;
+                    let win = rma.window(RMA_WIN);
+                    let base = RMA_ACC_REGION + (src - 1) * hi;
+                    let mut batch = 0u64;
+                    for i in 0..ops {
+                        if rng.gen_bool(acc_frac) {
+                            // Contended slot shared by every origin.
+                            let slot = (i % (RMA_ACC_REGION / 8)) * 8;
+                            win.accumulate(&ctx, NodeId(hot), slot, vec![1u8; 8]);
+                        } else {
+                            let len = lo + rng.gen_below((hi - lo + 1) as u64) as usize;
+                            win.put(&ctx, NodeId(hot), base, vec![src as u8; len]);
+                        }
+                        batch += 1;
+                        if (i + 1) % flush_every == 0 {
+                            win.flush(&ctx).await;
+                            delivered.set(delivered.get() + batch);
+                            batch = 0;
+                        }
+                    }
+                    win.flush(&ctx).await;
+                    delivered.set(delivered.get() + batch);
                 });
             }
         }

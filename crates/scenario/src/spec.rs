@@ -208,6 +208,25 @@ pub enum Workload {
         /// Per-step compute, microseconds.
         compute_us: u64,
     },
+    /// One-sided incast: every rank except rank 0 issues `ops_per_rank`
+    /// RMA ops against a window exposed by rank 0 — puts into a private
+    /// region (put-heavy), accumulates into a shared 64-byte counter
+    /// region (contention) — flushing every `flush_every` ops. Rank 0 is
+    /// an *in-scenario passive target*: it spins in pure compute and
+    /// never calls into the library after exposing the window, so every
+    /// apply runs inside stolen progression. Latency is per-op
+    /// stage-to-completion (label `"rma"`, fed by the request layer).
+    RmaMix {
+        /// One-sided ops issued by each non-hot rank.
+        ops_per_rank: usize,
+        /// Inclusive put-size band, bytes; sizes above the rendezvous
+        /// threshold take the chunked DMA path.
+        put_bytes: (usize, usize),
+        /// Probability an op is an accumulate instead of a put.
+        acc_frac: f64,
+        /// Ops between flushes (the final partial batch is also flushed).
+        flush_every: usize,
+    },
 }
 
 impl Workload {
@@ -216,6 +235,7 @@ impl Workload {
         match self {
             Workload::Service { .. } => "svc",
             Workload::Stencil { .. } | Workload::AllreduceStep { .. } => "kernel",
+            Workload::RmaMix { .. } => "rma",
         }
     }
 }
@@ -271,6 +291,8 @@ impl ScenarioSpec {
             // Two halos per rank per iteration.
             Workload::Stencil { iters, .. } => (self.ranks * iters * 2) as u64,
             Workload::AllreduceStep { steps, .. } => (self.ranks * steps) as u64,
+            // The passive hot rank issues nothing.
+            Workload::RmaMix { ops_per_rank, .. } => ((self.ranks - 1) * ops_per_rank) as u64,
         }
     }
 }

@@ -236,6 +236,36 @@ pub enum EventKind {
         /// Virtual-time cost charged, in nanoseconds.
         cost: u64,
     },
+    /// Origin issued a one-sided (RMA) operation onto the wire.
+    RmaIssue {
+        /// Origin-scoped RMA op id.
+        op: u64,
+        /// Target node index.
+        dest: usize,
+        /// Window id the op addresses.
+        win: u64,
+        /// Payload bytes moved (put/accumulate data out, get data back).
+        bytes: usize,
+    },
+    /// Target applied a one-sided op (or one chunk of a large put) to its
+    /// window — without the target ever calling into the library.
+    RmaApply {
+        /// Origin-scoped RMA op id.
+        op: u64,
+        /// Origin node index.
+        src: usize,
+        /// Window id the op addressed.
+        win: u64,
+        /// Bytes applied in this event.
+        bytes: usize,
+    },
+    /// Origin saw the target's completion ack (or get reply) for an op.
+    RmaAckRx {
+        /// Origin-scoped RMA op id.
+        op: u64,
+        /// Target node index that acked.
+        src: usize,
+    },
     /// A collective DAG step was issued.
     CollStep {
         /// Issuing rank.
@@ -284,8 +314,14 @@ pub struct Obs {
 
 /// Latency-histogram resolution: 1 µs buckets.
 const LATENCY_RESOLUTION_NS: f64 = 1_000.0;
-/// Latency-histogram span: 8192 buckets ≈ 8 ms before overflow clamping.
+/// Linear latency-histogram span: 8192 buckets ≈ 8 ms at 1 µs resolution.
 const LATENCY_BUCKETS: usize = 8_192;
+/// Geometric tail buckets past the linear span, so overload forensics keep
+/// resolving instead of clamping at ~8 ms.
+const LATENCY_TAIL_BUCKETS: usize = 64;
+/// Tail bucket growth factor: 8.192 ms × 1.15⁶⁴ ≈ 63 s of span, past the
+/// scenario suite's 60 s wedge deadline.
+const LATENCY_TAIL_GROWTH: f64 = 1.15;
 
 impl Obs {
     /// Creates a disabled recorder with the default capacity (256 Ki
@@ -376,7 +412,14 @@ impl Obs {
         inner
             .latency
             .entry(label)
-            .or_insert_with(|| Histogram::new(LATENCY_RESOLUTION_NS, LATENCY_BUCKETS))
+            .or_insert_with(|| {
+                Histogram::with_geometric_tail(
+                    LATENCY_RESOLUTION_NS,
+                    LATENCY_BUCKETS,
+                    LATENCY_TAIL_BUCKETS,
+                    LATENCY_TAIL_GROWTH,
+                )
+            })
             .record(ns as f64);
     }
 
@@ -661,6 +704,9 @@ pub fn build_timelines(events: &[Event]) -> Timelines {
             | EventKind::DriverProgress { .. }
             | EventKind::TaskletRun { .. }
             | EventKind::HookWork { .. }
+            | EventKind::RmaIssue { .. }
+            | EventKind::RmaApply { .. }
+            | EventKind::RmaAckRx { .. }
             | EventKind::CollStep { .. } => {}
         }
     }
@@ -917,6 +963,19 @@ mod tests {
         assert!(p50 > 0.0);
         // Three samples: every tail percentile answers the same bucket.
         assert_eq!(p99, p999);
+    }
+
+    #[test]
+    fn latency_histogram_resolves_past_the_old_8ms_clamp() {
+        let obs = Obs::new();
+        obs.set_enabled(true);
+        // 100 ms — far past the 8.192 ms linear span. The geometric tail
+        // must answer a value at or above the sample, not clamp to 8.192 ms.
+        obs.record_latency("svc", 100_000_000);
+        let (_, _, _, _, p999) = obs.latency_snapshot()[0];
+        assert!(p999 >= 100_000_000.0, "tail still clamps: p999 = {p999} ns");
+        // And the tail is bounded: well under 10 minutes.
+        assert!(p999 < 600_000_000_000.0);
     }
 
     #[test]

@@ -123,15 +123,23 @@ impl fmt::Display for OnlineStats {
     }
 }
 
-/// Fixed-resolution histogram with percentile queries.
+/// Fixed-resolution histogram with percentile queries and an optional
+/// geometric tail.
 ///
-/// Buckets are linear at `resolution` width; values beyond
-/// `resolution * buckets` land in the overflow bucket and are clamped in
-/// percentile answers.
+/// Buckets are linear at `resolution` width over the primary span. With
+/// [`Histogram::new`] values beyond `resolution * buckets` land in the
+/// overflow bucket and are clamped in percentile answers; with
+/// [`Histogram::with_geometric_tail`] a run of geometrically widening
+/// buckets extends the span first, so overload tails keep resolving
+/// (coarsely) instead of saturating at the linear edge.
 #[derive(Debug, Clone)]
 pub struct Histogram {
     resolution: f64,
     counts: Vec<u64>,
+    /// Ascending upper edges of the geometric tail buckets; empty for a
+    /// purely linear histogram.
+    tail_edges: Vec<f64>,
+    tail: Vec<u64>,
     overflow: u64,
     total: u64,
 }
@@ -146,19 +154,63 @@ impl Histogram {
         Histogram {
             resolution,
             counts: vec![0; buckets],
+            tail_edges: Vec::new(),
+            tail: Vec::new(),
             overflow: 0,
             total: 0,
+        }
+    }
+
+    /// Like [`Histogram::new`], plus `tail_buckets` geometric buckets past
+    /// the linear span: tail bucket `i` has upper edge
+    /// `resolution * buckets * growth^(i+1)`. Samples inside the linear
+    /// span behave exactly as in a linear histogram; samples past it land
+    /// in the first tail bucket whose edge covers them, and only samples
+    /// past the last tail edge overflow (clamping to that edge).
+    ///
+    /// # Panics
+    /// Panics if `resolution <= 0`, `buckets == 0`, `tail_buckets == 0`
+    /// or `growth <= 1`.
+    pub fn with_geometric_tail(
+        resolution: f64,
+        buckets: usize,
+        tail_buckets: usize,
+        growth: f64,
+    ) -> Self {
+        assert!(tail_buckets > 0 && growth > 1.0);
+        let mut h = Histogram::new(resolution, buckets);
+        let mut edge = resolution * buckets as f64;
+        for _ in 0..tail_buckets {
+            edge *= growth;
+            h.tail_edges.push(edge);
+        }
+        h.tail = vec![0; tail_buckets];
+        h
+    }
+
+    /// Largest value the histogram resolves before clamping (the upper
+    /// edge of its final bucket, linear or tail).
+    pub fn span(&self) -> f64 {
+        match self.tail_edges.last() {
+            Some(&e) => e,
+            None => self.resolution * self.counts.len() as f64,
         }
     }
 
     /// Records one (non-negative) sample.
     pub fn record(&mut self, x: f64) {
         self.total += 1;
-        let idx = (x.max(0.0) / self.resolution) as usize;
+        let x = x.max(0.0);
+        let idx = (x / self.resolution) as usize;
         if idx < self.counts.len() {
             self.counts[idx] += 1;
         } else {
-            self.overflow += 1;
+            let t = self.tail_edges.partition_point(|&e| e < x);
+            if t < self.tail.len() {
+                self.tail[t] += 1;
+            } else {
+                self.overflow += 1;
+            }
         }
     }
 
@@ -178,8 +230,9 @@ impl Histogram {
     ///   like the nearest valid percentile;
     /// - `p <= 0` answers `0.0`, the infimum of the (non-negative) sample
     ///   domain, rather than the edge of the first populated bucket;
-    /// - overflow samples clamp to the top bucket edge
-    ///   (`resolution * buckets`).
+    /// - overflow samples clamp to the histogram's [`Histogram::span`]
+    ///   (the top linear edge, or the last tail edge when a geometric
+    ///   tail is configured).
     pub fn percentile(&self, p: f64) -> f64 {
         if self.total == 0 {
             return 0.0;
@@ -196,7 +249,13 @@ impl Histogram {
                 return (i + 1) as f64 * self.resolution;
             }
         }
-        self.counts.len() as f64 * self.resolution
+        for (i, &c) in self.tail.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return self.tail_edges[i];
+            }
+        }
+        self.span()
     }
 
     /// Median shortcut (bucket-upper-edge convention of
@@ -340,5 +399,69 @@ mod tests {
         h.record(3.5);
         assert_eq!(h.percentile(150.0), h.percentile(100.0));
         assert_eq!(h.percentile(150.0), 4.0);
+    }
+
+    #[test]
+    fn geometric_tail_matches_linear_inside_the_linear_span() {
+        // Same samples, same answers: the tail only changes what happens
+        // past the linear edge.
+        let mut lin = Histogram::new(1.0, 100);
+        let mut geo = Histogram::with_geometric_tail(1.0, 100, 16, 2.0);
+        for i in 1..=100 {
+            lin.record(i as f64 - 0.5);
+            geo.record(i as f64 - 0.5);
+        }
+        for p in [0.0, 50.0, 99.0, 99.9, 100.0] {
+            assert_eq!(lin.percentile(p), geo.percentile(p));
+        }
+    }
+
+    #[test]
+    fn geometric_tail_resolves_past_the_linear_clamp() {
+        // Linear span is 10; a sample at 70 saturates the linear
+        // histogram but lands in a resolving tail bucket (edges
+        // 20, 40, 80, 160).
+        let mut lin = Histogram::new(1.0, 10);
+        let mut geo = Histogram::with_geometric_tail(1.0, 10, 4, 2.0);
+        lin.record(70.0);
+        geo.record(70.0);
+        assert_eq!(lin.percentile(100.0), 10.0, "old clamp behaviour");
+        assert_eq!(geo.percentile(100.0), 80.0, "tail bucket upper edge");
+        assert_eq!(geo.span(), 160.0);
+    }
+
+    #[test]
+    fn geometric_tail_overflow_clamps_to_last_edge() {
+        let mut geo = Histogram::with_geometric_tail(1.0, 10, 4, 2.0);
+        geo.record(1e9);
+        assert_eq!(geo.percentile(100.0), 160.0);
+        assert_eq!(geo.p999(), 160.0);
+    }
+
+    #[test]
+    fn geometric_tail_keeps_percentile_edge_conventions() {
+        // Empty / p<=0 / clamp-to-100 behave exactly like the linear
+        // histogram (PR-4/PR-7 conventions).
+        let empty = Histogram::with_geometric_tail(1.0, 10, 4, 2.0);
+        assert_eq!(empty.percentile(50.0), 0.0);
+        let mut h = Histogram::with_geometric_tail(1.0, 10, 4, 2.0);
+        h.record(15.0); // first tail bucket (edge 20)
+        assert_eq!(h.percentile(0.0), 0.0);
+        assert_eq!(h.percentile(-3.0), 0.0);
+        assert_eq!(h.percentile(150.0), h.percentile(100.0));
+        assert_eq!(h.percentile(100.0), 20.0);
+    }
+
+    #[test]
+    fn p999_separates_tail_bucket_stragglers() {
+        // Bulk in the linear span, one straggler deep in the tail: p99
+        // answers the bulk edge, p999 reaches the straggler's tail edge.
+        let mut h = Histogram::with_geometric_tail(1.0, 10, 4, 2.0);
+        for _ in 0..999 {
+            h.record(0.5);
+        }
+        h.record(100.0);
+        assert_eq!(h.p99(), 1.0);
+        assert_eq!(h.p999(), 160.0);
     }
 }
