@@ -60,6 +60,14 @@ for seed in 1 7 42; do
   PM2_FAULT_SEED=$seed cargo test -q --release -p pm2-bench --test rma
 done
 
+echo "== scale suite (seeds 1 7 42, 256 ranks)"
+# tests/scale.rs: 256-rank eager all-to-all storm with the PR-4 balance
+# invariants plus the matching-probe linearity guard, and a 256-rank
+# determinism check on the barrier + neighbour-ring schedule.
+for seed in 1 7 42; do
+  PM2_FAULT_SEED=$seed cargo test -q --release -p pm2-bench --test scale
+done
+
 echo "== service-scenario suite (seeds 1 7 42, all four policies)"
 # tests/scenario.rs: report determinism, generator law bounds, nominal
 # specs pass their SLO under every policy, the overload probe fails its
@@ -95,6 +103,29 @@ for key in allreduce_flat allreduce_auto allreduce_ring allreduce_rd \
            bcast_flat bcast_tree bcast_auto; do
   grep -q "\"$key\":" /tmp/coll_smoke.json \
     || { echo "BENCH_coll smoke output misses series \"$key\""; exit 1; }
+done
+
+echo "== scale sweep smoke (BENCH_scale.json schema)"
+PM2_SCALE_SMOKE=1 ./target/release/scale_sweep > /tmp/scale_smoke.json
+for key in pm2-scale/v1 ranks ring_iters events msgs events_per_sec \
+           wall_ms virt_ms wall_per_virt end_ns; do
+  grep -q "\"$key\"" /tmp/scale_smoke.json \
+    || { echo "BENCH_scale smoke output misses key \"$key\""; exit 1; }
+done
+# Throughput must be non-degenerate and monotone: a zero events/sec
+# means the sweep measured nothing (wedged cluster or broken clock), and
+# per-event cost can only grow with rank count — the 16-rank point
+# sustains ~2x the 256-rank throughput, so this survives smoke noise.
+grep -q '"events_per_sec": 0[,}]' /tmp/scale_smoke.json \
+  && { echo "scale smoke: degenerate zero events/sec point"; exit 1; }
+rates=$(grep -o '"events_per_sec": [0-9]*' /tmp/scale_smoke.json | awk '{print $2}')
+prev=""
+for r in $rates; do
+  if [ -n "$prev" ] && [ "$r" -ge "$prev" ]; then
+    echo "scale smoke: events/sec not monotone decreasing with ranks ($rates)"
+    exit 1
+  fi
+  prev=$r
 done
 
 echo "== zero-fault baseline guard (byte-identical figures)"

@@ -1,0 +1,153 @@
+//! Simulator-throughput sweep: how fast the DES core itself executes as
+//! the rank count grows. Everything the protocol suites measure rides on
+//! `Sim`'s event queue, so a queue regression is a regression everywhere;
+//! this sweep makes it as visible as a protocol regression. Emits
+//! `BENCH_scale.json` to stdout.
+//!
+//! ```sh
+//! cargo run --release -p pm2-bench --bin scale_sweep > BENCH_scale.json
+//! PM2_SCALE_SMOKE=1 cargo run --release -p pm2-bench --bin scale_sweep  # CI
+//! ```
+//!
+//! Each point builds a Pioman cluster of N single-socket dual-core nodes
+//! and runs a dissemination barrier, a neighbour-ring eager exchange and
+//! a closing barrier — O(N log N + N·iters) messages, so the 1024-rank
+//! point stays tractable while still forcing the event queue through the
+//! schedule → fire → complete hot path millions of times.
+
+use pm2_fabric::FaultPlan;
+use pm2_marcel::MarcelConfig;
+use pm2_mpi::{Cluster, ClusterConfig, Comm};
+use pm2_newmad::{EngineKind, Tag};
+use pm2_sim::SimTime;
+use std::time::Instant;
+
+/// A scaled-down node so 1024 Marcel instances stay cheap: one socket,
+/// two cores (one app thread + room for stolen progression).
+fn scale_testbed(ranks: usize) -> ClusterConfig {
+    let mut cfg = ClusterConfig::paper_testbed(EngineKind::Pioman);
+    cfg.nodes = ranks;
+    cfg.sockets_per_node = 1;
+    cfg.cores_per_socket = 2;
+    cfg.fabric.fault = FaultPlan::default();
+    cfg.marcel = MarcelConfig::default();
+    cfg
+}
+
+struct Point {
+    ranks: usize,
+    iters: usize,
+    events: u64,
+    msgs: u64,
+    wall_ms: f64,
+    virt_ms: f64,
+    events_per_sec: f64,
+    wall_per_virt: f64,
+    end_ns: u64,
+}
+
+/// Ring iterations per point, scaled inversely with the rank count so
+/// every point executes enough events (~10^5) to amortize cluster
+/// warm-up: a 16-rank point over 4 iterations finishes in ~2 ms, which
+/// mostly measures allocator warm-up and scheduler noise, not the
+/// steady-state event loop.
+fn iters_for(ranks: usize) -> usize {
+    (6400 / ranks).clamp(4, 400)
+}
+
+/// Best of `reps` runs of [`run_point_once`] by wall time: the small
+/// points finish in a couple of milliseconds, so a single sample is
+/// mostly scheduler noise.
+fn run_point(ranks: usize, iters: usize, reps: usize) -> Point {
+    (0..reps)
+        .map(|_| run_point_once(ranks, iters))
+        .min_by(|a, b| a.wall_ms.total_cmp(&b.wall_ms))
+        .expect("at least one rep")
+}
+
+/// Barrier + `iters` rounds of a neighbour-ring eager exchange + barrier.
+fn run_point_once(ranks: usize, iters: usize) -> Point {
+    let cluster = Cluster::build(scale_testbed(ranks));
+    let world = Comm::world(&cluster);
+    for (rank, comm) in world.into_iter().enumerate() {
+        cluster.spawn_on(rank, format!("rank{rank}"), move |ctx| async move {
+            let n = comm.size();
+            comm.barrier(&ctx).await;
+            let right = (rank + 1) % n;
+            let left = (rank + n - 1) % n;
+            for it in 0..iters {
+                let tag = Tag(1000 + it as u64);
+                let h = comm.isend(&ctx, right, tag, vec![it as u8; 64]).await;
+                let got = comm.recv(&ctx, Some(left), tag).await;
+                assert_eq!(got.len(), 64);
+                comm.wait_send(&h, &ctx).await;
+            }
+            comm.barrier(&ctx).await;
+        });
+    }
+    let wall_start = Instant::now();
+    let end = match cluster.sim().run_bounded(SimTime::from_secs(300)) {
+        Ok(end) => end,
+        Err(_) => panic!("{ranks}-rank sweep point wedged"),
+    };
+    let wall = wall_start.elapsed();
+    let events = cluster.sim().executed_events();
+    let msgs: u64 = (0..ranks)
+        .map(|r| cluster.session(r).counters().sends)
+        .sum();
+    let wall_s = wall.as_secs_f64();
+    let virt_s = end.as_nanos() as f64 / 1e9;
+    Point {
+        ranks,
+        iters,
+        events,
+        msgs,
+        wall_ms: wall_s * 1e3,
+        virt_ms: virt_s * 1e3,
+        events_per_sec: events as f64 / wall_s.max(1e-9),
+        wall_per_virt: wall_s / virt_s.max(1e-12),
+        end_ns: end.as_nanos(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("PM2_SCALE_SMOKE").is_ok();
+    let (rank_points, reps): (Vec<usize>, usize) = if smoke {
+        (vec![16, 256], 1)
+    } else {
+        (vec![16, 64, 256, 1024], 5)
+    };
+    let fixed_iters: Option<usize> = std::env::var("PM2_SCALE_ITERS")
+        .ok()
+        .map(|v| v.parse().expect("PM2_SCALE_ITERS must be a count"));
+    let mut out = String::from("{\n  \"schema\": \"pm2-scale/v1\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"reps\": {reps},\n"));
+    out.push_str("  \"points\": [\n");
+    for (i, &ranks) in rank_points.iter().enumerate() {
+        let iters = fixed_iters.unwrap_or(if smoke { 2 } else { iters_for(ranks) });
+        eprintln!("sweeping {ranks} ranks ({iters} ring iters)...");
+        let p = run_point(ranks, iters, reps);
+        out.push_str(&format!(
+            "    {{\"ranks\": {}, \"ring_iters\": {}, \"events\": {}, \
+             \"msgs\": {}, \"events_per_sec\": {:.0}, \"wall_ms\": {:.3}, \
+             \"virt_ms\": {:.3}, \"wall_per_virt\": {:.4}, \"end_ns\": {}}}",
+            p.ranks,
+            p.iters,
+            p.events,
+            p.msgs,
+            p.events_per_sec,
+            p.wall_ms,
+            p.virt_ms,
+            p.wall_per_virt,
+            p.end_ns
+        ));
+        out.push_str(if i + 1 < rank_points.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    print!("{out}");
+}

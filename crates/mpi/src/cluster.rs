@@ -273,6 +273,7 @@ impl Cluster {
                     ("eager_frames_tx".into(), c.eager_frames_tx as f64),
                     ("eager_msgs_tx".into(), c.eager_msgs_tx as f64),
                     ("unexpected".into(), c.unexpected as f64),
+                    ("match_probes".into(), c.match_probes as f64),
                     ("rdv_started".into(), c.rdv_started as f64),
                     ("rdv_completed".into(), c.rdv_completed as f64),
                     ("shm_msgs".into(), c.shm_msgs as f64),

@@ -155,4 +155,9 @@ pub struct NmCounters {
     pub rma_applied: u64,
     /// RMA completion frames (acks and get replies) queued by the target.
     pub rma_acks_tx: u64,
+    /// Matching-queue records examined across all posted/unexpected
+    /// lookups (arena bucket fronts plus lazily skipped stale twins).
+    /// Stays O(messages) since the arena refactor; the old linear scans
+    /// made this quadratic under unexpected backlogs.
+    pub match_probes: u64,
 }

@@ -30,9 +30,8 @@ impl Session {
     /// DMA'd straight to the application buffer) or park as unexpected.
     pub(crate) fn deliver_eager(&self, src: NodeId, part: EagerPart) -> SimDuration {
         let mut st = self.inner.state.borrow_mut();
-        match st.match_posted(src, part.tag) {
-            Some(i) => {
-                let posted = st.posted.remove(i).expect("index in bounds");
+        match st.take_posted(src, part.tag) {
+            Some(posted) => {
                 st.note_delivery(src, part.tag, part.seq);
                 let wire = crate::msg::EAGER_HEADER_BYTES + part.data.len();
                 self.credit_freed(&mut st, src, wire);
@@ -53,8 +52,7 @@ impl Session {
                 SimDuration::ZERO
             }
             None => {
-                st.counters.unexpected += 1;
-                st.unexpected.push(UnexpectedMsg {
+                st.park_unexpected(UnexpectedMsg {
                     src,
                     tag: part.tag,
                     seq: part.seq,
@@ -69,9 +67,8 @@ impl Session {
     pub(crate) fn handle_shm(&self, msg: ShmMsg) -> SimDuration {
         let own = self.inner.node;
         let mut st = self.inner.state.borrow_mut();
-        match st.match_posted(own, msg.tag) {
-            Some(i) => {
-                let posted = st.posted.remove(i).expect("index in bounds");
+        match st.take_posted(own, msg.tag) {
+            Some(posted) => {
                 st.note_delivery(own, msg.tag, msg.seq);
                 drop(st);
                 let cost = self.inner.shm.copy_cost(msg.data.len());
@@ -90,8 +87,7 @@ impl Session {
                 cost
             }
             None => {
-                st.counters.unexpected += 1;
-                st.unexpected.push(UnexpectedMsg {
+                st.park_unexpected(UnexpectedMsg {
                     src: own,
                     tag: msg.tag,
                     seq: msg.seq,

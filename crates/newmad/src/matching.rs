@@ -4,6 +4,28 @@
 //! Extracted from the session monolith: this module owns [`NmState`] (the
 //! data every protocol path mutates) and the pure matching helpers; the
 //! protocol logic itself lives in `eager`, `rendezvous` and `progress`.
+//!
+//! # Arena-indexed matching
+//!
+//! The posted-receive and unexpected pools used to be flat `Vec`s scanned
+//! front to back on every match — O(pool) per lookup, quadratic under the
+//! incast scenarios where hundreds of messages arrive before their
+//! receives are posted. Both are now arena-indexed: entries live in a
+//! [`Slab`] and per-`(source, tag)` bucket queues hold `(index, stamp)`
+//! pairs in arrival order, so a lookup touches only its own bucket's
+//! front. A global monotonic stamp per entry preserves the *exact* former
+//! scan semantics:
+//!
+//! * [`PostedTable`]: a posted receive sits in exactly one queue —
+//!   directed `(src, tag)` or wildcard `tag`. A match compares the two
+//!   candidate fronts by stamp, which is precisely "first posted receive
+//!   matching (src, tag)" of the old linear scan.
+//! * [`ArrivalPool`]: an unexpected message must be findable both by a
+//!   directed receive and by a wildcard one, so each entry is indexed in
+//!   *two* queues. Consuming it through one index leaves a stale twin in
+//!   the other; twins are skipped (stamp mismatch against the arena) and
+//!   discarded lazily, so total probe work stays O(entries), each entry
+//!   paying for its own two index records.
 
 use crate::config::NmCounters;
 use crate::reliability::RelPending;
@@ -11,9 +33,10 @@ use crate::rendezvous::{RdvRecv, RdvSend};
 use crate::rma::{RmaChunks, RmaOp};
 use crate::strategy::{Pack, PackKind};
 use pioman::PiomReq;
+use pm2_sim::Slab;
 use pm2_topo::NodeId;
 use std::cell::RefCell;
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 
 use crate::msg::Tag;
@@ -43,6 +66,237 @@ pub(crate) struct UnexpectedRts {
     pub(crate) seq: u32,
     pub(crate) len: usize,
     pub(crate) rdv: u64,
+}
+
+/// A multiply-rotate hasher for the small integer keys of the matching
+/// maps ([`NodeId`], [`Tag`]). SipHash's DoS resistance buys nothing
+/// against a deterministic simulator and costs real time on the eager
+/// hot path, where nearly every queue is one hash lookup deep.
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl FxHasher {
+    fn add(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+type FxMap<K, V> = HashMap<K, V, std::hash::BuildHasherDefault<FxHasher>>;
+
+/// Once a bucket map holds this many entries *and* outnumbers the live
+/// arena fourfold, emptied queues are swept. Below the floor they are
+/// kept so a ping-pong on one tag reuses its queue's capacity instead of
+/// re-allocating every round.
+const MAP_SWEEP_FLOOR: usize = 64;
+
+fn sweep_if_bloated<K, V>(map: &mut FxMap<K, VecDeque<V>>, live: usize) {
+    if map.len() > MAP_SWEEP_FLOOR && map.len() > 4 * live {
+        map.retain(|_, q| !q.is_empty());
+    }
+}
+
+/// Posted receives, arena-backed, matched in posting order.
+///
+/// Directed posts queue under `(src, tag)`, wildcard posts under `tag`;
+/// an incoming `(src, tag)` message takes the older of the two fronts by
+/// stamp. Entries are only ever removed through their own queue's front,
+/// so no tombstones arise here. Emptied queues stay in their map (their
+/// capacity is reused by the next post on that key) until the amortized
+/// [`sweep_if_bloated`] pass reclaims them.
+pub(crate) struct PostedTable<T> {
+    arena: Slab<(u64, T)>,
+    by_src: FxMap<(NodeId, Tag), VecDeque<(usize, u64)>>,
+    any_src: FxMap<Tag, VecDeque<(usize, u64)>>,
+    next_stamp: u64,
+}
+
+impl<T> PostedTable<T> {
+    pub(crate) fn new() -> Self {
+        PostedTable {
+            arena: Slab::new(),
+            by_src: FxMap::default(),
+            any_src: FxMap::default(),
+            next_stamp: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.arena.is_empty()
+    }
+
+    pub(crate) fn push(&mut self, src: Option<NodeId>, tag: Tag, value: T) {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        let idx = self.arena.insert((stamp, value));
+        match src {
+            Some(s) => self.by_src.entry((s, tag)).or_default(),
+            None => self.any_src.entry(tag).or_default(),
+        }
+        .push_back((idx, stamp));
+    }
+
+    /// Takes the first (in posting order) entry matching a message from
+    /// `src` with `tag`; returns it plus the probe count (bucket fronts
+    /// examined, ≥ 1 per call).
+    pub(crate) fn take(&mut self, src: NodeId, tag: Tag) -> (Option<T>, u64) {
+        let mut probes = 0u64;
+        let directed = self
+            .by_src
+            .get(&(src, tag))
+            .and_then(|q| q.front())
+            .copied();
+        probes += directed.is_some() as u64;
+        let wildcard = self.any_src.get(&tag).and_then(|q| q.front()).copied();
+        probes += wildcard.is_some() as u64;
+        let pick = match (directed, wildcard) {
+            (Some((di, ds)), Some((_, ws))) if ds < ws => Some((true, di)),
+            (Some(_), Some((wi, _))) => Some((false, wi)),
+            (Some((di, _)), None) => Some((true, di)),
+            (None, Some((wi, _))) => Some((false, wi)),
+            (None, None) => None,
+        };
+        let Some((from_directed, idx)) = pick else {
+            return (None, probes.max(1));
+        };
+        if from_directed {
+            self.by_src
+                .get_mut(&(src, tag))
+                .expect("front just seen")
+                .pop_front();
+        } else {
+            self.any_src
+                .get_mut(&tag)
+                .expect("front just seen")
+                .pop_front();
+        }
+        let (_, value) = self.arena.remove(idx).expect("queue front in arena");
+        sweep_if_bloated(&mut self.by_src, self.arena.len());
+        sweep_if_bloated(&mut self.any_src, self.arena.len());
+        (Some(value), probes.max(1))
+    }
+}
+
+impl<T> Default for PostedTable<T> {
+    fn default() -> Self {
+        PostedTable::new()
+    }
+}
+
+/// Arrived-before-matched entries (unexpected messages, parked RTS),
+/// arena-backed, consumed in arrival order.
+///
+/// Each entry is indexed twice — under `(src, tag)` for directed
+/// receives and under `tag` for wildcards — and validated by stamp on
+/// access, so the twin left behind by a removal is skipped lazily.
+pub(crate) struct ArrivalPool<T> {
+    arena: Slab<(u64, T)>,
+    by_src: FxMap<(NodeId, Tag), VecDeque<(usize, u64)>>,
+    by_tag: FxMap<Tag, VecDeque<(usize, u64)>>,
+    next_stamp: u64,
+}
+
+impl<T> ArrivalPool<T> {
+    pub(crate) fn new() -> Self {
+        ArrivalPool {
+            arena: Slab::new(),
+            by_src: FxMap::default(),
+            by_tag: FxMap::default(),
+            next_stamp: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    pub(crate) fn push(&mut self, src: NodeId, tag: Tag, value: T) {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        let idx = self.arena.insert((stamp, value));
+        self.by_src
+            .entry((src, tag))
+            .or_default()
+            .push_back((idx, stamp));
+        self.by_tag.entry(tag).or_default().push_back((idx, stamp));
+    }
+
+    /// Pops stale twins off the selected queue's front until a live entry
+    /// (or the end) is reached; returns its arena index.
+    fn front_live(&mut self, src: Option<NodeId>, tag: Tag, probes: &mut u64) -> Option<usize> {
+        let q = match src {
+            Some(s) => self.by_src.get_mut(&(s, tag)),
+            None => self.by_tag.get_mut(&tag),
+        }?;
+        let arena = &self.arena;
+        let found = loop {
+            let Some(&(idx, stamp)) = q.front() else {
+                break None;
+            };
+            *probes += 1;
+            if arena.get(idx).is_some_and(|&(live, _)| live == stamp) {
+                break Some(idx);
+            }
+            q.pop_front(); // stale twin: consumed through the other index
+        };
+        found
+    }
+
+    /// Takes the oldest entry matching `(src, tag)` (`src == None` is the
+    /// wildcard); returns it plus the probe count (index records
+    /// examined, ≥ 1 per call).
+    pub(crate) fn take(&mut self, src: Option<NodeId>, tag: Tag) -> (Option<T>, u64) {
+        let mut probes = 0u64;
+        let found = self.front_live(src, tag, &mut probes);
+        let value = found.map(|idx| {
+            match src {
+                Some(s) => self.by_src.get_mut(&(s, tag)),
+                None => self.by_tag.get_mut(&tag),
+            }
+            .expect("live front just seen")
+            .pop_front();
+            let value = self.arena.remove(idx).expect("validated live").1;
+            sweep_if_bloated(&mut self.by_src, self.arena.len());
+            sweep_if_bloated(&mut self.by_tag, self.arena.len());
+            value
+        });
+        (value, probes.max(1))
+    }
+
+    /// Non-destructive variant of [`ArrivalPool::take`] (still prunes the
+    /// stale twins it walks over).
+    pub(crate) fn peek(&mut self, src: Option<NodeId>, tag: Tag) -> (Option<&T>, u64) {
+        let mut probes = 0u64;
+        let found = self.front_live(src, tag, &mut probes);
+        let value = found.map(|idx| &self.arena.get(idx).expect("validated live").1);
+        (value, probes.max(1))
+    }
+}
+
+impl<T> Default for ArrivalPool<T> {
+    fn default() -> Self {
+        ArrivalPool::new()
+    }
 }
 
 /// Duplicate-suppression window over one peer's envelope sequence stream.
@@ -80,9 +334,12 @@ pub(crate) struct NmState {
     pub(crate) shm_packs: VecDeque<Pack>,
     /// Global enqueue stamp shared by both lists (see [`Pack::seq`]).
     pub(crate) pack_seq: u64,
-    pub(crate) posted: VecDeque<PostedRecv>,
-    pub(crate) unexpected: Vec<UnexpectedMsg>,
-    pub(crate) unexpected_rts: Vec<UnexpectedRts>,
+    pub(crate) posted: PostedTable<PostedRecv>,
+    pub(crate) unexpected: ArrivalPool<UnexpectedMsg>,
+    pub(crate) unexpected_rts: ArrivalPool<UnexpectedRts>,
+    /// `(src, rdv)` of every parked RTS — O(1) duplicate suppression
+    /// (the pool itself is keyed by `(src, tag)`, not rdv id).
+    pub(crate) parked_rts: HashSet<(NodeId, u64)>,
     pub(crate) rdv_sends: HashMap<u64, RdvSend>,
     pub(crate) rdv_recvs: HashMap<(NodeId, u64), RdvRecv>,
     /// CTS frames that matched before their RdvSend found (never in-order
@@ -126,9 +383,10 @@ impl NmState {
             net_packs: VecDeque::new(),
             shm_packs: VecDeque::new(),
             pack_seq: 0,
-            posted: VecDeque::new(),
-            unexpected: Vec::new(),
-            unexpected_rts: Vec::new(),
+            posted: PostedTable::new(),
+            unexpected: ArrivalPool::new(),
+            unexpected_rts: ArrivalPool::new(),
+            parked_rts: HashSet::new(),
             rdv_sends: HashMap::new(),
             rdv_recvs: HashMap::new(),
             send_seq: HashMap::new(),
@@ -165,11 +423,78 @@ impl NmState {
         }
     }
 
-    /// Index of the first posted receive matching `(src, tag)`.
-    pub(crate) fn match_posted(&self, src: NodeId, tag: Tag) -> Option<usize> {
-        self.posted
-            .iter()
-            .position(|p| p.tag == tag && p.src.is_none_or(|s| s == src))
+    /// Registers a posted receive for matching.
+    pub(crate) fn post_recv(&mut self, rec: PostedRecv) {
+        let (src, tag) = (rec.src, rec.tag);
+        self.posted.push(src, tag, rec);
+    }
+
+    /// Takes the first posted receive matching a message from `(src,
+    /// tag)`, exactly as the former front-to-back scan would have.
+    pub(crate) fn take_posted(&mut self, src: NodeId, tag: Tag) -> Option<PostedRecv> {
+        let (rec, probes) = self.posted.take(src, tag);
+        self.counters.match_probes += probes;
+        rec
+    }
+
+    /// Parks an eager message that arrived before its receive.
+    pub(crate) fn park_unexpected(&mut self, msg: UnexpectedMsg) {
+        self.counters.unexpected += 1;
+        let (src, tag) = (msg.src, msg.tag);
+        self.unexpected.push(src, tag, msg);
+    }
+
+    /// Takes the oldest unexpected message matching `(src, tag)`.
+    pub(crate) fn take_unexpected(
+        &mut self,
+        src: Option<NodeId>,
+        tag: Tag,
+    ) -> Option<UnexpectedMsg> {
+        let (msg, probes) = self.unexpected.take(src, tag);
+        self.counters.match_probes += probes;
+        msg
+    }
+
+    /// Payload length of the oldest matching unexpected message, without
+    /// consuming it.
+    pub(crate) fn probe_unexpected(&mut self, src: Option<NodeId>, tag: Tag) -> Option<usize> {
+        let (msg, probes) = self.unexpected.peek(src, tag);
+        let len = msg.map(|m| m.data.len());
+        self.counters.match_probes += probes;
+        len
+    }
+
+    /// Parks a rendezvous announcement with no posted receive yet.
+    pub(crate) fn park_rts(&mut self, rts: UnexpectedRts) {
+        self.counters.unexpected += 1;
+        self.parked_rts.insert((rts.src, rts.rdv));
+        let (src, tag) = (rts.src, rts.tag);
+        self.unexpected_rts.push(src, tag, rts);
+    }
+
+    /// True if an RTS with this `(src, rdv)` identity is already parked
+    /// (duplicate-handshake suppression).
+    pub(crate) fn rts_parked(&self, src: NodeId, rdv: u64) -> bool {
+        self.parked_rts.contains(&(src, rdv))
+    }
+
+    /// Takes the oldest parked RTS matching `(src, tag)`.
+    pub(crate) fn take_rts(&mut self, src: Option<NodeId>, tag: Tag) -> Option<UnexpectedRts> {
+        let (rts, probes) = self.unexpected_rts.take(src, tag);
+        self.counters.match_probes += probes;
+        if let Some(u) = &rts {
+            self.parked_rts.remove(&(u.src, u.rdv));
+        }
+        rts
+    }
+
+    /// Announced length of the oldest matching parked RTS, without
+    /// consuming it.
+    pub(crate) fn probe_rts(&mut self, src: Option<NodeId>, tag: Tag) -> Option<usize> {
+        let (rts, probes) = self.unexpected_rts.peek(src, tag);
+        let len = rts.map(|u| u.len);
+        self.counters.match_probes += probes;
+        len
     }
 
     /// Tracks delivery order per flow (detects reordering introduced by
@@ -181,5 +506,193 @@ impl NmState {
         } else {
             *last = seq;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nid(n: usize) -> NodeId {
+        NodeId(n)
+    }
+
+    /// Reference model of the former linear scans, for differential
+    /// checks: a Vec in insertion order.
+    struct NaivePool {
+        entries: Vec<(Option<NodeId>, Tag, u32)>,
+    }
+
+    impl NaivePool {
+        fn matches(e: &(Option<NodeId>, Tag, u32), src: Option<NodeId>, tag: Tag) -> bool {
+            // Entry-side wildcard (posted table) and query-side wildcard
+            // (arrival pool) both reduce to "None matches anything".
+            e.1 == tag && (e.0.is_none() || src.is_none() || e.0 == src)
+        }
+        fn take(&mut self, src: Option<NodeId>, tag: Tag) -> Option<u32> {
+            let pos = self
+                .entries
+                .iter()
+                .position(|e| Self::matches(e, src, tag))?;
+            Some(self.entries.remove(pos).2)
+        }
+    }
+
+    #[test]
+    fn posted_table_matches_in_posting_order_across_wildcards() {
+        let mut t = PostedTable::new();
+        t.push(Some(nid(1)), Tag(7), 100u32); // directed at src 1
+        t.push(None, Tag(7), 101); // wildcard, posted later
+        t.push(Some(nid(2)), Tag(7), 102);
+        // Message from src 2: the wildcard (stamp 1) predates the
+        // directed post for src 2 (stamp 2) — old scan took the wildcard.
+        assert_eq!(t.take(nid(2), Tag(7)).0, Some(101));
+        assert_eq!(t.take(nid(2), Tag(7)).0, Some(102));
+        assert_eq!(t.take(nid(2), Tag(7)).0, None);
+        assert_eq!(t.take(nid(1), Tag(7)).0, Some(100));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn posted_table_differential_vs_naive_scan() {
+        let mut rng = pm2_sim::rng::Xoshiro256::new(7);
+        let mut table = PostedTable::new();
+        let mut naive = NaivePool {
+            entries: Vec::new(),
+        };
+        let mut next = 0u32;
+        for _ in 0..20_000 {
+            if rng.gen_bool(0.55) {
+                let src = if rng.gen_bool(0.3) {
+                    None
+                } else {
+                    Some(nid(rng.gen_below(4) as usize))
+                };
+                let tag = Tag(rng.gen_below(3));
+                table.push(src, tag, next);
+                naive.entries.push((src, tag, next));
+                next += 1;
+            } else {
+                let src = nid(rng.gen_below(4) as usize);
+                let tag = Tag(rng.gen_below(3));
+                assert_eq!(table.take(src, tag).0, naive.take(Some(src), tag));
+            }
+        }
+    }
+
+    #[test]
+    fn arrival_pool_differential_vs_naive_scan() {
+        let mut rng = pm2_sim::rng::Xoshiro256::new(11);
+        let mut pool = ArrivalPool::new();
+        let mut naive = NaivePool {
+            entries: Vec::new(),
+        };
+        let mut next = 0u32;
+        for _ in 0..20_000 {
+            if rng.gen_bool(0.55) {
+                let src = nid(rng.gen_below(4) as usize);
+                let tag = Tag(rng.gen_below(3));
+                pool.push(src, tag, next);
+                naive.entries.push((Some(src), tag, next));
+                next += 1;
+            } else {
+                let src = if rng.gen_bool(0.4) {
+                    None
+                } else {
+                    Some(nid(rng.gen_below(4) as usize))
+                };
+                let tag = Tag(rng.gen_below(3));
+                if rng.gen_bool(0.2) {
+                    // Probe must see what a take would take.
+                    let want = naive
+                        .entries
+                        .iter()
+                        .find(|e| NaivePool::matches(e, src, tag))
+                        .map(|e| e.2);
+                    assert_eq!(pool.peek(src, tag).0.copied(), want);
+                } else {
+                    assert_eq!(pool.take(src, tag).0, naive.take(src, tag));
+                }
+            }
+            assert_eq!(pool.len(), naive.entries.len());
+        }
+    }
+
+    #[test]
+    fn unexpected_backlog_drains_with_linear_probe_work() {
+        // Regression (pre-fix: every take scanned the whole Vec, so an
+        // N-deep backlog cost Θ(N²) probe work to drain — this asserts
+        // the arena keeps it O(N), counter-verified through NmState).
+        const N: u64 = 2000;
+        let mut st = NmState::new(1);
+        for i in 0..N {
+            st.park_unexpected(UnexpectedMsg {
+                src: nid((i % 7) as usize),
+                tag: Tag(i % 5),
+                seq: i as u32,
+                data: vec![0u8; 8],
+            });
+        }
+        assert_eq!(st.counters.match_probes, 0, "parking is probe-free");
+        let mut drained = 0u64;
+        for i in 0..N {
+            // Alternate directed and wildcard receives, like a mixed
+            // incast drain.
+            let src = if i % 3 == 0 {
+                None
+            } else {
+                Some(nid((i % 7) as usize))
+            };
+            if st.take_unexpected(src, Tag(i % 5)).is_some() {
+                drained += 1;
+            }
+        }
+        // Drain stragglers via pure wildcards across all tags.
+        for tag in 0..5 {
+            while st.take_unexpected(None, Tag(tag)).is_some() {
+                drained += 1;
+            }
+        }
+        assert_eq!(drained, N, "every parked message is reachable");
+        assert_eq!(st.unexpected.len(), 0);
+        let probes = st.counters.match_probes;
+        assert!(
+            probes <= 6 * N,
+            "probe work {probes} for backlog {N} is not O(N)"
+        );
+    }
+
+    #[test]
+    fn rts_parking_tracks_duplicate_identity() {
+        let mut st = NmState::new(1);
+        let rts = |rdv: u64| UnexpectedRts {
+            src: nid(3),
+            tag: Tag(9),
+            seq: 0,
+            len: 1 << 20,
+            rdv,
+        };
+        st.park_rts(rts(41));
+        st.park_rts(rts(42));
+        assert!(st.rts_parked(nid(3), 41));
+        assert!(!st.rts_parked(nid(3), 40));
+        assert_eq!(st.probe_rts(Some(nid(3)), Tag(9)), Some(1 << 20));
+        let got = st.take_rts(None, Tag(9)).expect("oldest parked RTS");
+        assert_eq!(got.rdv, 41);
+        assert!(!st.rts_parked(nid(3), 41), "identity cleared on take");
+        assert!(st.rts_parked(nid(3), 42));
+        assert_eq!(st.unexpected_rts.len(), 1);
+    }
+
+    #[test]
+    fn seq_window_suppresses_duplicates() {
+        let mut w = SeqWindow::default();
+        assert!(w.insert(0));
+        assert!(w.insert(2));
+        assert!(!w.insert(0));
+        assert!(!w.insert(2));
+        assert!(w.insert(1));
+        assert!(!w.insert(1));
+        assert!(w.insert(3));
     }
 }

@@ -47,16 +47,11 @@ impl Session {
         let mut st = self.inner.state.borrow_mut();
         // A duplicate RTS (late-delivered copy of a handshake we already
         // answered or parked) must not spawn a second transfer.
-        if st.rdv_recvs.contains_key(&(src, rdv))
-            || st
-                .unexpected_rts
-                .iter()
-                .any(|u| u.src == src && u.rdv == rdv)
-        {
+        if st.rdv_recvs.contains_key(&(src, rdv)) || st.rts_parked(src, rdv) {
             st.counters.dup_suppressed += 1;
             return SimDuration::ZERO;
         }
-        let matched = st.match_posted(src, tag);
+        let matched = st.take_posted(src, tag);
         self.inner.sim.obs().emit(
             self.inner.sim.now(),
             Some(self.inner.node.0),
@@ -67,8 +62,7 @@ impl Session {
             },
         );
         match matched {
-            Some(i) => {
-                let posted = st.posted.remove(i).expect("index in bounds");
+            Some(posted) => {
                 let req_id = posted.req.id();
                 st.note_delivery(src, tag, seq);
                 st.rdv_recvs.insert(
@@ -91,8 +85,7 @@ impl Session {
                 self.inner.registry.register(tag.0 | 1 << 63, len)
             }
             None => {
-                st.counters.unexpected += 1;
-                st.unexpected_rts.push(UnexpectedRts {
+                st.park_rts(UnexpectedRts {
                     src,
                     tag,
                     seq,

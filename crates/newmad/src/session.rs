@@ -395,12 +395,7 @@ impl Session {
         let copy_cost = {
             let mut st = self.inner.state.borrow_mut();
             st.counters.recvs += 1;
-            if let Some(pos) = st
-                .unexpected
-                .iter()
-                .position(|u| u.tag == tag && src.is_none_or(|s| s == u.src))
-            {
-                let u = st.unexpected.remove(pos);
+            if let Some(u) = st.take_unexpected(src, tag) {
                 st.note_delivery(u.src, tag, u.seq);
                 let wire = crate::msg::EAGER_HEADER_BYTES + u.data.len();
                 let src_node = u.src;
@@ -418,13 +413,8 @@ impl Session {
                     },
                 );
                 Some(cost)
-            } else if let Some(pos) = st
-                .unexpected_rts
-                .iter()
-                .position(|u| u.tag == tag && src.is_none_or(|s| s == u.src))
-            {
+            } else if let Some(u) = st.take_rts(src, tag) {
                 // A rendezvous was waiting for us: answer it.
-                let u = st.unexpected_rts.remove(pos);
                 let reg = self.inner.registry.register(tag.0 | 1 << 63, u.len);
                 st.rdv_recvs.insert(
                     (u.src, u.rdv),
@@ -442,7 +432,7 @@ impl Session {
                     .note_req_stage(req.id(), pm2_marcel::CommStage::Handshake);
                 Some(reg)
             } else {
-                st.posted.push_back(PostedRecv {
+                st.post_recv(PostedRecv {
                     src,
                     tag,
                     req: req.clone(),
@@ -560,17 +550,9 @@ impl Session {
     /// that has already arrived (eager) or been announced (rendezvous
     /// RTS), without consuming it.
     pub fn iprobe(&self, src: Option<NodeId>, tag: Tag) -> Option<usize> {
-        let st = self.inner.state.borrow();
-        st.unexpected
-            .iter()
-            .find(|u| u.tag == tag && src.is_none_or(|s| s == u.src))
-            .map(|u| u.data.len())
-            .or_else(|| {
-                st.unexpected_rts
-                    .iter()
-                    .find(|u| u.tag == tag && src.is_none_or(|s| s == u.src))
-                    .map(|u| u.len)
-            })
+        let mut st = self.inner.state.borrow_mut();
+        st.probe_unexpected(src, tag)
+            .or_else(|| st.probe_rts(src, tag))
     }
 
     /// Drives the engine until every queued pack has been handed to the

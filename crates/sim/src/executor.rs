@@ -39,8 +39,10 @@ impl WakeList {
         self.pending.lock().expect("wake list poisoned").push(id);
     }
 
-    pub(crate) fn drain(&self) -> Vec<usize> {
-        std::mem::take(&mut *self.pending.lock().expect("wake list poisoned"))
+    /// Moves all pending wake-ups into `out`, preserving post order and
+    /// keeping both buffers' capacity (no steady-state allocation).
+    pub(crate) fn drain_into(&self, out: &mut Vec<usize>) {
+        out.append(&mut self.pending.lock().expect("wake list poisoned"));
     }
 
     #[cfg(test)]
@@ -84,7 +86,9 @@ mod tests {
         w1.wake_by_ref();
         w2.wake();
         w1.wake();
-        assert_eq!(wl.drain(), vec![3, 5, 3]);
+        let mut out = vec![9];
+        wl.drain_into(&mut out);
+        assert_eq!(out, vec![9, 3, 5, 3], "appends in post order");
         assert!(wl.is_empty());
     }
 }

@@ -8,7 +8,9 @@
 //! engines are built:
 //!
 //! * a virtual clock in nanoseconds ([`SimTime`], [`SimDuration`]);
-//! * a stable event heap (ties broken by insertion sequence, so runs are
+//! * a hierarchical calendar event queue with slab-recycled, inline-stored
+//!   events — allocation-free on the steady-state hot path — whose pops
+//!   remain stable (ties broken by insertion sequence, so runs are
 //!   bit-for-bit reproducible);
 //! * a single-threaded async executor: simulated activities are ordinary
 //!   `async` blocks that suspend on virtual-time futures ([`Sim::sleep`],
@@ -38,6 +40,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 mod channel;
+mod equeue;
 mod executor;
 pub mod obs;
 pub mod rng;

@@ -1,5 +1,6 @@
-//! The simulation facade: clock, event heap and run loop.
+//! The simulation facade: clock, calendar event queue and run loop.
 
+use crate::equeue::{Due, EventAction, EventQueue};
 use crate::executor::{waker_for, TaskId, TaskSlot, WakeList};
 use crate::obs::Obs;
 use crate::rng::Xoshiro256;
@@ -8,11 +9,9 @@ use crate::trace::Trace;
 use crate::verify::Verify;
 use crate::{SimDuration, SimTime};
 use std::cell::{Cell, RefCell};
-use std::cmp::Ordering as CmpOrdering;
-use std::collections::BinaryHeap;
 use std::future::Future;
 use std::pin::Pin;
-use std::rc::Rc;
+use std::rc::{Rc, Weak};
 use std::sync::Arc;
 use std::task::{Context, Poll};
 
@@ -28,10 +27,12 @@ pub struct Sim {
 struct Inner {
     clock: Cell<SimTime>,
     seq: Cell<u64>,
-    events: RefCell<BinaryHeap<EventEntry>>,
+    events: RefCell<EventQueue>,
     tasks: RefCell<Slab<TaskSlot>>,
     wakes: Arc<WakeList>,
     spawned: RefCell<Vec<usize>>,
+    /// Reusable microtask batch buffer (see [`Sim::drain_microtasks`]).
+    drain_scratch: Cell<Vec<usize>>,
     rng: RefCell<Xoshiro256>,
     trace: Trace,
     obs: Obs,
@@ -40,45 +41,37 @@ struct Inner {
     polls: Cell<u64>,
 }
 
-struct EventEntry {
-    at: SimTime,
-    seq: u64,
-    cancelled: Rc<Cell<bool>>,
-    action: Box<dyn FnOnce(&Sim)>,
-}
-
-impl PartialEq for EventEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for EventEntry {}
-impl PartialOrd for EventEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for EventEntry {
-    fn cmp(&self, other: &Self) -> CmpOrdering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first. seq breaks ties deterministically in insertion order.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
 /// Cancellation handle for a scheduled event (see [`Sim::schedule_in`]).
+///
+/// Cancellation reclaims the event slot *eagerly*: the closure and its
+/// captures are dropped at `cancel()` time, not when the deadline would
+/// have popped — a retransmit timer cancelled by an ack costs 24 bytes of
+/// tombstone key until the next lazy purge, nothing more.
 #[derive(Clone, Debug)]
 pub struct TimerHandle {
-    cancelled: Rc<Cell<bool>>,
+    queue: Weak<Inner>,
+    slot: u32,
+    gen: u32,
+    cancelled: Cell<bool>,
 }
 
 impl TimerHandle {
-    /// Cancels the event; a no-op if it already fired.
+    /// Cancels the event and frees its closure; a no-op if it already
+    /// fired (the slot generation no longer matches) or was cancelled.
     pub fn cancel(&self) {
-        self.cancelled.set(true);
+        if self.cancelled.replace(true) {
+            return;
+        }
+        if let Some(inner) = self.queue.upgrade() {
+            let action = inner.events.borrow_mut().cancel(self.slot, self.gen);
+            // Drop the reclaimed closure outside the queue borrow: its
+            // captures' Drop impls may re-enter the sim.
+            drop(action);
+        }
     }
 
-    /// True if [`TimerHandle::cancel`] was called.
+    /// True if [`TimerHandle::cancel`] was called through this handle (or
+    /// a clone taken after the cancel).
     pub fn is_cancelled(&self) -> bool {
         self.cancelled.get()
     }
@@ -91,10 +84,11 @@ impl Sim {
             inner: Rc::new(Inner {
                 clock: Cell::new(SimTime::ZERO),
                 seq: Cell::new(0),
-                events: RefCell::new(BinaryHeap::new()),
+                events: RefCell::new(EventQueue::new()),
                 tasks: RefCell::new(Slab::new()),
                 wakes: Arc::new(WakeList::default()),
                 spawned: RefCell::new(Vec::new()),
+                drain_scratch: Cell::new(Vec::new()),
                 rng: RefCell::new(Xoshiro256::new(seed)),
                 trace: Trace::new(),
                 obs: Obs::new(),
@@ -146,6 +140,18 @@ impl Sim {
         self.inner.tasks.borrow().len()
     }
 
+    /// Number of live (scheduled, not fired, not cancelled) events.
+    pub fn pending_events(&self) -> usize {
+        self.inner.events.borrow().live_len()
+    }
+
+    /// Total keys resident in the event queue: live events plus
+    /// not-yet-purged cancellation tombstones. The lazy purge keeps this
+    /// O(live); exposed so tests can pin the cancellation-leak fix.
+    pub fn event_queue_keys(&self) -> usize {
+        self.inner.events.borrow().key_count()
+    }
+
     // ----- events -------------------------------------------------------
 
     /// Schedules `action` to run `delay` from now. Returns a cancel handle.
@@ -164,14 +170,17 @@ impl Sim {
         let at = at.max(self.now());
         let seq = self.inner.seq.get();
         self.inner.seq.set(seq + 1);
-        let cancelled = Rc::new(Cell::new(false));
-        self.inner.events.borrow_mut().push(EventEntry {
-            at,
-            seq,
-            cancelled: Rc::clone(&cancelled),
-            action: Box::new(action),
-        });
-        TimerHandle { cancelled }
+        let (slot, gen) = self
+            .inner
+            .events
+            .borrow_mut()
+            .insert(at, seq, EventAction::new(action));
+        TimerHandle {
+            queue: Rc::downgrade(&self.inner),
+            slot,
+            gen,
+            cancelled: Cell::new(false),
+        }
     }
 
     // ----- tasks --------------------------------------------------------
@@ -227,18 +236,23 @@ impl Sim {
         }
     }
 
-    /// Polls newly spawned tasks and drains posted wake-ups until quiescent.
+    /// Polls newly spawned tasks and drains posted wake-ups until
+    /// quiescent. The batch buffer is recycled across calls so the
+    /// steady-state drain allocates nothing.
     fn drain_microtasks(&self) {
+        let mut batch = self.inner.drain_scratch.take();
         loop {
-            let spawned: Vec<usize> = std::mem::take(&mut *self.inner.spawned.borrow_mut());
-            let woken = self.inner.wakes.drain();
-            if spawned.is_empty() && woken.is_empty() {
-                return;
+            batch.clear();
+            batch.append(&mut self.inner.spawned.borrow_mut());
+            self.inner.wakes.drain_into(&mut batch);
+            if batch.is_empty() {
+                break;
             }
-            for id in spawned.into_iter().chain(woken) {
+            for &id in &batch {
                 self.poll_task(id);
             }
         }
+        self.inner.drain_scratch.set(batch);
     }
 
     // ----- run loop -----------------------------------------------------
@@ -250,33 +264,32 @@ impl Sim {
 
     /// Runs until virtual time would exceed `limit`; events at exactly
     /// `limit` are executed. Returns the time reached.
+    ///
+    /// Cancelled events never fire, never count as executed and never
+    /// advance the clock — the queue reclaims them at `cancel()` time.
     pub fn run_until(&self, limit: SimTime) -> SimTime {
         loop {
             self.drain_microtasks();
-            let entry = {
-                let mut events = self.inner.events.borrow_mut();
-                match events.peek() {
-                    Some(e) if e.at <= limit => events.pop(),
-                    _ => {
-                        // Nothing left inside the horizon; advance the
-                        // clock to a finite horizon before stopping.
-                        if limit != SimTime::MAX {
-                            self.inner.clock.set(limit);
-                        }
-                        return self.now();
-                    }
+            // Bind the pop result so the queue borrow ends before the
+            // action runs (actions re-enter the sim to schedule).
+            let due = self.inner.events.borrow_mut().pop_due(limit);
+            match due {
+                Due::Ready(at, action) => {
+                    debug_assert!(at >= self.now(), "time went backwards");
+                    self.inner.clock.set(at);
+                    self.inner
+                        .executed_events
+                        .set(self.inner.executed_events.get() + 1);
+                    action.invoke(self);
                 }
-            };
-            let Some(entry) = entry else {
-                return self.now();
-            };
-            debug_assert!(entry.at >= self.now(), "time went backwards");
-            self.inner.clock.set(entry.at);
-            if !entry.cancelled.get() {
-                self.inner
-                    .executed_events
-                    .set(self.inner.executed_events.get() + 1);
-                (entry.action)(self);
+                Due::Later | Due::Empty => {
+                    // Nothing left inside the horizon; advance the clock
+                    // to a finite horizon before stopping.
+                    if limit != SimTime::MAX {
+                        self.inner.clock.set(limit);
+                    }
+                    return self.now();
+                }
             }
         }
     }
@@ -297,32 +310,29 @@ impl Sim {
     ///
     /// Cancelled stragglers past the deadline (e.g. already-acked
     /// retransmit timers) don't count as pending, so a clean protocol
-    /// with long-dated dead timers still reports `Ok`.
+    /// with long-dated dead timers still reports `Ok`. Symmetrically,
+    /// cancellation tombstones are never counted as productive work: a
+    /// cancel storm cannot mask a livelock, because only live events
+    /// reach the execute step (pinned by a regression test below).
     pub fn run_bounded(&self, deadline: SimTime) -> Result<SimTime, SimTime> {
         loop {
             self.drain_microtasks();
-            let entry = {
-                let mut events = self.inner.events.borrow_mut();
-                // Dead (cancelled) entries must not masquerade as pending
-                // work nor advance the clock: drop them eagerly.
-                while events.peek().is_some_and(|e| e.cancelled.get()) {
-                    events.pop();
+            // pop_due skips dead keys, so tombstones neither read as
+            // pending work nor advance the clock. Bind the result so the
+            // queue borrow ends before the action runs.
+            let due = self.inner.events.borrow_mut().pop_due(deadline);
+            match due {
+                Due::Ready(at, action) => {
+                    debug_assert!(at >= self.now(), "time went backwards");
+                    self.inner.clock.set(at);
+                    self.inner
+                        .executed_events
+                        .set(self.inner.executed_events.get() + 1);
+                    action.invoke(self);
                 }
-                match events.peek() {
-                    Some(e) if e.at <= deadline => events.pop(),
-                    Some(_) => return Err(deadline),
-                    None => return Ok(self.now()),
-                }
-            };
-            let Some(entry) = entry else {
-                return Ok(self.now());
-            };
-            debug_assert!(entry.at >= self.now(), "time went backwards");
-            self.inner.clock.set(entry.at);
-            self.inner
-                .executed_events
-                .set(self.inner.executed_events.get() + 1);
-            (entry.action)(self);
+                Due::Later => return Err(deadline),
+                Due::Empty => return Ok(self.now()),
+            }
         }
     }
 
@@ -358,7 +368,7 @@ impl std::fmt::Debug for Sim {
         f.debug_struct("Sim")
             .field("now", &self.now())
             .field("live_tasks", &self.live_tasks())
-            .field("pending_events", &self.inner.events.borrow().len())
+            .field("pending_events", &self.pending_events())
             .finish()
     }
 }
@@ -443,6 +453,70 @@ mod tests {
         sim.run();
         assert!(!hit.get());
         assert_eq!(sim.executed_events(), 0);
+    }
+
+    #[test]
+    fn cancel_frees_closure_captures_eagerly() {
+        // Regression (pre-fix: cancel only flipped a flag and the boxed
+        // closure sat in the heap until its deadline popped — an acked
+        // retransmit timer held its frame alive for the whole timeout).
+        let sim = Sim::new(0);
+        let payload = Rc::new(vec![0u8; 4096]);
+        let h = {
+            let payload = Rc::clone(&payload);
+            sim.schedule_in(SimDuration::from_secs(30), move |_| drop(payload))
+        };
+        assert_eq!(Rc::strong_count(&payload), 2);
+        h.cancel();
+        assert_eq!(
+            Rc::strong_count(&payload),
+            1,
+            "cancel must reclaim the closure and its captures eagerly, \
+             not at the (far-future) deadline"
+        );
+    }
+
+    #[test]
+    fn cancel_storm_keeps_queue_occupancy_bounded() {
+        // Regression (pre-fix: every cancelled entry stayed resident, so
+        // occupancy grew with cancels, not with live timers).
+        let sim = Sim::new(0);
+        let live: Vec<_> = (0..16)
+            .map(|_| sim.schedule_in(SimDuration::from_secs(60), |_| {}))
+            .collect();
+        for _ in 0..10_000 {
+            let h = sim.schedule_in(SimDuration::from_millis(1), |_| {});
+            h.cancel();
+            assert!(
+                sim.event_queue_keys() <= 16 + 65,
+                "queue occupancy {} is not O(live timers)",
+                sim.event_queue_keys()
+            );
+        }
+        assert_eq!(sim.pending_events(), 16);
+        drop(live);
+    }
+
+    #[test]
+    fn run_bounded_cancel_storm_does_not_mask_livelock() {
+        // Tombstones must not count as productive work: a wedged live
+        // chain past the deadline still trips Err even when thousands of
+        // cancelled timers sit in front of it, and none of the dead
+        // entries show up in executed_events.
+        let sim = Sim::new(0);
+        for i in 0..1000u64 {
+            let h = sim.schedule_in(SimDuration::from_micros(i + 1), |_| {});
+            h.cancel();
+        }
+        sim.schedule_in(SimDuration::from_micros(50), |_| {});
+        sim.schedule_in(SimDuration::from_secs(10), |_| {}); // beyond deadline
+        let err = sim.run_bounded(SimTime::from_micros(100));
+        assert_eq!(err, Err(SimTime::from_micros(100)));
+        assert_eq!(
+            sim.executed_events(),
+            1,
+            "only the one live in-deadline event is productive work"
+        );
     }
 
     #[test]
