@@ -4,18 +4,6 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== primitive-hygiene gate (raw std sync outside crates/sync)"
-# Every atomic, std::sync::Mutex and UnsafeCell outside crates/sync must go
-# through the pm2-sync primitives shim, so the loom lane (PM2_LOOM=1) can
-# model it. Justified exceptions carry `// sync-allow: <reason>` on the
-# same line.
-if grep -rn --include='*.rs' -E 'std::sync::atomic|std::sync::Mutex|UnsafeCell' crates \
-    | grep -v '^crates/sync/' | grep -v 'sync-allow:'; then
-  echo "raw std sync primitive outside crates/sync" \
-       "(route through pm2-sync, or annotate '// sync-allow: <reason>')"
-  exit 1
-fi
-
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -25,8 +13,22 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo build --release"
 cargo build --release
 
+echo "== pm2-lint source gate (raw-sync + protocol-panic rules)"
+# The former grep hygiene gate, promoted to a scanner with testable
+# rules: raw std::sync primitives outside crates/sync (escape:
+# `// sync-allow: <reason>`) and panic-capable calls in the pm2-newmad
+# protocol paths (escape: `// lint-allow: <reason>`).
+./target/release/pm2_lint
+
 echo "== cargo test"
 cargo test -q
+
+echo "== protocol model-checker lane (explorer + conformance + mutations)"
+# tests/model.rs: exhaustive exploration of the wire-protocol transition
+# tables (zero violations on the faithful tables, all nine seeded
+# mutations caught with counterexamples) plus trace conformance of real
+# runs; PM2_MODEL_DEEP adds the larger configurations.
+PM2_MODEL_DEEP=1 cargo test -q --release -p pm2-bench --test model
 
 echo "== fault-scenario matrix (seeds 1 7 42)"
 for seed in 1 7 42; do

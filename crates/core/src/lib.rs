@@ -67,7 +67,7 @@ mod req;
 mod server;
 
 pub use config::{LockModel, PiomanConfig};
-pub use req::PiomReq;
+pub use req::{PiomReq, ReqError};
 pub use server::{
     DriverHealthReport, DriverId, DriverPending, InjectionEndpoint, Pioman, PiomanStats, Progress,
     ProgressDriver,

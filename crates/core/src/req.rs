@@ -4,6 +4,19 @@ use pm2_sim::{obs::EventKind, Sim, SimTime, Trigger};
 use std::cell::Cell;
 use std::rc::Rc;
 
+/// Why a request finished in an error state rather than with its payload.
+///
+/// Carried by the request itself so waiters observe the failure through
+/// the normal completion path: `fail()` sets the error and then completes,
+/// so `swait` loops (which poll `is_complete`) wake up instead of hanging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqError {
+    /// The reliability layer abandoned a frame this request was waiting
+    /// on after exhausting its retry budget (the peer or rail is presumed
+    /// dead).
+    RetriesExhausted,
+}
+
 /// A request whose completion PIOMAN detects and signals.
 ///
 /// Created by the communication library when the application posts an
@@ -24,6 +37,7 @@ struct ReqInner {
     trigger: Trigger,
     created_at: SimTime,
     completed_at: Cell<Option<SimTime>>,
+    error: Cell<Option<ReqError>>,
 }
 
 impl PiomReq {
@@ -36,6 +50,7 @@ impl PiomReq {
                 trigger: Trigger::new(),
                 created_at: sim.now(),
                 completed_at: Cell::new(None),
+                error: Cell::new(None),
             }),
         }
     }
@@ -70,7 +85,25 @@ impl PiomReq {
         }
     }
 
-    /// True once completed.
+    /// Completes the request in an error state: records `err`, then runs
+    /// the normal completion path so every waiter wakes. A request that
+    /// already completed successfully is left untouched (the error would
+    /// be a stale verdict — e.g. an ack that was lost after the payload
+    /// was delivered). Idempotent like [`PiomReq::complete`].
+    pub fn fail(&self, sim: &Sim, err: ReqError) {
+        if self.inner.completed_at.get().is_none() {
+            self.inner.error.set(Some(err));
+            self.complete(sim);
+        }
+    }
+
+    /// The typed error, if the request failed rather than completed.
+    pub fn error(&self) -> Option<ReqError> {
+        self.inner.error.get()
+    }
+
+    /// True once completed (successfully or with an error — check
+    /// [`PiomReq::error`] to distinguish).
     pub fn is_complete(&self) -> bool {
         self.inner.completed_at.get().is_some()
     }
@@ -138,6 +171,25 @@ mod tests {
         sim.run_for(SimDuration::from_micros(1));
         req.complete(&sim);
         assert_eq!(req.completed_at(), first);
+    }
+
+    #[test]
+    fn fail_completes_with_typed_error() {
+        let sim = Sim::new(0);
+        let req = PiomReq::new(&sim, "x");
+        req.fail(&sim, ReqError::RetriesExhausted);
+        assert!(req.is_complete());
+        assert!(req.trigger().is_fired());
+        assert_eq!(req.error(), Some(ReqError::RetriesExhausted));
+    }
+
+    #[test]
+    fn fail_after_success_is_a_stale_verdict() {
+        let sim = Sim::new(0);
+        let req = PiomReq::new(&sim, "x");
+        req.complete(&sim);
+        req.fail(&sim, ReqError::RetriesExhausted);
+        assert_eq!(req.error(), None);
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! The abstract frame vocabulary of the model.
+//!
+//! Each production `WireMsg` variant that crosses the fabric is projected
+//! onto a data-independent `ProtoFrame`: payload bytes are dropped, only
+//! the control fields that drive protocol state transitions survive
+//! (identifiers, chunk indices, chunk counts). The reliability envelope
+//! (`Env`/`Ack`) is modelled separately in [`Frame`], exactly as
+//! production wraps `WireMsg::Rel` around the inner frame.
+
+/// A protocol frame with payload identity abstracted away.
+///
+/// `Eager` carries the matching pair (tag, seq) that the production
+/// receive path uses for delivery bookkeeping; every rendezvous / RMA
+/// frame carries the flow id (`rdv` / `op`) plus chunking coordinates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProtoFrame {
+    /// Small message, delivered on arrival (production `WireMsg::Eager`).
+    Eager {
+        /// Matching tag.
+        tag: u64,
+        /// Per-flow sequence number.
+        seq: u32,
+    },
+    /// Rendezvous request-to-send (production `WireMsg::Rts`).
+    Rts {
+        /// Rendezvous id.
+        rdv: u64,
+        /// Number of data chunks the sender will emit after the CTS.
+        chunks: u32,
+    },
+    /// Rendezvous clear-to-send (production `WireMsg::Cts`).
+    Cts {
+        /// Rendezvous id.
+        rdv: u64,
+    },
+    /// One rendezvous data chunk (production `WireMsg::RdvData`).
+    RdvData {
+        /// Rendezvous id.
+        rdv: u64,
+        /// Chunk index.
+        chunk: u32,
+        /// Total chunk count.
+        chunks: u32,
+    },
+    /// Small one-sided put (production `WireMsg::RmaPut`).
+    RmaPut {
+        /// RMA op id.
+        op: u64,
+    },
+    /// One chunk of a large put (production `WireMsg::RmaPutData`).
+    RmaPutData {
+        /// RMA op id.
+        op: u64,
+        /// Chunk index.
+        chunk: u32,
+        /// Total chunk count.
+        chunks: u32,
+    },
+    /// One-sided get request (production `WireMsg::RmaGet`).
+    RmaGet {
+        /// RMA op id.
+        op: u64,
+        /// How many reply chunks the target will serve (0 or 1 ⇒ a
+        /// single `RmaGetReply`; ≥ 2 ⇒ that many `RmaGetData` frames).
+        reply_chunks: u32,
+    },
+    /// Whole-payload get reply (production `WireMsg::RmaGetReply`).
+    RmaGetReply {
+        /// RMA op id.
+        op: u64,
+    },
+    /// One chunk of a large get reply (production `WireMsg::RmaGetData`).
+    RmaGetData {
+        /// RMA op id.
+        op: u64,
+        /// Chunk index.
+        chunk: u32,
+        /// Total chunk count.
+        chunks: u32,
+    },
+    /// One-sided accumulate (production `WireMsg::RmaAcc`).
+    RmaAcc {
+        /// RMA op id.
+        op: u64,
+    },
+    /// Remote-completion ack for put/accumulate (production
+    /// `WireMsg::RmaAck`).
+    RmaAck {
+        /// RMA op id.
+        op: u64,
+    },
+}
+
+/// The coarse frame class a transition rule is keyed on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FrameClass {
+    /// `ProtoFrame::Eager`.
+    Eager,
+    /// `ProtoFrame::Rts`.
+    Rts,
+    /// `ProtoFrame::Cts`.
+    Cts,
+    /// `ProtoFrame::RdvData`.
+    RdvData,
+    /// `ProtoFrame::RmaPut`.
+    RmaPut,
+    /// `ProtoFrame::RmaPutData`.
+    RmaPutData,
+    /// `ProtoFrame::RmaGet`.
+    RmaGet,
+    /// `ProtoFrame::RmaGetReply`.
+    RmaGetReply,
+    /// `ProtoFrame::RmaGetData`.
+    RmaGetData,
+    /// `ProtoFrame::RmaAcc`.
+    RmaAcc,
+    /// `ProtoFrame::RmaAck`.
+    RmaAck,
+}
+
+impl ProtoFrame {
+    /// The class used to select candidate rules in the transition table.
+    pub fn class(&self) -> FrameClass {
+        match self {
+            ProtoFrame::Eager { .. } => FrameClass::Eager,
+            ProtoFrame::Rts { .. } => FrameClass::Rts,
+            ProtoFrame::Cts { .. } => FrameClass::Cts,
+            ProtoFrame::RdvData { .. } => FrameClass::RdvData,
+            ProtoFrame::RmaPut { .. } => FrameClass::RmaPut,
+            ProtoFrame::RmaPutData { .. } => FrameClass::RmaPutData,
+            ProtoFrame::RmaGet { .. } => FrameClass::RmaGet,
+            ProtoFrame::RmaGetReply { .. } => FrameClass::RmaGetReply,
+            ProtoFrame::RmaGetData { .. } => FrameClass::RmaGetData,
+            ProtoFrame::RmaAcc { .. } => FrameClass::RmaAcc,
+            ProtoFrame::RmaAck { .. } => FrameClass::RmaAck,
+        }
+    }
+
+    /// The flow id this frame belongs to, if it names one.
+    ///
+    /// Eager frames do not carry their flow id on the wire; the
+    /// configuration maps (dest, tag, seq) back to the flow.
+    pub fn flow(&self) -> Option<u64> {
+        match *self {
+            ProtoFrame::Eager { .. } => None,
+            ProtoFrame::Rts { rdv, .. }
+            | ProtoFrame::Cts { rdv }
+            | ProtoFrame::RdvData { rdv, .. } => Some(rdv),
+            ProtoFrame::RmaPut { op }
+            | ProtoFrame::RmaPutData { op, .. }
+            | ProtoFrame::RmaGet { op, .. }
+            | ProtoFrame::RmaGetReply { op }
+            | ProtoFrame::RmaGetData { op, .. }
+            | ProtoFrame::RmaAcc { op }
+            | ProtoFrame::RmaAck { op } => Some(op),
+        }
+    }
+}
+
+/// What actually travels on the abstract fabric: a reliability envelope
+/// carrying a protocol frame, or a bare envelope ack.
+///
+/// Mirrors production `WireMsg::Rel { rel, inner }` / `WireMsg::RelAck`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Frame {
+    /// Sequenced envelope around a protocol frame.
+    Env {
+        /// Per-(src → dst) envelope sequence number.
+        rel: u64,
+        /// The protocol frame inside.
+        inner: ProtoFrame,
+    },
+    /// Envelope acknowledgement (cancels the sender's retransmit timer).
+    Ack {
+        /// Envelope sequence number being acknowledged.
+        rel: u64,
+    },
+}
+
+/// A frame in flight: directed, addressed copy on the abstract fabric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pkt {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// The frame itself.
+    pub frame: Frame,
+}

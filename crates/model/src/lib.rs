@@ -1,0 +1,52 @@
+//! pm2-model: an explicit-state model checker for the newmad wire
+//! protocols, plus a trace-conformance checker tying the model to real
+//! simulation runs.
+//!
+//! The three wire protocols — the eager path with its ack/retransmit
+//! reliability envelope, the rendezvous RTS/CTS/DMA handshake, and the
+//! one-sided RMA frame family — are transcribed into declarative
+//! transition tables ([`table::RULES`]): typed per-rank states × frame
+//! classes × guard/action rules, deliberately data-independent (payload
+//! bytes never influence control flow, so small models generalize).
+//!
+//! [`explore::explore`] runs an exhaustive BFS over every interleaving
+//! of application steps, deliveries, adversarial loss/duplication (under
+//! explicit budgets) and retransmit-timer fires, checking:
+//!
+//! - **exactly-once delivery** — no eager message, rendezvous payload or
+//!   RMA op is delivered/applied twice;
+//! - **assembly integrity** — chunked transfers complete only with every
+//!   chunk present exactly once;
+//! - **table totality and determinism** — every reachable frame is
+//!   claimed by exactly one rule;
+//! - **window soundness** — the *production* [`pm2_newmad::SeqWindow`]
+//!   (embedded verbatim, not re-implemented) agrees with a ghost
+//!   seen-set in both directions;
+//! - **bounded retries** — retry exhaustion is unreachable while the
+//!   adversary's drop budget cannot defeat the retry budget (the
+//!   timeout-gating theorem), and when it legitimately fires the waiting
+//!   request observes a typed failure instead of a silent stall;
+//! - **quiescence** — terminal states hold no protocol state for any
+//!   flow that did not legitimately fail.
+//!
+//! Violations are reported as human-readable counterexamples: the exact
+//! transition sequence from the initial state. Seeded [`state::Mutation`]s
+//! re-introduce removed defenses one at a time so the checker can prove
+//! it catches each class of bug (see `tests/model.rs`).
+//!
+//! [`conformance::check_trace`] replays pm2-obs event streams from real
+//! cluster runs through the same tables, asserting observed transitions
+//! are model-permitted — the bridge that keeps tables and implementation
+//! from drifting apart.
+
+pub mod conformance;
+pub mod explore;
+pub mod frames;
+pub mod state;
+pub mod table;
+
+pub use conformance::{check_trace, ConformCfg, ConformReport};
+pub use explore::{explore, Counterexample, Limits, Report};
+pub use frames::{Frame, FrameClass, Pkt, ProtoFrame};
+pub use state::{AppOp, Asm, Cfg, Mutation, Muts, NodeState, OpKind, Violation, World};
+pub use table::{dispatch, Effects, Rule, RuleCtx, RULES};

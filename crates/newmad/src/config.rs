@@ -155,6 +155,10 @@ pub struct NmCounters {
     pub rma_applied: u64,
     /// RMA completion frames (acks and get replies) queued by the target.
     pub rma_acks_tx: u64,
+    /// One-sided frames addressed to a window this node does not expose,
+    /// dropped gracefully instead of panicking (a misbehaving or stale
+    /// peer must not take the target down).
+    pub rma_bad_frames: u64,
     /// Matching-queue records examined across all posted/unexpected
     /// lookups (arena bucket fronts plus lazily skipped stale twins).
     /// Stays O(messages) since the arena refactor; the old linear scans

@@ -70,8 +70,9 @@ mod tests;
 
 pub use config::{EngineKind, NmCounters, OffloadPolicy, SessionConfig};
 pub use handles::{RecvHandle, SendHandle};
+pub use matching::SeqWindow;
 pub use msg::{EagerPart, ShmMsg, Tag, WireMsg, EAGER_HEADER_BYTES, RDV_HEADER_BYTES};
-pub use rma::RmaOpKind;
+pub use rma::{RmaOpKind, RMA_CHUNK};
 pub use session::{Session, SessionDebugState};
 pub use strategy::{
     AggregStrategy, FifoStrategy, Pack, ShortestFirstStrategy, Strategy, Submission,

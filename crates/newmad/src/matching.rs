@@ -30,7 +30,7 @@
 use crate::config::NmCounters;
 use crate::reliability::RelPending;
 use crate::rendezvous::{RdvRecv, RdvSend};
-use crate::rma::{RmaChunks, RmaOp};
+use crate::rma::{RmaChunks, RmaGetAssembly, RmaOp};
 use crate::strategy::{Pack, PackKind};
 use pioman::PiomReq;
 use pm2_sim::Slab;
@@ -182,14 +182,17 @@ impl<T> PostedTable<T> {
         if from_directed {
             self.by_src
                 .get_mut(&(src, tag))
+                // lint-allow: arena invariant, front inspected just above
                 .expect("front just seen")
                 .pop_front();
         } else {
             self.any_src
                 .get_mut(&tag)
+                // lint-allow: arena invariant, front inspected just above
                 .expect("front just seen")
                 .pop_front();
         }
+        // lint-allow: arena invariant, queues only index live entries
         let (_, value) = self.arena.remove(idx).expect("queue front in arena");
         sweep_if_bloated(&mut self.by_src, self.arena.len());
         sweep_if_bloated(&mut self.any_src, self.arena.len());
@@ -273,8 +276,10 @@ impl<T> ArrivalPool<T> {
                 Some(s) => self.by_src.get_mut(&(s, tag)),
                 None => self.by_tag.get_mut(&tag),
             }
+            // lint-allow: arena invariant, front_live found this queue
             .expect("live front just seen")
             .pop_front();
+            // lint-allow: arena invariant, stamp validated by front_live
             let value = self.arena.remove(idx).expect("validated live").1;
             sweep_if_bloated(&mut self.by_src, self.arena.len());
             sweep_if_bloated(&mut self.by_tag, self.arena.len());
@@ -288,6 +293,7 @@ impl<T> ArrivalPool<T> {
     pub(crate) fn peek(&mut self, src: Option<NodeId>, tag: Tag) -> (Option<&T>, u64) {
         let mut probes = 0u64;
         let found = self.front_live(src, tag, &mut probes);
+        // lint-allow: arena invariant, stamp validated by front_live
         let value = found.map(|idx| &self.arena.get(idx).expect("validated live").1);
         (value, probes.max(1))
     }
@@ -305,8 +311,12 @@ impl<T> Default for ArrivalPool<T> {
 /// plus the out-of-order stragglers beyond it, so memory stays bounded by
 /// the reorder depth rather than the message count — a 10⁶-message soak
 /// keeps this at a handful of entries.
-#[derive(Debug, Default)]
-pub(crate) struct SeqWindow {
+///
+/// Public so pm2-model can embed the *production* window in its abstract
+/// protocol states: the explorer then proves window soundness over this
+/// exact code rather than a parallel re-implementation that could drift.
+#[derive(Debug, Default, Clone, PartialEq, Eq, Hash)]
+pub struct SeqWindow {
     cum: u64,
     beyond: BTreeSet<u64>,
 }
@@ -314,7 +324,7 @@ pub(crate) struct SeqWindow {
 impl SeqWindow {
     /// Records `seq` as seen; returns `true` if it was fresh (first
     /// sighting), `false` for a duplicate.
-    pub(crate) fn insert(&mut self, seq: u64) -> bool {
+    pub fn insert(&mut self, seq: u64) -> bool {
         if seq < self.cum || !self.beyond.insert(seq) {
             return false;
         }
@@ -322,6 +332,16 @@ impl SeqWindow {
             self.cum += 1;
         }
         true
+    }
+
+    /// Next expected sequence number (every seq below it has been seen).
+    pub fn cum(&self) -> u64 {
+        self.cum
+    }
+
+    /// Out-of-order sequence numbers seen beyond the cumulative prefix.
+    pub fn beyond(&self) -> impl Iterator<Item = u64> + '_ {
+        self.beyond.iter().copied()
     }
 }
 
@@ -370,6 +390,11 @@ pub(crate) struct NmState {
     pub(crate) next_rma_op: u64,
     /// Target-side chunk assembly for large puts, keyed (origin, op).
     pub(crate) rma_chunks: HashMap<(NodeId, u64), RmaChunks>,
+    /// Origin-side chunk assembly for large get replies, keyed by op
+    /// alone (op ids are origin-scoped; reusing `rma_chunks`' (node, op)
+    /// key could collide with a put this node is target-assembling under
+    /// the same op number from the same peer).
+    pub(crate) rma_get_chunks: HashMap<u64, RmaGetAssembly>,
     pub(crate) rail_rr: usize,
     pub(crate) poll_rotor: usize,
     /// Productive progress steps per driver shard (rails…, then shm).
@@ -402,6 +427,7 @@ impl NmState {
             rma_inflight: 0,
             next_rma_op: 1,
             rma_chunks: HashMap::new(),
+            rma_get_chunks: HashMap::new(),
             rail_rr: 0,
             poll_rotor: 0,
             driver_work: vec![0; n_rails + 1],

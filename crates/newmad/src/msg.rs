@@ -132,11 +132,26 @@ pub enum WireMsg {
         /// Origin-scoped op id, echoed in the reply.
         op: u64,
     },
-    /// Window bytes answering an [`WireMsg::RmaGet`].
+    /// Window bytes answering an [`WireMsg::RmaGet`] small enough for a
+    /// single eager-class frame.
     RmaGetReply {
         /// The origin's op id.
         op: u64,
         /// The bytes read.
+        data: Vec<u8>,
+    },
+    /// One chunk of a large get reply (rendezvous-style DMA, mirroring
+    /// [`WireMsg::RmaPutData`] in the opposite direction): replies above
+    /// the rendezvous threshold are split so a single lost frame only
+    /// costs one chunk's retransmit, not the whole payload's.
+    RmaGetData {
+        /// The origin's op id.
+        op: u64,
+        /// Chunk index.
+        chunk: u32,
+        /// Total chunks of this reply.
+        chunks: u32,
+        /// Chunk payload.
         data: Vec<u8>,
     },
     /// One-sided byte-wise wrapping-add accumulate (`WrapAdd8`). Applied
@@ -177,7 +192,9 @@ impl WireMsg {
             WireMsg::RmaPut { data, .. } | WireMsg::RmaAcc { data, .. } => {
                 EAGER_HEADER_BYTES + data.len()
             }
-            WireMsg::RmaPutData { data, .. } => RDV_HEADER_BYTES + data.len(),
+            WireMsg::RmaPutData { data, .. } | WireMsg::RmaGetData { data, .. } => {
+                RDV_HEADER_BYTES + data.len()
+            }
             WireMsg::RmaGetReply { data, .. } => EAGER_HEADER_BYTES + data.len(),
             WireMsg::RmaGet { .. } | WireMsg::RmaAck { .. } => 64,
         }
@@ -195,7 +212,8 @@ impl WireMsg {
             WireMsg::RmaPut { data, .. }
             | WireMsg::RmaPutData { data, .. }
             | WireMsg::RmaAcc { data, .. }
-            | WireMsg::RmaGetReply { data, .. } => data.len(),
+            | WireMsg::RmaGetReply { data, .. }
+            | WireMsg::RmaGetData { data, .. } => data.len(),
             WireMsg::RmaGet { .. } | WireMsg::RmaAck { .. } => 0,
         }
     }
@@ -308,6 +326,15 @@ mod tests {
         };
         assert_eq!(reply.wire_bytes(), EAGER_HEADER_BYTES + (1 << 10));
         assert_eq!(reply.app_bytes(), 1 << 10);
+        // A chunked get reply is a DMA frame like a put chunk.
+        let reply_chunk = WireMsg::RmaGetData {
+            op: 9,
+            chunk: 1,
+            chunks: 4,
+            data: vec![0; 1 << 14],
+        };
+        assert_eq!(reply_chunk.wire_bytes(), RDV_HEADER_BYTES + (1 << 14));
+        assert_eq!(reply_chunk.app_bytes(), 1 << 14);
         assert_eq!(WireMsg::RmaAck { op: 9 }.wire_bytes(), 64);
         // An RMA ack rides inside a reliability envelope on lossy fabrics
         // (unlike the rel-level Ack, which never does).

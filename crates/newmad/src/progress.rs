@@ -94,6 +94,7 @@ impl Session {
                 // half-assembled chunked puts for their remaining chunks.
                 || st.rma_inflight > 0
                 || !st.rma_chunks.is_empty()
+                || !st.rma_get_chunks.is_empty()
                 // Unsolicited traffic (unexpected messages, incoming RTS)
                 // must be drained even with nothing posted.
                 || self.inner.rails[idx].rx_pending(),
@@ -124,6 +125,7 @@ impl Session {
                 || !st.rel_pending.is_empty()
                 || st.rma_inflight > 0
                 || !st.rma_chunks.is_empty()
+                || !st.rma_get_chunks.is_empty()
                 || self.inner.rails.iter().any(|r| r.rx_pending())
                 || self.inner.shm.pending(),
             oldest_submission: match (
@@ -319,6 +321,7 @@ impl Session {
             let parts = match sub.msg {
                 WireMsg::Eager(p) => vec![p],
                 WireMsg::Packed(ps) => ps,
+                // lint-allow: strategy never packs control frames intra-node
                 other => unreachable!("intra-node control frame {other:?}"),
             };
             let mut cost = SimDuration::ZERO;
@@ -474,6 +477,7 @@ impl Session {
                 | WireMsg::Rel { .. }
                 | WireMsg::Ack { .. }
                 | WireMsg::RmaGetReply { .. }
+                | WireMsg::RmaGetData { .. }
                 | WireMsg::RmaAck { .. } => {}
             }
         }
@@ -553,6 +557,12 @@ impl Session {
                 op,
             } => self.handle_rma_get(src, win, offset, len, op),
             WireMsg::RmaGetReply { op, data } => self.handle_rma_get_reply(src, op, data),
+            WireMsg::RmaGetData {
+                op,
+                chunk,
+                chunks,
+                data,
+            } => self.handle_rma_get_data(src, op, chunk, chunks, data),
             WireMsg::RmaAcc {
                 win,
                 offset,
@@ -577,7 +587,9 @@ fn submit_cost_for(rail: &pm2_fabric::Nic<WireMsg>, msg: &WireMsg) -> SimDuratio
         | WireMsg::Ack { .. }
         | WireMsg::RmaGet { .. }
         | WireMsg::RmaAck { .. } => rail.submit_cost(64),
-        WireMsg::RdvData { .. } | WireMsg::RmaPutData { .. } => rail.params().dma_setup,
+        WireMsg::RdvData { .. } | WireMsg::RmaPutData { .. } | WireMsg::RmaGetData { .. } => {
+            rail.params().dma_setup
+        }
         WireMsg::RmaPut { data, .. }
         | WireMsg::RmaAcc { data, .. }
         | WireMsg::RmaGetReply { data, .. } => rail.submit_cost(data.len()),

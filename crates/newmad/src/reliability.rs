@@ -31,9 +31,11 @@
 //! With the layer disabled (the default on fault-free fabrics) none of
 //! this code runs and the wire format is byte-identical to the original.
 
+use crate::matching::NmState;
 use crate::msg::WireMsg;
 use crate::session::Session;
 use crate::strategy::PackKind;
+use pioman::{PiomReq, ReqError};
 use pm2_sim::obs::EventKind;
 use pm2_sim::{SimDuration, SimTime, TimerHandle};
 use pm2_topo::NodeId;
@@ -111,8 +113,26 @@ impl Session {
             };
             p.attempts += 1;
             if p.attempts > self.inner.cfg.max_retries {
-                st.rel_pending.remove(&(dest, rel));
+                let p = st
+                    .rel_pending
+                    .remove(&(dest, rel))
+                    // lint-allow: key held by the get_mut above, same borrow
+                    .expect("pending present");
                 st.counters.retries_exhausted += 1;
+                self.inner.sim.obs().emit(
+                    self.inner.sim.now(),
+                    Some(own.0),
+                    EventKind::RetryExhausted { rel, dest: dest.0 },
+                );
+                let failed = self.rel_abandon(&mut st, dest, &p.msg);
+                drop(st);
+                if let Some(req) = failed {
+                    // The rail is presumed dead for this flow: surface a
+                    // typed completion error so `swait` wakes instead of
+                    // spinning forever on a request that can never finish.
+                    req.fail(&self.inner.sim, ReqError::RetriesExhausted);
+                    self.trace(|| format!("rel {rel} to {dest} exhausted, request failed"));
+                }
                 false
             } else {
                 let attempts = p.attempts;
@@ -157,6 +177,38 @@ impl Session {
                 p.notify_work(None);
             }
             self.inner.marcel.kick_all_idle();
+        }
+    }
+
+    /// Maps an abandoned envelope to the local request still waiting on
+    /// it, cleaning up the protocol state that request owned. Returns the
+    /// request to fail (after the state borrow is released).
+    ///
+    /// Eager data, rendezvous chunks and credit returns have no local
+    /// waiter — the sender's request completes at NIC egress — so their
+    /// exhaustion only shows up in the counters (honest limit: the peer's
+    /// receive stalls until its own timeout machinery gives up).
+    fn rel_abandon(&self, st: &mut NmState, dest: NodeId, msg: &WireMsg) -> Option<PiomReq> {
+        let WireMsg::Rel { inner, .. } = msg else {
+            return None; // only envelopes are tracked
+        };
+        match &**inner {
+            WireMsg::Rts { rdv, .. } => st.rdv_sends.remove(rdv).map(|s| s.req),
+            WireMsg::Cts { rdv } => st.rdv_recvs.remove(&(dest, *rdv)).map(|r| r.req),
+            WireMsg::RmaPut { op, .. }
+            | WireMsg::RmaPutData { op, .. }
+            | WireMsg::RmaGet { op, .. }
+            | WireMsg::RmaAcc { op, .. } => {
+                if st.rma_ops.get(op).is_some_and(|o| !o.req.is_complete()) {
+                    let entry = st.rma_ops.remove(op)?;
+                    st.rma_inflight -= 1;
+                    st.rma_get_chunks.remove(op);
+                    Some(entry.req)
+                } else {
+                    None
+                }
+            }
+            _ => None,
         }
     }
 

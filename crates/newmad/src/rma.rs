@@ -43,8 +43,10 @@ use pm2_topo::NodeId;
 /// rendezvous namespaces (`tag` and `tag | 1<<63`).
 const RMA_WIN_REG_BASE: u64 = 1 << 62;
 
-/// Chunk size of large puts (each chunk is one DMA descriptor).
-pub(crate) const RMA_CHUNK: usize = 64 << 10;
+/// Chunk size of large puts and get replies (each chunk is one DMA
+/// descriptor). Public so pm2-model's conformance layer can derive the
+/// expected chunk counts from the same constant the wire code uses.
+pub const RMA_CHUNK: usize = 64 << 10;
 
 /// The kind of one-sided operation, for staging and events.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +95,14 @@ pub(crate) struct RmaChunks {
     pub(crate) received: u32,
 }
 
+/// Origin-side assembly state of one chunked get reply. The occupied
+/// slots double as the duplicate-suppression bitmap, exactly like the put
+/// path's [`RmaChunks::seen`].
+pub(crate) struct RmaGetAssembly {
+    pub(crate) parts: Vec<Option<Vec<u8>>>,
+    pub(crate) received: u32,
+}
+
 impl Session {
     // ----- windows --------------------------------------------------------
 
@@ -119,6 +129,7 @@ impl Session {
     /// target-side verification helper; free of simulated cost).
     pub fn rma_window_read(&self, win: u64, offset: usize, len: usize) -> Vec<u8> {
         let st = self.inner.state.borrow();
+        // lint-allow: local test/verification helper, caller owns the window
         let w = st.rma_windows.get(&win).expect("window exists");
         w[offset..offset + len].to_vec()
     }
@@ -207,12 +218,14 @@ impl Session {
                     RmaOpKind::Put => StagedOp::Put {
                         win,
                         offset,
+                        // lint-allow: staging invariant, caller passed data
                         data: data.expect("put carries data"),
                     },
                     RmaOpKind::Get => StagedOp::Get { win, offset, len },
                     RmaOpKind::Acc => StagedOp::Acc {
                         win,
                         offset,
+                        // lint-allow: staging invariant, caller passed data
                         data: data.expect("accumulate carries data"),
                     },
                 };
@@ -245,15 +258,18 @@ impl Session {
         len: usize,
         data: Option<Vec<u8>>,
     ) -> Option<Vec<u8>> {
+        // lint-allow: self-target op, the local application owns the window
         let w = st.rma_windows.get_mut(&win).expect("window exists");
         let result = match kind {
             RmaOpKind::Put => {
+                // lint-allow: staging invariant, caller passed data
                 let data = data.expect("put carries data");
                 w[offset..offset + data.len()].copy_from_slice(&data);
                 None
             }
             RmaOpKind::Get => Some(w[offset..offset + len].to_vec()),
             RmaOpKind::Acc => {
+                // lint-allow: staging invariant, caller passed data
                 let data = data.expect("accumulate carries data");
                 for (wb, db) in w[offset..offset + data.len()].iter_mut().zip(&data) {
                     *wb = wb.wrapping_add(*db);
@@ -474,7 +490,86 @@ impl Session {
         }
     }
 
+    /// Origin-side chunked get-reply arrival: assemble; once the last
+    /// chunk lands, store the result and complete — the mirror image of
+    /// the target's [`Session::handle_rma_put_chunk`].
+    pub(crate) fn handle_rma_get_data(
+        &self,
+        src: NodeId,
+        op: u64,
+        chunk: u32,
+        chunks: u32,
+        data: Vec<u8>,
+    ) -> SimDuration {
+        let len = data.len();
+        let completed = {
+            let mut st = self.inner.state.borrow_mut();
+            let live = st
+                .rma_ops
+                .get(&op)
+                .is_some_and(|o| o.result.is_none() && !o.req.is_complete());
+            if !live {
+                // Stale or abandoned op: drop the chunk and any partial
+                // assembly so nothing leaks.
+                st.rma_get_chunks.remove(&op);
+                None
+            } else {
+                let entry = st
+                    .rma_get_chunks
+                    .entry(op)
+                    .or_insert_with(|| RmaGetAssembly {
+                        parts: vec![None; chunks as usize],
+                        received: 0,
+                    });
+                if entry.parts[chunk as usize].is_some() {
+                    // Duplicate chunk that slipped past the envelope window.
+                    st.counters.dup_suppressed += 1;
+                    None
+                } else {
+                    entry.parts[chunk as usize] = Some(data);
+                    entry.received += 1;
+                    if entry.received == chunks {
+                        // lint-allow: entry was just inserted or found above
+                        let assembly = st.rma_get_chunks.remove(&op).expect("assembly present");
+                        let mut whole = Vec::new();
+                        for part in assembly.parts {
+                            // lint-allow: received == chunks ⇒ every slot filled
+                            whole.extend_from_slice(&part.expect("chunk present"));
+                        }
+                        // lint-allow: liveness of the entry checked above, same borrow
+                        let entry = st.rma_ops.get_mut(&op).expect("op present");
+                        entry.result = Some(whole);
+                        let req = entry.req.clone();
+                        st.rma_inflight -= 1;
+                        Some(req)
+                    } else {
+                        None
+                    }
+                }
+            }
+        };
+        if let Some(req) = completed {
+            self.inner.sim.obs().emit(
+                self.inner.sim.now(),
+                Some(self.inner.node.0),
+                EventKind::RmaAckRx { op, src: src.0 },
+            );
+            req.complete(&self.inner.sim);
+            self.trace(|| format!("rma get {op} assembled from {src}"));
+        }
+        self.inner.rails[0].params().memcpy_cost(len)
+    }
+
     // ----- target: matching-free application ------------------------------
+
+    /// Records and traces a one-sided frame addressed to a window this
+    /// node does not expose. Dropping it (rather than panicking) keeps a
+    /// misbehaving or stale peer from taking the target down; the origin's
+    /// retry budget eventually surfaces the failure on its side.
+    fn rma_bad_frame(&self, st: &mut NmState, src: NodeId, win: u64, what: &'static str) {
+        st.counters.rma_bad_frames += 1;
+        self.trace(|| format!("{what} from {src} to unknown window {win} dropped"));
+    }
 
     /// Small put arrival at the target: store into the window and ack.
     /// Runs entirely inside progression — the target application never
@@ -492,22 +587,33 @@ impl Session {
         let verify = self.inner.sim.verify();
         let vnode = verify.set_node(Some(own.0));
         verify.lock_acquire("newmad.state");
-        {
+        let applied = {
             let mut st = self.inner.state.borrow_mut();
-            let w = st.rma_windows.get_mut(&win).expect("put to unknown window");
-            w[offset..offset + len].copy_from_slice(&data);
-            st.counters.rma_applied += 1;
-            st.counters.rma_acks_tx += 1;
-            st.push_pack(
-                own,
-                src,
-                PackKind::Wire {
-                    msg: WireMsg::RmaAck { op },
-                },
-            );
-        }
+            match st.rma_windows.get_mut(&win) {
+                Some(w) => {
+                    w[offset..offset + len].copy_from_slice(&data);
+                    st.counters.rma_applied += 1;
+                    st.counters.rma_acks_tx += 1;
+                    st.push_pack(
+                        own,
+                        src,
+                        PackKind::Wire {
+                            msg: WireMsg::RmaAck { op },
+                        },
+                    );
+                    true
+                }
+                None => {
+                    self.rma_bad_frame(&mut st, src, win, "put");
+                    false
+                }
+            }
+        };
         verify.lock_release("newmad.state");
         verify.set_node(vnode);
+        if !applied {
+            return SimDuration::ZERO;
+        }
         self.inner.sim.obs().emit(
             self.inner.sim.now(),
             Some(own.0),
@@ -541,34 +647,40 @@ impl Session {
         verify.lock_acquire("newmad.state");
         let applied = {
             let mut st = self.inner.state.borrow_mut();
-            let entry = st.rma_chunks.entry((src, op)).or_insert_with(|| RmaChunks {
-                seen: vec![false; chunks as usize],
-                received: 0,
-            });
-            if entry.seen[chunk as usize] {
-                // Duplicate chunk that slipped past the envelope window.
-                st.counters.dup_suppressed += 1;
+            if !st.rma_windows.contains_key(&win) {
+                self.rma_bad_frame(&mut st, src, win, "put chunk");
                 false
             } else {
-                entry.seen[chunk as usize] = true;
-                entry.received += 1;
-                let done = entry.received == chunks;
-                let w = st.rma_windows.get_mut(&win).expect("put to unknown window");
-                let at = offset + chunk as usize * RMA_CHUNK;
-                w[at..at + len].copy_from_slice(&data);
-                if done {
-                    st.rma_chunks.remove(&(src, op));
-                    st.counters.rma_applied += 1;
-                    st.counters.rma_acks_tx += 1;
-                    st.push_pack(
-                        own,
-                        src,
-                        PackKind::Wire {
-                            msg: WireMsg::RmaAck { op },
-                        },
-                    );
+                let entry = st.rma_chunks.entry((src, op)).or_insert_with(|| RmaChunks {
+                    seen: vec![false; chunks as usize],
+                    received: 0,
+                });
+                if entry.seen[chunk as usize] {
+                    // Duplicate chunk that slipped past the envelope window.
+                    st.counters.dup_suppressed += 1;
+                    false
+                } else {
+                    entry.seen[chunk as usize] = true;
+                    entry.received += 1;
+                    let done = entry.received == chunks;
+                    // lint-allow: window presence checked above, same borrow
+                    let w = st.rma_windows.get_mut(&win).expect("put to unknown window");
+                    let at = offset + chunk as usize * RMA_CHUNK;
+                    w[at..at + len].copy_from_slice(&data);
+                    if done {
+                        st.rma_chunks.remove(&(src, op));
+                        st.counters.rma_applied += 1;
+                        st.counters.rma_acks_tx += 1;
+                        st.push_pack(
+                            own,
+                            src,
+                            PackKind::Wire {
+                                msg: WireMsg::RmaAck { op },
+                            },
+                        );
+                    }
+                    true
                 }
-                true
             }
         };
         verify.lock_release("newmad.state");
@@ -590,6 +702,9 @@ impl Session {
     }
 
     /// Get arrival at the target: read the window and queue the reply.
+    /// Large reads are chunked into [`WireMsg::RmaGetData`] DMA frames,
+    /// mirroring the large-put path in the opposite direction; small ones
+    /// travel as a single [`WireMsg::RmaGetReply`].
     pub(crate) fn handle_rma_get(
         &self,
         src: NodeId,
@@ -602,22 +717,55 @@ impl Session {
         let verify = self.inner.sim.verify();
         let vnode = verify.set_node(Some(own.0));
         verify.lock_acquire("newmad.state");
-        {
+        let served = {
             let mut st = self.inner.state.borrow_mut();
-            let w = st.rma_windows.get(&win).expect("get from unknown window");
-            let data = w[offset..offset + len].to_vec();
-            st.counters.rma_applied += 1;
-            st.counters.rma_acks_tx += 1;
-            st.push_pack(
-                own,
-                src,
-                PackKind::Wire {
-                    msg: WireMsg::RmaGetReply { op, data },
-                },
-            );
-        }
+            match st.rma_windows.get(&win) {
+                Some(w) => {
+                    let data = w[offset..offset + len].to_vec();
+                    st.counters.rma_applied += 1;
+                    st.counters.rma_acks_tx += 1;
+                    if len <= self.inner.cfg.rdv_threshold {
+                        st.push_pack(
+                            own,
+                            src,
+                            PackKind::Wire {
+                                msg: WireMsg::RmaGetReply { op, data },
+                            },
+                        );
+                    } else {
+                        // Rendezvous-style DMA reply, minus the handshake
+                        // (same shape as `rma_inject`'s large-put path).
+                        let pieces: Vec<Vec<u8>> =
+                            data.chunks(RMA_CHUNK).map(<[u8]>::to_vec).collect();
+                        let total = pieces.len() as u32;
+                        for (i, piece) in pieces.into_iter().enumerate() {
+                            st.push_pack(
+                                own,
+                                src,
+                                PackKind::Wire {
+                                    msg: WireMsg::RmaGetData {
+                                        op,
+                                        chunk: i as u32,
+                                        chunks: total,
+                                        data: piece,
+                                    },
+                                },
+                            );
+                        }
+                    }
+                    true
+                }
+                None => {
+                    self.rma_bad_frame(&mut st, src, win, "get");
+                    false
+                }
+            }
+        };
         verify.lock_release("newmad.state");
         verify.set_node(vnode);
+        if !served {
+            return SimDuration::ZERO;
+        }
         self.inner.sim.obs().emit(
             self.inner.sim.now(),
             Some(own.0),
@@ -648,27 +796,35 @@ impl Session {
         let verify = self.inner.sim.verify();
         let vnode = verify.set_node(Some(own.0));
         verify.lock_acquire("newmad.state");
-        {
+        let applied = {
             let mut st = self.inner.state.borrow_mut();
-            let w = st
-                .rma_windows
-                .get_mut(&win)
-                .expect("accumulate to unknown window");
-            for (wb, db) in w[offset..offset + len].iter_mut().zip(&data) {
-                *wb = wb.wrapping_add(*db);
+            match st.rma_windows.get_mut(&win) {
+                Some(w) => {
+                    for (wb, db) in w[offset..offset + len].iter_mut().zip(&data) {
+                        *wb = wb.wrapping_add(*db);
+                    }
+                    st.counters.rma_applied += 1;
+                    st.counters.rma_acks_tx += 1;
+                    st.push_pack(
+                        own,
+                        src,
+                        PackKind::Wire {
+                            msg: WireMsg::RmaAck { op },
+                        },
+                    );
+                    true
+                }
+                None => {
+                    self.rma_bad_frame(&mut st, src, win, "accumulate");
+                    false
+                }
             }
-            st.counters.rma_applied += 1;
-            st.counters.rma_acks_tx += 1;
-            st.push_pack(
-                own,
-                src,
-                PackKind::Wire {
-                    msg: WireMsg::RmaAck { op },
-                },
-            );
-        }
+        };
         verify.lock_release("newmad.state");
         verify.set_node(vnode);
+        if !applied {
+            return SimDuration::ZERO;
+        }
         self.inner.sim.obs().emit(
             self.inner.sim.now(),
             Some(own.0),

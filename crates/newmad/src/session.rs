@@ -77,6 +77,8 @@ pub struct SessionDebugState {
     pub rma_inflight: usize,
     /// Target-side chunked puts still assembling.
     pub rma_chunks: usize,
+    /// Origin-side chunked get replies still assembling.
+    pub rma_get_chunks: usize,
 }
 
 impl SessionDebugState {
@@ -209,6 +211,7 @@ impl Session {
             rma_ops: st.rma_ops.len(),
             rma_inflight: st.rma_inflight,
             rma_chunks: st.rma_chunks.len(),
+            rma_get_chunks: st.rma_get_chunks.len(),
         }
     }
 
@@ -471,6 +474,7 @@ impl Session {
                 self.inner
                     .pioman
                     .as_ref()
+                    // lint-allow: engine kind fixed at construction
                     .expect("pioman engine")
                     .wait(req, ctx)
                     .await;
@@ -518,6 +522,7 @@ impl Session {
                 self.inner
                     .pioman
                     .as_ref()
+                    // lint-allow: engine kind fixed at construction
                     .expect("pioman engine")
                     .wait_any(reqs, ctx)
                     .await
@@ -577,6 +582,7 @@ impl Session {
     /// `swait` on a receive handle; returns the payload.
     pub async fn swait_recv(&self, h: &RecvHandle, ctx: &ThreadCtx) -> Vec<u8> {
         self.swait(&h.req, ctx).await;
+        // lint-allow: completion implies delivery on the receive path
         h.take_data().expect("completed receive carries data")
     }
 

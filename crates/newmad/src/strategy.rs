@@ -168,6 +168,7 @@ impl Strategy for AggregStrategy {
                     if *d == dest && bytes + part.data.len() <= self.max_bytes
             );
             if eligible {
+                // lint-allow: index bounded by the loop condition
                 let pack = list.remove(i).expect("index in bounds");
                 if let PackKind::Eager { part, req } = pack.kind {
                     bytes += part.data.len();
@@ -179,6 +180,7 @@ impl Strategy for AggregStrategy {
             }
         }
         if parts.len() == 1 {
+            // lint-allow: length checked on the previous line
             let part = parts.pop().expect("one part");
             Some(Submission {
                 dest,
@@ -220,6 +222,7 @@ impl Strategy for ShortestFirstStrategy {
             if pos == 0 {
                 return list.pop_front().map(single);
             }
+            // lint-allow: position returned by the iterator just above
             let pack = list.remove(pos).expect("index in bounds");
             return Some(single(pack));
         }
@@ -234,7 +237,9 @@ impl Strategy for ShortestFirstStrategy {
                 };
                 (len, *i)
             })
+            // lint-allow: emptiness rejected at function entry
             .expect("non-empty");
+        // lint-allow: position returned by the iterator just above
         let pack = list.remove(pos).expect("index in bounds");
         Some(single(pack))
     }

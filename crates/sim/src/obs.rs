@@ -200,6 +200,14 @@ pub enum EventKind {
         /// Sender node index.
         src: usize,
     },
+    /// Reliability layer abandoned an envelope after its retry budget ran
+    /// out; any request waiting on that frame fails with a typed error.
+    RetryExhausted {
+        /// Reliability sequence number of the abandoned envelope.
+        rel: u64,
+        /// Destination node index of the abandoned envelope.
+        dest: usize,
+    },
     /// A PIOMAN request completed.
     ReqComplete {
         /// Request id.
@@ -701,6 +709,7 @@ pub fn build_timelines(events: &[Event]) -> Timelines {
             }
             EventKind::Retransmit { .. }
             | EventKind::DupSuppressed { .. }
+            | EventKind::RetryExhausted { .. }
             | EventKind::DriverProgress { .. }
             | EventKind::TaskletRun { .. }
             | EventKind::HookWork { .. }

@@ -609,3 +609,48 @@ fn soak_one(engine: EngineKind, total: usize) {
         c0.retries_exhausted + c1.retries_exhausted,
     );
 }
+
+/// Retry-budget exhaustion surfaces as a *typed* completion error on the
+/// waiting request — never a hang (PR-10 reliability pin). Under a 100%
+/// loss plan the RTS can never arrive: after the full retry ladder the
+/// reliability layer abandons the envelope, fails the send request with
+/// `ReqError::RetriesExhausted`, and `swait_send` returns well before
+/// the deadline on both engines.
+#[test]
+fn retry_exhaustion_surfaces_typed_error() {
+    for engine in BOTH_ENGINES {
+        let cluster = Cluster::build(faulty(engine, FaultPlan::loss(fault_seed(), 1.0)));
+        let exhausted = Rc::new(Cell::new(false));
+        {
+            let s = cluster.session(0).clone();
+            let exhausted = Rc::clone(&exhausted);
+            cluster.spawn_on(0, "doomed-sender", move |ctx| async move {
+                // Rendezvous-sized: the send request only completes via
+                // the handshake, so its failure is observable.
+                let h = s.isend(&ctx, NodeId(1), Tag(9), vec![0xd0; 64 << 10]).await;
+                s.swait_send(&h, &ctx).await;
+                assert!(h.is_complete(), "swait returned an incomplete request");
+                assert_eq!(
+                    h.req().error(),
+                    Some(pioman::ReqError::RetriesExhausted),
+                    "exhaustion did not surface as a typed error"
+                );
+                exhausted.set(true);
+            });
+        }
+        let end = cluster.run_deadline(FAULT_DEADLINE);
+        assert!(
+            end < FAULT_DEADLINE,
+            "exhaustion hung instead of failing ({engine:?})"
+        );
+        assert!(
+            exhausted.get(),
+            "sender never reached the verdict ({engine:?})"
+        );
+        let c0 = cluster.session(0).counters();
+        assert!(
+            c0.retries_exhausted >= 1,
+            "exhaustion counter never ticked ({engine:?})"
+        );
+    }
+}
